@@ -1,0 +1,155 @@
+// E4 — Figure 2 in operation: obstruction-free anonymous consensus.
+//
+// Shapes to reproduce:
+//   * solo decision costs exactly 2n-1 writes and Θ(n^2) reads (Theorem 4.1
+//     bound: at most 2n-1 iterations, each scanning 2n-1 registers);
+//   * the named-model commit-adopt baseline decides solo in O(n) operations
+//     — anonymity costs a factor of Θ(n);
+//   * under contention with solo bursts, all processes decide and agree
+//     (safety checked on every run).
+#include <benchmark/benchmark.h>
+
+#include <set>
+#include <vector>
+
+#include "baselines/ca_consensus.hpp"
+#include "core/anon_consensus.hpp"
+#include "core/anon_election.hpp"
+#include "mem/naming.hpp"
+#include "runtime/schedule.hpp"
+#include "runtime/simulator.hpp"
+
+namespace {
+
+using namespace anoncoord;
+
+// ---------------------------------------------------------------------------
+// Solo decision cost vs n.
+// ---------------------------------------------------------------------------
+
+void BM_anon_consensus_solo(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::uint64_t reads = 0, writes = 0, runs = 0;
+  for (auto _ : state) {
+    std::vector<anon_consensus> machines;
+    for (int i = 0; i < n; ++i)
+      machines.emplace_back(static_cast<process_id>(i + 1), 7, n);
+    simulator<anon_consensus> sim(
+        2 * n - 1, naming_assignment::identity(n, 2 * n - 1),
+        std::move(machines));
+    sim.run_solo(0, 10'000'000,
+                 [](const anon_consensus& mc) { return mc.done(); });
+    reads += sim.memory().counters().reads;
+    writes += sim.memory().counters().writes;
+    ++runs;
+  }
+  state.counters["writes/decide"] = benchmark::Counter(
+      static_cast<double>(writes) / static_cast<double>(runs));
+  state.counters["reads/decide"] = benchmark::Counter(
+      static_cast<double>(reads) / static_cast<double>(runs));
+}
+BENCHMARK(BM_anon_consensus_solo)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_ca_consensus_solo(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::uint64_t reads = 0, writes = 0, runs = 0;
+  for (auto _ : state) {
+    std::vector<ca_consensus> machines;
+    for (int i = 0; i < n; ++i) machines.emplace_back(i, n, 7);
+    simulator<ca_consensus> sim(
+        ca_consensus::register_count(n),
+        naming_assignment::identity(n, ca_consensus::register_count(n)),
+        std::move(machines));
+    sim.run_solo(0, 10'000'000,
+                 [](const ca_consensus& mc) { return mc.done(); });
+    reads += sim.memory().counters().reads;
+    writes += sim.memory().counters().writes;
+    ++runs;
+  }
+  state.counters["writes/decide"] = benchmark::Counter(
+      static_cast<double>(writes) / static_cast<double>(runs));
+  state.counters["reads/decide"] = benchmark::Counter(
+      static_cast<double>(reads) / static_cast<double>(runs));
+}
+BENCHMARK(BM_ca_consensus_solo)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+// ---------------------------------------------------------------------------
+// Contended runs: steps until everyone decides (obstruction-free adversary
+// with rotating solo bursts). Agreement+validity asserted on every run.
+// ---------------------------------------------------------------------------
+
+void BM_anon_consensus_contended(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int regs = 2 * n - 1;
+  std::uint64_t total_steps = 0, runs = 0, seed = 1;
+  for (auto _ : state) {
+    std::vector<anon_consensus> machines;
+    for (int i = 0; i < n; ++i)
+      machines.emplace_back(static_cast<process_id>(i + 1),
+                            static_cast<std::uint64_t>(i % 2 + 1), n,
+                            choice_policy::random(seed));
+    simulator<anon_consensus> sim(
+        regs, naming_assignment::random(n, regs, seed), std::move(machines));
+    bursty_schedule sched(seed++, 50, 5 * regs * regs);
+    sim.run(sched, 50'000'000,
+            [](const simulator<anon_consensus>& s, const trace_event&) {
+              for (int p = 0; p < s.process_count(); ++p)
+                if (!s.machine(p).done()) return true;
+              return false;
+            });
+    std::set<std::uint64_t> decisions;
+    for (int p = 0; p < n; ++p) {
+      if (!sim.machine(p).done()) state.SkipWithError("undecided process");
+      decisions.insert(sim.machine(p).decision().value_or(0));
+    }
+    if (decisions.size() != 1)
+      state.SkipWithError("agreement violated (bug!)");
+    total_steps += sim.total_steps();
+    ++runs;
+  }
+  if (runs)
+    state.counters["steps/all-decide"] = benchmark::Counter(
+        static_cast<double>(total_steps) / static_cast<double>(runs));
+}
+BENCHMARK(BM_anon_consensus_contended)->Arg(2)->Arg(3)->Arg(5)->Arg(8);
+
+// ---------------------------------------------------------------------------
+// Election (§4): consensus on identifiers.
+// ---------------------------------------------------------------------------
+
+void BM_anon_election_contended(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int regs = 2 * n - 1;
+  std::uint64_t total_steps = 0, runs = 0, seed = 11;
+  for (auto _ : state) {
+    std::vector<anon_election> machines;
+    for (int i = 0; i < n; ++i)
+      machines.emplace_back(static_cast<process_id>(100 + 17 * i), n,
+                            choice_policy::random(seed));
+    simulator<anon_election> sim(
+        regs, naming_assignment::random(n, regs, seed), std::move(machines));
+    bursty_schedule sched(seed++, 50, 5 * regs * regs);
+    sim.run(sched, 50'000'000,
+            [](const simulator<anon_election>& s, const trace_event&) {
+              for (int p = 0; p < s.process_count(); ++p)
+                if (!s.machine(p).done()) return true;
+              return false;
+            });
+    int elected = 0;
+    for (int p = 0; p < n; ++p) {
+      if (!sim.machine(p).done()) state.SkipWithError("undecided process");
+      elected += sim.machine(p).elected() ? 1 : 0;
+    }
+    if (elected != 1) state.SkipWithError("leader count != 1 (bug!)");
+    total_steps += sim.total_steps();
+    ++runs;
+  }
+  if (runs)
+    state.counters["steps/elect"] = benchmark::Counter(
+        static_cast<double>(total_steps) / static_cast<double>(runs));
+}
+BENCHMARK(BM_anon_election_contended)->Arg(2)->Arg(4)->Arg(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,91 @@
+// E2 — Theorem 3.4: a memory-anonymous symmetric deadlock-free mutex for n
+// processes with m registers exists only if m is relatively prime to every
+// l with 1 < l <= n.
+//
+// This harness executes the proof's construction: for every (m, l) with
+// l | m it places l rotation-symmetric copies of Fig. 1 on the register ring
+// at stride m/l, runs them in lock steps, verifies rotational symmetry at
+// every round, and reports the forced outcome (livelock — the
+// deadlock-freedom violation the theorem predicts). Cells with l ∤ m are
+// marked n/a: the equidistant placement does not exist, which is exactly why
+// relative primality escapes the argument.
+//
+//   ./bench_lockstep_symmetry [--max-m=12] [--max-l=6]
+#include <iostream>
+#include <string>
+
+#include "lowerbound/lockstep.hpp"
+#include "util/cli.hpp"
+#include "util/math.hpp"
+#include "util/table.hpp"
+
+using namespace anoncoord;
+
+int main(int argc, char** argv) {
+  cli_args args;
+  args.define("max-m", "12", "largest ring size");
+  args.define("max-l", "6", "largest process count placed on the ring");
+  if (!args.parse(argc, argv)) {
+    std::cout << args.help("bench_lockstep_symmetry");
+    return 0;
+  }
+  const int max_m = static_cast<int>(args.get_int("max-m"));
+  const int max_l = static_cast<int>(args.get_int("max-l"));
+
+  std::cout << "E2 / Theorem 3.4 — lock-step ring construction against "
+               "Fig. 1\n"
+            << "(cell = outcome of running l rotation-symmetric processes "
+               "at stride m/l in lock steps)\n\n";
+
+  std::vector<std::string> headers{"m \\ l"};
+  for (int l = 2; l <= max_l; ++l) headers.push_back(std::to_string(l));
+  ascii_table table(std::move(headers));
+  bool all_as_predicted = true;
+
+  for (int m = 2; m <= max_m; ++m) {
+    std::vector<std::string> row{std::to_string(m)};
+    for (int l = 2; l <= max_l; ++l) {
+      if (m % l != 0) {
+        row.push_back("n/a");
+        continue;
+      }
+      const auto res = run_lockstep_mutex(m, l);
+      std::string cell = to_string(res.outcome) + " r=" +
+                         std::to_string(res.rounds);
+      if (!res.symmetry_held) cell += " SYM-BROKEN";
+      if (res.outcome != lockstep_outcome::livelock &&
+          res.outcome != lockstep_outcome::me_violation)
+        all_as_predicted = false;
+      if (!res.symmetry_held) all_as_predicted = false;
+      row.push_back(cell);
+    }
+    table.add_row(std::move(row));
+  }
+
+  std::cout << table.render() << "\n";
+
+  // Cross-check against the arithmetic predicate.
+  std::vector<std::string> pred_headers{"m"};
+  for (int n = 2; n <= max_l; ++n)
+    pred_headers.push_back("admissible n=" + std::to_string(n));
+  ascii_table pred(std::move(pred_headers));
+  for (int m = 2; m <= max_m; ++m) {
+    std::vector<std::string> row{std::to_string(m)};
+    for (int n = 2; n <= max_l; ++n)
+      row.push_back(mutex_space_admissible(m, n) ? "yes" : "no");
+    pred.add_row(std::move(row));
+  }
+  std::cout << "Theorem 3.4 predicate (m relatively prime to every l in "
+               "(1, n]):\n"
+            << pred.render() << "\n";
+
+  std::cout << "paper: every divisor-aligned placement forces all-or-nothing "
+               "symmetry -> ME violation or livelock\n"
+            << "reproduction: "
+            << (all_as_predicted
+                    ? "MATCHES — every l | m cell livelocks with symmetry "
+                      "verified at every round"
+                    : "DOES NOT MATCH")
+            << "\n";
+  return all_as_predicted ? 0 : 1;
+}

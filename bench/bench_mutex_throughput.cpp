@@ -1,0 +1,245 @@
+// E3 — Figure 1 in operation: the cost of anonymity for mutual exclusion.
+//
+// The paper proves Fig. 1 correct but never benchmarks it; the relevant
+// "shape" is its step complexity against the named-model baselines:
+//   * solo entry+exit costs Θ(m) register operations for Fig. 1 versus O(1)
+//     for Peterson (and O(n^2) scans for filter, O(n) for bakery);
+//   * under 2-process contention Fig. 1 pays retries and back-offs on top.
+//
+// google-benchmark microbenchmarks over the deterministic simulator
+// (counting register operations is exact there), plus one real-thread
+// stress series over lock-free std::atomic registers.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "baselines/bakery_mutex.hpp"
+#include "baselines/filter_mutex.hpp"
+#include "baselines/peterson_mutex.hpp"
+#include "baselines/tournament_mutex.hpp"
+#include "core/anon_mutex.hpp"
+#include "mem/naming.hpp"
+#include "runtime/schedule.hpp"
+#include "runtime/simulator.hpp"
+#include "runtime/threaded.hpp"
+
+namespace {
+
+using namespace anoncoord;
+
+// ---------------------------------------------------------------------------
+// Solo entry+exit: register operations per critical section, no contention.
+// ---------------------------------------------------------------------------
+
+void BM_anon_mutex_solo(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  std::vector<anon_mutex> machines;
+  machines.emplace_back(1, m);
+  machines.emplace_back(2, m);
+  simulator<anon_mutex> sim(m, naming_assignment::identity(2, m),
+                            std::move(machines));
+  std::uint64_t entries = 0;
+  for (auto _ : state) {
+    sim.run_solo(0, 1'000'000,
+                 [](const anon_mutex& mc) { return mc.in_critical_section(); });
+    sim.run_solo(0, 1'000'000,
+                 [](const anon_mutex& mc) { return mc.in_remainder(); });
+    ++entries;
+  }
+  state.counters["reg_ops/cs"] = benchmark::Counter(
+      static_cast<double>(sim.memory().counters().reads +
+                          sim.memory().counters().writes) /
+      static_cast<double>(entries));
+}
+BENCHMARK(BM_anon_mutex_solo)->Arg(3)->Arg(5)->Arg(7)->Arg(9)->Arg(15)->Arg(21);
+
+void BM_peterson_solo(benchmark::State& state) {
+  std::vector<peterson_mutex> machines{peterson_mutex(0), peterson_mutex(1)};
+  simulator<peterson_mutex> sim(3, naming_assignment::identity(2, 3),
+                                std::move(machines));
+  std::uint64_t entries = 0;
+  for (auto _ : state) {
+    sim.run_solo(0, 1000, [](const peterson_mutex& mc) {
+      return mc.in_critical_section();
+    });
+    sim.run_solo(0, 1000,
+                 [](const peterson_mutex& mc) { return mc.in_remainder(); });
+    ++entries;
+  }
+  state.counters["reg_ops/cs"] = benchmark::Counter(
+      static_cast<double>(sim.memory().counters().reads +
+                          sim.memory().counters().writes) /
+      static_cast<double>(entries));
+}
+BENCHMARK(BM_peterson_solo);
+
+void BM_filter_solo(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<filter_mutex> machines;
+  for (int i = 0; i < n; ++i) machines.emplace_back(i, n);
+  simulator<filter_mutex> sim(
+      filter_mutex::register_count(n),
+      naming_assignment::identity(n, filter_mutex::register_count(n)),
+      std::move(machines));
+  std::uint64_t entries = 0;
+  for (auto _ : state) {
+    sim.run_solo(0, 100000, [](const filter_mutex& mc) {
+      return mc.in_critical_section();
+    });
+    sim.run_solo(0, 100000,
+                 [](const filter_mutex& mc) { return mc.in_remainder(); });
+    ++entries;
+  }
+  state.counters["reg_ops/cs"] = benchmark::Counter(
+      static_cast<double>(sim.memory().counters().reads +
+                          sim.memory().counters().writes) /
+      static_cast<double>(entries));
+}
+BENCHMARK(BM_filter_solo)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_bakery_solo(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<bakery_mutex> machines;
+  for (int i = 0; i < n; ++i) machines.emplace_back(i, n);
+  simulator<bakery_mutex> sim(
+      bakery_mutex::register_count(n),
+      naming_assignment::identity(n, bakery_mutex::register_count(n)),
+      std::move(machines));
+  std::uint64_t entries = 0;
+  for (auto _ : state) {
+    sim.run_solo(0, 100000, [](const bakery_mutex& mc) {
+      return mc.in_critical_section();
+    });
+    sim.run_solo(0, 100000,
+                 [](const bakery_mutex& mc) { return mc.in_remainder(); });
+    ++entries;
+  }
+  state.counters["reg_ops/cs"] = benchmark::Counter(
+      static_cast<double>(sim.memory().counters().reads +
+                          sim.memory().counters().writes) /
+      static_cast<double>(entries));
+}
+BENCHMARK(BM_bakery_solo)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_tournament_solo(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<tournament_mutex> machines;
+  for (int i = 0; i < n; ++i) machines.emplace_back(i, n);
+  const int regs = tournament_mutex::register_count(n);
+  simulator<tournament_mutex> sim(regs, naming_assignment::identity(n, regs),
+                                  std::move(machines));
+  std::uint64_t entries = 0;
+  for (auto _ : state) {
+    sim.run_solo(0, 100000, [](const tournament_mutex& mc) {
+      return mc.in_critical_section();
+    });
+    sim.run_solo(0, 100000,
+                 [](const tournament_mutex& mc) { return mc.in_remainder(); });
+    ++entries;
+  }
+  state.counters["reg_ops/cs"] = benchmark::Counter(
+      static_cast<double>(sim.memory().counters().reads +
+                          sim.memory().counters().writes) /
+      static_cast<double>(entries));
+}
+BENCHMARK(BM_tournament_solo)->Arg(2)->Arg(4)->Arg(8);
+
+// ---------------------------------------------------------------------------
+// Two-process contention (random schedule): simulated steps per CS entry.
+// ---------------------------------------------------------------------------
+
+void BM_anon_mutex_contended(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  std::uint64_t total_steps = 0, total_entries = 0;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    std::vector<anon_mutex> machines;
+    machines.emplace_back(1, m);
+    machines.emplace_back(2, m);
+    simulator<anon_mutex> sim(m, naming_assignment::random(2, m, seed),
+                              std::move(machines));
+    random_schedule sched(seed++);
+    std::uint64_t entries = 0;
+    sim.run(sched, 2'000'000,
+            [&](const simulator<anon_mutex>& s, const trace_event&) {
+              entries = s.machine(0).cs_entries() + s.machine(1).cs_entries();
+              return entries < 20;
+            });
+    total_steps += sim.total_steps();
+    total_entries += entries;
+  }
+  state.counters["steps/cs"] = benchmark::Counter(
+      static_cast<double>(total_steps) / static_cast<double>(total_entries));
+}
+BENCHMARK(BM_anon_mutex_contended)->Arg(3)->Arg(5)->Arg(7)->Arg(9);
+
+void BM_peterson_contended(benchmark::State& state) {
+  std::uint64_t total_steps = 0, total_entries = 0;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    std::vector<peterson_mutex> machines{peterson_mutex(0),
+                                         peterson_mutex(1)};
+    simulator<peterson_mutex> sim(3, naming_assignment::identity(2, 3),
+                                  std::move(machines));
+    random_schedule sched(seed++);
+    std::uint64_t entries = 0;
+    sim.run(sched, 2'000'000,
+            [&](const simulator<peterson_mutex>& s, const trace_event&) {
+              entries = s.machine(0).cs_entries() + s.machine(1).cs_entries();
+              return entries < 20;
+            });
+    total_steps += sim.total_steps();
+    total_entries += entries;
+  }
+  state.counters["steps/cs"] = benchmark::Counter(
+      static_cast<double>(total_steps) / static_cast<double>(total_entries));
+}
+BENCHMARK(BM_peterson_contended);
+
+// ---------------------------------------------------------------------------
+// Real threads over lock-free atomic registers.
+// ---------------------------------------------------------------------------
+
+void BM_anon_mutex_threads(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  std::uint64_t violations = 0;
+  for (auto _ : state) {
+    std::vector<anon_mutex> machines;
+    machines.emplace_back(1, m);
+    machines.emplace_back(2, m);
+    const auto res = run_mutex_stress(std::move(machines), m,
+                                      naming_assignment::random(2, m, 5),
+                                      /*iterations=*/200);
+    violations += res.violations;
+    benchmark::DoNotOptimize(res.canary);
+  }
+  state.counters["violations"] =
+      benchmark::Counter(static_cast<double>(violations));
+  state.counters["cs/s"] = benchmark::Counter(
+      400.0 * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_anon_mutex_threads)->Arg(3)->Arg(7)->Unit(benchmark::kMillisecond);
+
+void BM_peterson_threads(benchmark::State& state) {
+  std::uint64_t violations = 0;
+  for (auto _ : state) {
+    std::vector<peterson_mutex> machines{peterson_mutex(0),
+                                         peterson_mutex(1)};
+    const auto res = run_mutex_stress(std::move(machines), 3,
+                                      naming_assignment::identity(2, 3),
+                                      /*iterations=*/200);
+    violations += res.violations;
+    benchmark::DoNotOptimize(res.canary);
+  }
+  state.counters["violations"] =
+      benchmark::Counter(static_cast<double>(violations));
+  state.counters["cs/s"] = benchmark::Counter(
+      400.0 * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_peterson_threads)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,329 @@
+// Safety soak: a seeded randomized campaign over every algorithm in the
+// library, counting invariant violations (which must be zero). This is the
+// "keep the lights on" robustness artifact: thousands of distinct
+// (naming, schedule, choice-policy) combinations per algorithm, far beyond
+// what the targeted test suites sample, in one bounded run.
+//
+//   ./bench_safety_soak [--runs-per-cell=300] [--base-seed=1]
+#include <iostream>
+#include <set>
+
+#include "baselines/bakery_mutex.hpp"
+#include "baselines/ca_consensus.hpp"
+#include "baselines/filter_mutex.hpp"
+#include "baselines/peterson_mutex.hpp"
+#include "baselines/tournament_mutex.hpp"
+#include "baselines/trivial_renaming.hpp"
+#include "core/anon_consensus.hpp"
+#include "core/anon_election.hpp"
+#include "core/anon_mutex.hpp"
+#include "core/anon_renaming.hpp"
+#include "extensions/hybrid_mutex.hpp"
+#include "mem/naming.hpp"
+#include "runtime/schedule.hpp"
+#include "runtime/simulator.hpp"
+#include "util/cli.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+using namespace anoncoord;
+
+namespace {
+
+struct soak_row {
+  std::string name;
+  std::uint64_t runs = 0;
+  std::uint64_t safety_violations = 0;
+  std::uint64_t liveness_misses = 0;  ///< runs that failed to make progress
+  std::uint64_t steps = 0;
+};
+
+template <class Machine>
+std::uint64_t count_in_cs(const simulator<Machine>& sim) {
+  std::uint64_t c = 0;
+  for (int p = 0; p < sim.process_count(); ++p)
+    if (sim.machine(p).in_critical_section()) ++c;
+  return c;
+}
+
+/// Mutex soak: random schedules, ME checked at every step, progress = 25
+/// critical sections.
+template <class Machine, class MakeSim>
+soak_row soak_mutex(const std::string& name, MakeSim make_sim, int runs,
+                    std::uint64_t base_seed) {
+  soak_row row;
+  row.name = name;
+  for (int r = 0; r < runs; ++r) {
+    const std::uint64_t seed = base_seed + static_cast<std::uint64_t>(r);
+    auto sim = make_sim(seed);
+    random_schedule sched(seed);
+    bool violated = false;
+    std::uint64_t entries = 0;
+    auto res = sim.run(
+        sched, 400000, [&](const simulator<Machine>& s, const trace_event&) {
+          if (count_in_cs(s) > 1) {
+            violated = true;
+            return false;
+          }
+          entries = 0;
+          for (int p = 0; p < s.process_count(); ++p)
+            entries += s.machine(p).cs_entries();
+          return entries < 25;
+        });
+    row.safety_violations += violated ? 1 : 0;
+    if (!violated && !res.stopped_by_observer) ++row.liveness_misses;
+    row.steps += sim.total_steps();
+    ++row.runs;
+  }
+  return row;
+}
+
+/// One-shot soak (consensus/election/renaming): bursty schedules, outcome
+/// invariant checked at the end.
+template <class Machine, class MakeSim, class CheckOutcome>
+soak_row soak_oneshot(const std::string& name, MakeSim make_sim,
+                      CheckOutcome check, int runs, std::uint64_t base_seed,
+                      int burst_len) {
+  soak_row row;
+  row.name = name;
+  for (int r = 0; r < runs; ++r) {
+    const std::uint64_t seed = base_seed + static_cast<std::uint64_t>(r);
+    auto sim = make_sim(seed);
+    bursty_schedule sched(seed, 50, burst_len);
+    auto res = sim.run(sched, 5'000'000,
+                       [](const simulator<Machine>& s, const trace_event&) {
+                         for (int p = 0; p < s.process_count(); ++p)
+                           if (!s.machine(p).done()) return true;
+                         return false;
+                       });
+    if (!res.stopped_by_observer) {
+      ++row.liveness_misses;
+    } else if (!check(sim)) {
+      ++row.safety_violations;
+    }
+    row.steps += sim.total_steps();
+    ++row.runs;
+  }
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cli_args args;
+  args.define("runs-per-cell", "300", "random runs per algorithm cell");
+  args.define("base-seed", "1", "first seed of the campaign");
+  if (!args.parse(argc, argv)) {
+    std::cout << args.help("bench_safety_soak");
+    return 0;
+  }
+  const int runs = static_cast<int>(args.get_int("runs-per-cell"));
+  const auto base = static_cast<std::uint64_t>(args.get_int("base-seed"));
+
+  std::cout << "safety soak — " << runs
+            << " seeded random runs per algorithm cell\n\n";
+  stopwatch total;
+  std::vector<soak_row> rows;
+
+  // --- mutual exclusion family ---
+  rows.push_back(soak_mutex<anon_mutex>(
+      "anon_mutex m=5 (Fig.1)",
+      [](std::uint64_t seed) {
+        std::vector<anon_mutex> ms;
+        ms.emplace_back(1, 5);
+        ms.emplace_back(2, 5);
+        return simulator<anon_mutex>(5, naming_assignment::random(2, 5, seed),
+                                     std::move(ms));
+      },
+      runs, base));
+  rows.push_back(soak_mutex<anon_mutex>(
+      "anon_mutex m=9 (Fig.1)",
+      [](std::uint64_t seed) {
+        std::vector<anon_mutex> ms;
+        ms.emplace_back(1, 9);
+        ms.emplace_back(2, 9);
+        return simulator<anon_mutex>(9, naming_assignment::random(2, 9, seed),
+                                     std::move(ms));
+      },
+      runs, base));
+  rows.push_back(soak_mutex<hybrid_mutex>(
+      "hybrid_mutex m=6 (§8, 1 named)",
+      [](std::uint64_t seed) {
+        xoshiro256 rng(seed);
+        std::vector<hybrid_mutex> ms;
+        ms.emplace_back(1, 6);
+        ms.emplace_back(2, 6);
+        naming_assignment naming(
+            {hybrid_naming(random_permutation(5, rng)),
+             hybrid_naming(random_permutation(5, rng))});
+        return simulator<hybrid_mutex>(6, naming, std::move(ms));
+      },
+      runs, base));
+  rows.push_back(soak_mutex<peterson_mutex>(
+      "peterson (named)",
+      [](std::uint64_t) {
+        std::vector<peterson_mutex> ms{peterson_mutex(0), peterson_mutex(1)};
+        return simulator<peterson_mutex>(3, naming_assignment::identity(2, 3),
+                                         std::move(ms));
+      },
+      runs, base));
+  rows.push_back(soak_mutex<filter_mutex>(
+      "filter n=4 (named)",
+      [](std::uint64_t) {
+        std::vector<filter_mutex> ms;
+        for (int i = 0; i < 4; ++i) ms.emplace_back(i, 4);
+        return simulator<filter_mutex>(
+            filter_mutex::register_count(4),
+            naming_assignment::identity(4, filter_mutex::register_count(4)),
+            std::move(ms));
+      },
+      runs, base));
+  rows.push_back(soak_mutex<bakery_mutex>(
+      "bakery n=4 (named)",
+      [](std::uint64_t) {
+        std::vector<bakery_mutex> ms;
+        for (int i = 0; i < 4; ++i) ms.emplace_back(i, 4);
+        return simulator<bakery_mutex>(
+            bakery_mutex::register_count(4),
+            naming_assignment::identity(4, bakery_mutex::register_count(4)),
+            std::move(ms));
+      },
+      runs, base));
+  rows.push_back(soak_mutex<tournament_mutex>(
+      "tournament n=4 (named)",
+      [](std::uint64_t) {
+        std::vector<tournament_mutex> ms;
+        for (int i = 0; i < 4; ++i) ms.emplace_back(i, 4);
+        return simulator<tournament_mutex>(
+            tournament_mutex::register_count(4),
+            naming_assignment::identity(4,
+                                        tournament_mutex::register_count(4)),
+            std::move(ms));
+      },
+      runs, base));
+
+  // --- agreement family ---
+  rows.push_back(soak_oneshot<anon_consensus>(
+      "anon_consensus n=4 (Fig.2)",
+      [](std::uint64_t seed) {
+        const int n = 4;
+        std::vector<anon_consensus> ms;
+        for (int i = 0; i < n; ++i)
+          ms.emplace_back(static_cast<process_id>(i + 1),
+                          static_cast<std::uint64_t>(i % 3 + 1), n,
+                          choice_policy::random(seed + i));
+        return simulator<anon_consensus>(
+            2 * n - 1, naming_assignment::random(n, 2 * n - 1, seed),
+            std::move(ms));
+      },
+      [](const simulator<anon_consensus>& sim) {
+        std::set<std::uint64_t> decisions;
+        for (int p = 0; p < sim.process_count(); ++p)
+          decisions.insert(sim.machine(p).decision().value_or(0));
+        return decisions.size() == 1 && *decisions.begin() >= 1 &&
+               *decisions.begin() <= 3;
+      },
+      runs, base, 5 * 49));
+  rows.push_back(soak_oneshot<anon_election>(
+      "anon_election n=3 (§4)",
+      [](std::uint64_t seed) {
+        const int n = 3;
+        std::vector<anon_election> ms;
+        for (int i = 0; i < n; ++i)
+          ms.emplace_back(static_cast<process_id>(100 + 31 * i), n,
+                          choice_policy::random(seed * 7 + i));
+        return simulator<anon_election>(
+            2 * n - 1, naming_assignment::random(n, 2 * n - 1, seed),
+            std::move(ms));
+      },
+      [](const simulator<anon_election>& sim) {
+        std::set<process_id> leaders;
+        int elected = 0;
+        for (int p = 0; p < sim.process_count(); ++p) {
+          leaders.insert(sim.machine(p).leader().value_or(0));
+          elected += sim.machine(p).elected() ? 1 : 0;
+        }
+        return leaders.size() == 1 && elected == 1;
+      },
+      runs, base, 5 * 25));
+  rows.push_back(soak_oneshot<anon_renaming>(
+      "anon_renaming n=3 k=3 (Fig.3)",
+      [](std::uint64_t seed) {
+        const int n = 3;
+        std::vector<anon_renaming> ms;
+        for (int i = 0; i < n; ++i)
+          ms.emplace_back(static_cast<process_id>(500 + 13 * i), n,
+                          choice_policy::random(seed * 3 + i));
+        return simulator<anon_renaming>(
+            2 * n - 1, naming_assignment::random(n, 2 * n - 1, seed),
+            std::move(ms));
+      },
+      [](const simulator<anon_renaming>& sim) {
+        std::set<std::uint32_t> names;
+        for (int p = 0; p < sim.process_count(); ++p) {
+          const auto v = sim.machine(p).name().value_or(0);
+          if (v < 1 || v > 3) return false;
+          if (!names.insert(v).second) return false;
+        }
+        return true;
+      },
+      runs, base, 5 * 25));
+  rows.push_back(soak_oneshot<ca_consensus>(
+      "ca_consensus n=3 (named)",
+      [](std::uint64_t seed) {
+        const int n = 3;
+        std::vector<ca_consensus> ms;
+        xoshiro256 rng(seed);
+        for (int i = 0; i < n; ++i)
+          ms.emplace_back(i, n, rng.below(3) + 1);
+        return simulator<ca_consensus>(
+            ca_consensus::register_count(n),
+            naming_assignment::identity(n, ca_consensus::register_count(n)),
+            std::move(ms));
+      },
+      [](const simulator<ca_consensus>& sim) {
+        std::set<std::uint64_t> decisions;
+        for (int p = 0; p < sim.process_count(); ++p)
+          decisions.insert(sim.machine(p).decision().value_or(0));
+        return decisions.size() == 1;
+      },
+      runs, base, 20 * 3));
+  rows.push_back(soak_oneshot<trivial_renaming>(
+      "trivial_renaming n=3 (named §5)",
+      [](std::uint64_t seed) {
+        const int n = 3;
+        std::vector<trivial_renaming> ms;
+        for (int i = 0; i < n; ++i)
+          ms.emplace_back(i, n, static_cast<process_id>(900 + 7 * i));
+        (void)seed;
+        return simulator<trivial_renaming>(
+            trivial_renaming::register_count(n),
+            naming_assignment::identity(
+                n, trivial_renaming::register_count(n)),
+            std::move(ms));
+      },
+      [](const simulator<trivial_renaming>& sim) {
+        std::set<std::uint32_t> names;
+        for (int p = 0; p < sim.process_count(); ++p) {
+          const auto v = sim.machine(p).name().value_or(0);
+          if (v < 1 || v > 3) return false;
+          if (!names.insert(v).second) return false;
+        }
+        return true;
+      },
+      runs, base, 40 * 3));
+
+  ascii_table table({"algorithm", "runs", "safety violations",
+                     "liveness misses", "total steps"});
+  bool clean = true;
+  for (const auto& row : rows) {
+    table.add(row.name, row.runs, row.safety_violations, row.liveness_misses,
+              row.steps);
+    clean = clean && row.safety_violations == 0 && row.liveness_misses == 0;
+  }
+  std::cout << table.render() << "\n";
+  std::cout << (clean ? "CLEAN — zero violations across the campaign"
+                      : "VIOLATIONS FOUND — see table")
+            << " (" << total.elapsed_seconds() << "s)\n";
+  return clean ? 0 : 1;
+}

@@ -1,0 +1,88 @@
+// E6 + E7 — Theorems 6.3(2) and 6.5(2): with n processes but only n-1
+// anonymous registers there is no obstruction-free consensus and no
+// obstruction-free adaptive perfect renaming.
+//
+// The harness runs the §6 covering constructions against the paper's own
+// algorithms (Fig. 2 / Fig. 3) in exactly that regime — N = 2n processes
+// sharing the 2n-1 = N-1 registers the algorithm was configured for — and
+// prints the violating run phase by phase.
+//
+//   ./bench_space_bounds [--max-n=5] [--narrate]
+#include <iostream>
+
+#include "lowerbound/covering.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace anoncoord;
+
+int main(int argc, char** argv) {
+  cli_args args;
+  args.define("max-n", "5", "largest configured n to attack");
+  args.define("narrate", "true", "print the phase-by-phase construction");
+  if (!args.parse(argc, argv)) {
+    std::cout << args.help("bench_space_bounds");
+    return 0;
+  }
+  const int max_n = static_cast<int>(args.get_int("max-n"));
+  const bool narrate = args.get_bool("narrate");
+  bool all_violations = true;
+
+  std::cout << "E6 / Theorem 6.3(2) — covering adversary vs Fig. 2 "
+               "consensus with N processes on N-1 registers\n\n";
+  ascii_table ctable({"configured n", "registers", "processes", "q decided",
+                      "p decided", "agreement", "steps"});
+  for (int n = 2; n <= max_n; ++n) {
+    const auto res = run_covering_consensus(n, 1, 2);
+    all_violations = all_violations && res.violation;
+    ctable.add(res.configured_n, res.registers, res.total_processes,
+               res.decision_q, res.decision_p,
+               res.violation ? "VIOLATED" : "held", res.total_steps);
+    if (narrate && n == 2) {
+      for (const auto& line : res.narrative) std::cout << "  " << line << "\n";
+      std::cout << "\n";
+    }
+  }
+  std::cout << ctable.render() << "\n";
+
+  std::cout << "E7 / Theorem 6.5(2) — covering adversary vs Fig. 3 renaming "
+               "with N processes on N-1 registers\n\n";
+  ascii_table rtable({"configured n", "registers", "processes", "q's name",
+                      "p's name", "uniqueness", "steps"});
+  for (int n = 2; n <= max_n; ++n) {
+    const auto res = run_covering_renaming(n);
+    all_violations = all_violations && res.violation;
+    rtable.add(res.configured_n, res.registers, res.total_processes,
+               res.name_q, res.name_p, res.violation ? "VIOLATED" : "held",
+               res.total_steps);
+    if (narrate && n == 2) {
+      for (const auto& line : res.narrative) std::cout << "  " << line << "\n";
+      std::cout << "\n";
+    }
+  }
+  std::cout << rtable.render() << "\n";
+
+  std::cout << "§6.3 remark — iterated covering chain vs Fig. 2: k+1 "
+               "distinct decisions from one run (no k-set consensus)\n\n";
+  ascii_table ktable({"k (levels)", "registers", "processes",
+                      "distinct decisions", "k-set agreement", "steps"});
+  for (int levels = 1; levels <= 4; ++levels) {
+    const auto res = run_covering_chain(2, levels);
+    all_violations = all_violations && res.violation;
+    std::string decisions;
+    for (std::size_t i = 0; i < res.decisions.size(); ++i)
+      decisions += (i ? "," : "") + std::to_string(res.decisions[i]);
+    ktable.add(levels, res.registers, res.total_processes, decisions,
+               res.violation ? "VIOLATED" : "held", res.total_steps);
+  }
+  std::cout << ktable.render() << "\n";
+
+  std::cout << "paper: both problems are unsolvable with n-1 unnamed "
+               "registers; the proofs construct the violating run rho\n"
+            << "reproduction: "
+            << (all_violations
+                    ? "MATCHES — rho realized on every configuration"
+                    : "DOES NOT MATCH")
+            << "\n";
+  return all_violations ? 0 : 1;
+}

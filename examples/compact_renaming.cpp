@@ -1,0 +1,103 @@
+// The classic renaming application: threads arrive with sparse identifiers
+// from a huge name space (hashes, PIDs, ...) and need dense slot indices —
+// e.g. to claim rows of a preallocated per-thread statistics array.
+//
+// Fig. 3 (memory-anonymous obstruction-free adaptive perfect renaming)
+// hands each of the k participants a unique name in {1..k}; the name then
+// indexes the dense array directly. Adaptivity matters: the array only
+// needs as many rows as there are ACTUAL participants, not as the name
+// space is wide.
+//
+//   ./compact_renaming [--capacity=6] [--participants=4] [--seed=11]
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "core/anon_renaming.hpp"
+#include "mem/naming.hpp"
+#include "mem/shared_register_file.hpp"
+#include "runtime/threaded.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+
+using namespace anoncoord;
+
+int main(int argc, char** argv) {
+  cli_args args;
+  args.define("capacity", "6", "configured maximum n (registers = 2n-1)");
+  args.define("participants", "4", "threads that actually show up (k <= n)");
+  args.define("seed", "11", "seed for ids and numberings");
+  if (!args.parse(argc, argv)) {
+    std::cout << args.help("compact_renaming");
+    return 0;
+  }
+  const int n = static_cast<int>(args.get_int("capacity"));
+  const int k = static_cast<int>(args.get_int("participants"));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  if (k < 1 || k > n) {
+    std::cout << "need 1 <= participants <= capacity\n";
+    return 1;
+  }
+
+  const int regs = 2 * n - 1;
+  shared_register_file<renaming_record> registers(regs);
+  const auto naming = naming_assignment::random(k, regs, seed);
+
+  // Sparse ids, as a deployment would see them.
+  xoshiro256 rng(seed * 977 + 5);
+  std::vector<process_id> ids;
+  while (static_cast<int>(ids.size()) < k) {
+    const process_id candidate = rng.below(1u << 30) + 1;
+    bool fresh = true;
+    for (process_id existing : ids) fresh = fresh && existing != candidate;
+    if (fresh) ids.push_back(candidate);
+  }
+
+  // The dense array the slots index into: one row per participant.
+  struct row {
+    process_id owner = 0;
+    std::uint64_t work_done = 0;
+  };
+  std::vector<row> stats(static_cast<std::size_t>(k));
+
+  {
+    std::vector<std::jthread> threads;
+    for (int t = 0; t < k; ++t) {
+      threads.emplace_back([&, t] {
+        naming_view<shared_register_file<renaming_record>> view(
+            registers, naming.of(t));
+        anon_renaming renamer(ids[static_cast<std::size_t>(t)], n,
+                              choice_policy::random(seed + 13 * t));
+        contention_backoff backoff(seed * 17 + t);
+        while (!renamer.done()) {
+          for (int s = 0; s < 128 && !renamer.done(); ++s) renamer.step(view);
+          if (!renamer.done()) backoff.lose();
+        }
+        // Names are 1-based; adaptivity guarantees name <= k, so it indexes
+        // the k-row array even though the configured capacity is n.
+        const auto slot = *renamer.name() - 1;
+        auto& mine = stats[slot];
+        mine.owner = ids[static_cast<std::size_t>(t)];
+        for (int w = 0; w < 1000; ++w) ++mine.work_done;  // exclusive row
+      });
+    }
+  }
+
+  std::cout << "capacity n = " << n << ", participants k = " << k
+            << " (array has exactly k rows)\n";
+  bool ok = true;
+  for (int s = 0; s < k; ++s) {
+    const auto& r = stats[static_cast<std::size_t>(s)];
+    std::cout << "slot " << (s + 1) << ": owner id " << r.owner
+              << ", work done " << r.work_done << "\n";
+    ok = ok && r.owner != 0 && r.work_done == 1000;
+  }
+  if (!ok) {
+    std::cout << "RENAMING FAILED (unclaimed or doubly-claimed slot)\n";
+    return 1;
+  }
+  std::cout << "every participant owns exactly one dense slot in {1.." << k
+            << "} — adaptive perfect renaming without agreed register "
+               "names\n";
+  return 0;
+}

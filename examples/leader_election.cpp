@@ -1,0 +1,93 @@
+// Leader election among threads that share NOTHING but anonymous registers:
+// no agreed register names, no agreed id order, no agreed process count
+// ranks — only the §4 obstruction-free election algorithm (Fig. 2 run on
+// identifiers).
+//
+// Scenario: n worker threads boot with arbitrary unique ids (think: PIDs on
+// different machines). Exactly one must become the coordinator. Each runs
+// anon_election over 2n-1 shared registers through its own private register
+// numbering; every thread learns the same winner.
+//
+//   ./leader_election [--workers=5] [--seed=7]
+#include <atomic>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "core/anon_election.hpp"
+#include "mem/naming.hpp"
+#include "mem/shared_register_file.hpp"
+#include "runtime/threaded.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+
+using namespace anoncoord;
+
+int main(int argc, char** argv) {
+  cli_args args;
+  args.define("workers", "5", "number of competing threads");
+  args.define("seed", "7", "seed for ids and register numberings");
+  if (!args.parse(argc, argv)) {
+    std::cout << args.help("leader_election");
+    return 0;
+  }
+  const int n = static_cast<int>(args.get_int("workers"));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
+
+  const int regs = 2 * n - 1;
+  shared_register_file<consensus_record> registers(regs);
+  const auto naming = naming_assignment::random(n, regs, seed);
+
+  // Arbitrary unique ids from a large name space.
+  xoshiro256 rng(seed ^ 0x1eade2);
+  std::vector<process_id> ids;
+  while (static_cast<int>(ids.size()) < n) {
+    const process_id candidate = rng.below(1'000'000) + 1;
+    bool fresh = true;
+    for (process_id existing : ids) fresh = fresh && existing != candidate;
+    if (fresh) ids.push_back(candidate);
+  }
+
+  std::atomic<int> coordinator_count{0};
+  std::vector<process_id> views(static_cast<std::size_t>(n));
+
+  {
+    std::vector<std::jthread> threads;
+    for (int t = 0; t < n; ++t) {
+      threads.emplace_back([&, t] {
+        naming_view<shared_register_file<consensus_record>> view(
+            registers, naming.of(t));
+        anon_election election(ids[static_cast<std::size_t>(t)], n,
+                               choice_policy::random(seed + t));
+        contention_backoff backoff(seed * 31 + t);
+        while (!election.done()) {
+          for (int k = 0; k < 128 && !election.done(); ++k)
+            election.step(view);
+          if (!election.done()) backoff.lose();
+        }
+        views[static_cast<std::size_t>(t)] = *election.leader();
+        if (election.elected()) {
+          coordinator_count.fetch_add(1);
+          std::cout << "thread " << t << " (id "
+                    << ids[static_cast<std::size_t>(t)]
+                    << "): I am the coordinator\n";
+        }
+      });
+    }
+  }
+
+  bool agree = true;
+  for (int t = 0; t < n; ++t) {
+    std::cout << "thread " << t << " (id " << ids[static_cast<std::size_t>(t)]
+              << ") sees leader = " << views[static_cast<std::size_t>(t)]
+              << "\n";
+    agree = agree && views[static_cast<std::size_t>(t)] == views[0];
+  }
+  if (!agree || coordinator_count.load() != 1) {
+    std::cout << "ELECTION FAILED (disagreement or "
+              << coordinator_count.load() << " coordinators)\n";
+    return 1;
+  }
+  std::cout << "exactly one coordinator, unanimously recognized\n";
+  return 0;
+}

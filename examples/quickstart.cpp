@@ -1,0 +1,69 @@
+// Quickstart: protect a shared counter with the paper's memory-anonymous
+// two-process mutual exclusion algorithm (Fig. 1) over real threads.
+//
+// The point to notice: the two threads are given DIFFERENT private
+// numberings of the same five atomic registers — neither knows which
+// physical register the other calls "register 0" — and exclusion still
+// holds, because m = 5 is odd (Theorem 3.1).
+//
+//   ./quickstart [--iterations=20000]
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "core/anon_mutex.hpp"
+#include "mem/naming.hpp"
+#include "mem/shared_register_file.hpp"
+#include "runtime/threaded.hpp"
+#include "util/cli.hpp"
+
+using namespace anoncoord;
+
+int main(int argc, char** argv) {
+  cli_args args;
+  args.define("iterations", "20000", "critical sections per thread");
+  if (!args.parse(argc, argv)) {
+    std::cout << args.help("quickstart");
+    return 0;
+  }
+  const auto iterations =
+      static_cast<std::uint64_t>(args.get_int("iterations"));
+
+  constexpr int m = 5;  // odd, as Theorem 3.1 requires
+
+  // Five anonymous MWMR atomic registers...
+  shared_register_file<process_id> registers(m);
+
+  // ...privately numbered by each thread. Thread A scans them in physical
+  // order; thread B scans them in an unrelated random order.
+  const auto naming = naming_assignment::random(/*processes=*/2, m,
+                                                /*seed=*/2017);
+
+  std::uint64_t counter = 0;  // deliberately NOT atomic: the lock protects it
+
+  auto worker = [&](int who, process_id id) {
+    naming_view<shared_register_file<process_id>> my_view(registers,
+                                                          naming.of(who));
+    anon_mutex lock(id, m);
+    for (std::uint64_t i = 0; i < iterations; ++i) {
+      acquire(lock, my_view);   // Fig. 1 entry code
+      ++counter;                // critical section
+      release(lock, my_view);   // Fig. 1 exit code
+    }
+  };
+
+  {
+    std::jthread a(worker, 0, /*id=*/4242);
+    std::jthread b(worker, 1, /*id=*/7777);
+  }  // both join here
+
+  const std::uint64_t expected = 2 * iterations;
+  std::cout << "counter = " << counter << " (expected " << expected << ")\n";
+  if (counter != expected) {
+    std::cout << "LOST UPDATES — mutual exclusion failed!\n";
+    return 1;
+  }
+  std::cout << "no lost updates: Fig. 1 excluded both threads without any "
+               "agreement on register names\n";
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Trace forensics: record a run, render it as a per-process timeline,
+// serialize it, and replay it step-perfectly — the workflow for auditing
+// counterexamples (every negative result in this library ultimately hands
+// you one of these traces).
+//
+// The demo records the opening of a contended Fig. 1 race, prints the
+// timeline (note the same logical index landing on different physical
+// registers for the two processes — anonymity made visible), then replays
+// the serialized schedule and verifies the reproduction is exact.
+//
+//   ./trace_forensics [--steps=40] [--seed=2017]
+#include <iostream>
+#include <sstream>
+
+#include "core/anon_mutex.hpp"
+#include "mem/naming.hpp"
+#include "runtime/schedule.hpp"
+#include "runtime/simulator.hpp"
+#include "runtime/trace_io.hpp"
+#include "runtime/trace_render.hpp"
+#include "util/cli.hpp"
+
+using namespace anoncoord;
+
+namespace {
+
+simulator<anon_mutex> make_race(std::uint64_t seed) {
+  std::vector<anon_mutex> machines;
+  machines.emplace_back(101, 5);
+  machines.emplace_back(202, 5);
+  return simulator<anon_mutex>(5, naming_assignment::random(2, 5, seed),
+                               std::move(machines));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cli_args args;
+  args.define("steps", "40", "steps to record");
+  args.define("seed", "2017", "seed for naming and schedule");
+  if (!args.parse(argc, argv)) {
+    std::cout << args.help("trace_forensics");
+    return 0;
+  }
+  const auto steps = static_cast<std::uint64_t>(args.get_int("steps"));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
+
+  // 1. Record.
+  auto original = make_race(seed);
+  original.enable_tracing();
+  random_schedule sched(seed);
+  original.run(sched, steps, {});
+
+  std::cout << "recorded " << original.trace().size()
+            << " steps of a two-process Fig. 1 race (m = 5, random "
+               "numberings)\n\n"
+            << render_trace_timeline(original.trace(), 2) << "\n"
+            << "note: both processes issue read(0)/write(0) on DIFFERENT "
+               "physical registers — their private numberings disagree.\n\n";
+
+  // 2. Serialize.
+  const std::string wire = trace_to_string(original.trace());
+  std::cout << "serialized form (first lines):\n";
+  std::istringstream preview(wire);
+  std::string line;
+  for (int i = 0; i < 5 && std::getline(preview, line); ++i)
+    std::cout << "  " << line << "\n";
+  std::cout << "  ...\n\n";
+
+  // 3. Replay from the wire format and verify exactness.
+  const auto parsed = trace_from_string(wire);
+  auto replay = make_race(seed);  // same initial configuration
+  replay.enable_tracing();
+  scripted_schedule script(schedule_of(parsed));
+  replay.run(script, steps * 10, {});
+
+  bool exact = replay.trace().size() == original.trace().size();
+  if (exact) {
+    for (std::size_t i = 0; i < replay.trace().size(); ++i) {
+      exact = exact && replay.trace()[i].op == original.trace()[i].op &&
+              replay.trace()[i].physical == original.trace()[i].physical;
+    }
+  }
+  for (int p = 0; exact && p < 2; ++p)
+    exact = replay.machine(p) == original.machine(p);
+
+  std::cout << (exact ? "replay is step-perfect: every operation, register "
+                        "and final local state matches the recording\n"
+                      : "REPLAY DIVERGED (bug!)\n");
+  return exact ? 0 : 1;
+}

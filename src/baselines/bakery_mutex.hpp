@@ -1,0 +1,175 @@
+// Lamport's bakery algorithm — an n-process *named-register* first-come-
+// first-served mutual exclusion baseline.
+//
+// Besides named registers, the bakery algorithm leans on exactly the other
+// capability the paper's symmetric model forbids: arbitrary (ordered)
+// comparisons between identifiers and values. It is included to make that
+// contrast concrete — under "symmetric with equality" none of this code
+// could be written.
+//
+// Named layout over 2n registers:
+//   [0 .. n-1]   choosing[i]
+//   [n .. 2n-1]  number[i]
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/step_machine.hpp"
+#include "util/check.hpp"
+#include "util/hash.hpp"
+
+namespace anoncoord {
+
+enum class bakery_phase : unsigned char {
+  remainder,
+  write_choosing_on,   ///< choosing[me] := 1
+  read_numbers,        ///< doorway: scan all tickets for the maximum
+  write_number,        ///< number[me] := max + 1
+  write_choosing_off,  ///< choosing[me] := 0
+  wait_choosing,       ///< await choosing[k] = 0
+  wait_number,         ///< await number[k] = 0 or (number[k], k) > (mine, me)
+  critical,
+  exit_write,          ///< number[me] := 0
+};
+
+class bakery_mutex {
+ public:
+  using value_type = std::uint64_t;
+
+  static constexpr int register_count(int n) { return 2 * n; }
+
+  bakery_mutex(int index, int n) : index_(index), n_(n) {
+    ANONCOORD_REQUIRE(n >= 2, "bakery needs at least two processes");
+    ANONCOORD_REQUIRE(index >= 0 && index < n, "slot index out of range");
+  }
+
+  int index() const { return index_; }
+  bakery_phase phase() const { return phase_; }
+  bool in_critical_section() const { return phase_ == bakery_phase::critical; }
+  bool in_remainder() const { return phase_ == bakery_phase::remainder; }
+  bool in_entry() const {
+    return phase_ != bakery_phase::remainder &&
+           phase_ != bakery_phase::critical &&
+           phase_ != bakery_phase::exit_write;
+  }
+  bool done() const { return false; }
+  std::uint64_t cs_entries() const { return cs_entries_; }
+
+  op_desc peek() const {
+    switch (phase_) {
+      case bakery_phase::remainder: return {op_kind::internal, -1};
+      case bakery_phase::write_choosing_on: return {op_kind::write, index_};
+      case bakery_phase::read_numbers: return {op_kind::read, number_reg(k_)};
+      case bakery_phase::write_number: return {op_kind::write, number_reg(index_)};
+      case bakery_phase::write_choosing_off: return {op_kind::write, index_};
+      case bakery_phase::wait_choosing: return {op_kind::read, k_};
+      case bakery_phase::wait_number: return {op_kind::read, number_reg(k_)};
+      case bakery_phase::critical: return {op_kind::internal, -1};
+      case bakery_phase::exit_write: return {op_kind::write, number_reg(index_)};
+    }
+    return {op_kind::none, -1};
+  }
+
+  template <class Mem>
+  void step(Mem& mem) {
+    switch (phase_) {
+      case bakery_phase::remainder:
+        phase_ = bakery_phase::write_choosing_on;
+        break;
+
+      case bakery_phase::write_choosing_on:
+        mem.write(index_, 1);
+        phase_ = bakery_phase::read_numbers;
+        k_ = 0;
+        max_seen_ = 0;
+        break;
+
+      case bakery_phase::read_numbers: {
+        const value_type t = mem.read(number_reg(k_));
+        if (t > max_seen_) max_seen_ = t;
+        if (++k_ == n_) phase_ = bakery_phase::write_number;
+        break;
+      }
+
+      case bakery_phase::write_number:
+        ticket_ = max_seen_ + 1;
+        mem.write(number_reg(index_), ticket_);
+        phase_ = bakery_phase::write_choosing_off;
+        break;
+
+      case bakery_phase::write_choosing_off:
+        mem.write(index_, 0);
+        phase_ = bakery_phase::wait_choosing;
+        k_ = 0;
+        skip_self();
+        break;
+
+      case bakery_phase::wait_choosing:
+        if (mem.read(k_) == 0) phase_ = bakery_phase::wait_number;
+        // else: spin on choosing[k]
+        break;
+
+      case bakery_phase::wait_number: {
+        const value_type t = mem.read(number_reg(k_));
+        // Proceed past k when k holds no ticket or is ordered after me
+        // lexicographically on (ticket, index).
+        if (t == 0 || t > ticket_ || (t == ticket_ && k_ > index_)) {
+          ++k_;
+          skip_self();
+          if (k_ == n_) {
+            phase_ = bakery_phase::critical;
+          } else {
+            phase_ = bakery_phase::wait_choosing;
+          }
+        }
+        // else: spin on number[k]
+        break;
+      }
+
+      case bakery_phase::critical:
+        ++cs_entries_;
+        phase_ = bakery_phase::exit_write;
+        break;
+
+      case bakery_phase::exit_write:
+        mem.write(number_reg(index_), 0);
+        phase_ = bakery_phase::remainder;
+        ticket_ = 0;
+        break;
+    }
+  }
+
+  friend bool operator==(const bakery_mutex& a, const bakery_mutex& b) {
+    return a.index_ == b.index_ && a.n_ == b.n_ && a.phase_ == b.phase_ &&
+           a.k_ == b.k_ && a.max_seen_ == b.max_seen_ &&
+           a.ticket_ == b.ticket_;
+  }
+
+  std::size_t hash() const {
+    std::size_t seed = 0xba4e27;
+    hash_combine(seed, index_);
+    hash_combine(seed, static_cast<unsigned>(phase_));
+    hash_combine(seed, k_);
+    hash_combine(seed, max_seen_);
+    hash_combine(seed, ticket_);
+    return seed;
+  }
+
+ private:
+  int number_reg(int i) const { return n_ + i; }
+
+  void skip_self() {
+    if (k_ == index_) ++k_;
+  }
+
+  int index_;
+  int n_;
+  bakery_phase phase_ = bakery_phase::remainder;
+  int k_ = 0;
+  value_type max_seen_ = 0;
+  value_type ticket_ = 0;
+  std::uint64_t cs_entries_ = 0;
+};
+
+}  // namespace anoncoord

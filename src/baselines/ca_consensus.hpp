@@ -1,0 +1,218 @@
+// Obstruction-free consensus from *named* single-writer registers via
+// repeated commit-adopt — the standard-model baseline for Fig. 2 and the
+// positive side of Corollary 6.4's contrast (named registers admit
+// obstruction-free consensus even for unknown n [25]; unnamed ones do not).
+//
+// Construction (classic): rounds r = 1, 2, ...; each round runs one
+// commit-adopt (CA) over round-tagged single-writer registers:
+//
+//   round r, process i with value v:
+//     A[i] := (r, v)
+//     scan A; if a round > r is visible, jump to it (adopt its value);
+//             else if all round-r values equal w   -> B[i] := (r, w, true)
+//             else                                 -> B[i] := (r, v, false)
+//     scan B (round-r entries):
+//       all seen are (w, true)        -> decide w
+//       some (w, true) seen           -> v := w, next round
+//       none                          -> keep v, next round
+//
+// CA guarantees: if any process commits w in round r, every process leaving
+// round r carries w — so all later rounds are unanimous and decide w; a solo
+// process commits within two rounds (obstruction-freedom). Validity holds
+// because values only ever flow from inputs. Uses 2n registers, writable
+// each by one process (single-writer) — exactly the kind of layout that is
+// IMPOSSIBLE without agreed names.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "runtime/step_machine.hpp"
+#include "util/check.hpp"
+#include "util/hash.hpp"
+
+namespace anoncoord {
+
+/// Payload of the commit-adopt registers.
+struct ca_record {
+  std::uint32_t round = 0;  ///< 0 = never written
+  std::uint64_t val = 0;
+  bool flag = false;  ///< in B: "all round-r A-values I saw were equal"
+
+  friend bool operator==(const ca_record&, const ca_record&) = default;
+};
+
+inline std::size_t hash_value(const ca_record& r) {
+  std::size_t seed = 0xca5ec0;
+  hash_combine(seed, r.round);
+  hash_combine(seed, r.val);
+  hash_combine(seed, r.flag);
+  return seed;
+}
+
+inline bool is_initial(const ca_record& r) { return r == ca_record{}; }
+
+enum class ca_phase : unsigned char {
+  write_a,
+  scan_a,
+  write_b,
+  scan_b,
+  decided,
+};
+
+class ca_consensus {
+ public:
+  using value_type = ca_record;
+
+  static constexpr int register_count(int n) { return 2 * n; }
+
+  /// `index` in [0, n) is this process's agreed single-writer slot; `input`
+  /// must be nonzero.
+  ca_consensus(int index, int n, std::uint64_t input)
+      : index_(index), n_(n), val_(input) {
+    ANONCOORD_REQUIRE(n >= 1, "need at least one process");
+    ANONCOORD_REQUIRE(index >= 0 && index < n, "slot index out of range");
+    ANONCOORD_REQUIRE(input != 0, "inputs must be nonzero");
+  }
+
+  int index() const { return index_; }
+  std::uint32_t round() const { return round_; }
+  bool done() const { return phase_ == ca_phase::decided; }
+  std::optional<std::uint64_t> decision() const {
+    return done() ? std::optional<std::uint64_t>(val_) : std::nullopt;
+  }
+
+  op_desc peek() const {
+    switch (phase_) {
+      case ca_phase::write_a: return {op_kind::write, a_reg(index_)};
+      case ca_phase::scan_a: return {op_kind::read, a_reg(k_)};
+      case ca_phase::write_b: return {op_kind::write, b_reg(index_)};
+      case ca_phase::scan_b: return {op_kind::read, b_reg(k_)};
+      case ca_phase::decided: return {op_kind::none, -1};
+    }
+    return {op_kind::none, -1};
+  }
+
+  template <class Mem>
+  void step(Mem& mem) {
+    switch (phase_) {
+      case ca_phase::write_a:
+        mem.write(a_reg(index_), ca_record{round_, val_, false});
+        phase_ = ca_phase::scan_a;
+        k_ = 0;
+        all_equal_ = true;
+        jump_round_ = 0;
+        break;
+
+      case ca_phase::scan_a: {
+        const ca_record r = mem.read(a_reg(k_));
+        if (r.round > round_ && r.round > jump_round_) {
+          jump_round_ = r.round;
+          jump_val_ = r.val;
+        } else if (r.round == round_ && r.val != val_) {
+          all_equal_ = false;
+        }
+        if (++k_ == n_) {
+          if (jump_round_ > 0) {
+            // A later round is underway: abandon this one and catch up.
+            round_ = jump_round_;
+            val_ = jump_val_;
+            phase_ = ca_phase::write_a;
+          } else {
+            flag_ = all_equal_;
+            phase_ = ca_phase::write_b;
+          }
+        }
+        break;
+      }
+
+      case ca_phase::write_b:
+        mem.write(b_reg(index_), ca_record{round_, val_, flag_});
+        phase_ = ca_phase::scan_b;
+        k_ = 0;
+        all_commit_ = true;
+        adopt_val_ = 0;
+        jump_round_ = 0;
+        break;
+
+      case ca_phase::scan_b: {
+        const ca_record r = mem.read(b_reg(k_));
+        if (r.round == round_) {
+          if (r.flag) {
+            adopt_val_ = r.val;  // CA: every true entry carries the same w
+          } else {
+            all_commit_ = false;
+          }
+        } else if (r.round > round_ && r.round > jump_round_) {
+          // The writer already participated in this round and moved on,
+          // overwriting its round-r entry. Committing now would miss its
+          // (possibly conflicting) round-r vote, so catch up instead.
+          jump_round_ = r.round;
+          jump_val_ = r.val;
+        }
+        if (++k_ == n_) {
+          if (jump_round_ > 0) {
+            round_ = jump_round_;
+            val_ = jump_val_;
+            phase_ = ca_phase::write_a;
+          } else if (all_commit_ && adopt_val_ != 0) {
+            val_ = adopt_val_;
+            phase_ = ca_phase::decided;  // commit
+          } else {
+            if (adopt_val_ != 0) val_ = adopt_val_;  // adopt
+            ++round_;
+            phase_ = ca_phase::write_a;
+          }
+        }
+        break;
+      }
+
+      case ca_phase::decided:
+        break;
+    }
+  }
+
+  friend bool operator==(const ca_consensus& a, const ca_consensus& b) {
+    return a.index_ == b.index_ && a.n_ == b.n_ && a.val_ == b.val_ &&
+           a.round_ == b.round_ && a.phase_ == b.phase_ && a.k_ == b.k_ &&
+           a.all_equal_ == b.all_equal_ && a.flag_ == b.flag_ &&
+           a.all_commit_ == b.all_commit_ && a.adopt_val_ == b.adopt_val_ &&
+           a.jump_round_ == b.jump_round_ && a.jump_val_ == b.jump_val_;
+  }
+
+  std::size_t hash() const {
+    std::size_t seed = 0xcadec1de;
+    hash_combine(seed, index_);
+    hash_combine(seed, val_);
+    hash_combine(seed, round_);
+    hash_combine(seed, static_cast<unsigned>(phase_));
+    hash_combine(seed, k_);
+    hash_combine(seed, all_equal_);
+    hash_combine(seed, flag_);
+    hash_combine(seed, all_commit_);
+    hash_combine(seed, adopt_val_);
+    hash_combine(seed, jump_round_);
+    hash_combine(seed, jump_val_);
+    return seed;
+  }
+
+ private:
+  int a_reg(int i) const { return i; }
+  int b_reg(int i) const { return n_ + i; }
+
+  int index_;
+  int n_;
+  std::uint64_t val_;
+  std::uint32_t round_ = 1;
+  ca_phase phase_ = ca_phase::write_a;
+  int k_ = 0;
+  bool all_equal_ = true;
+  bool flag_ = false;
+  bool all_commit_ = true;
+  std::uint64_t adopt_val_ = 0;
+  std::uint32_t jump_round_ = 0;
+  std::uint64_t jump_val_ = 0;
+};
+
+}  // namespace anoncoord

@@ -1,0 +1,171 @@
+// The filter lock (generalized Peterson) — an n-process *named-register*
+// deadlock-free mutual exclusion baseline.
+//
+// Named layout over 2n-1 registers (the same space Figs. 2-3 use, which
+// makes the comparison benches read nicely):
+//   [0 .. n-1]   level[i]  — the level process i currently occupies (0 = out)
+//   [n .. 2n-2]  victim[L] — the most recent arrival at level L (1-based ids)
+//
+// Process i climbs levels 1..n-1; at each level it posts itself as victim
+// and waits until either no other process is at its level or higher, or a
+// newer victim displaced it. Like Peterson's, the algorithm is asymmetric:
+// each process knows its agreed slot index.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/step_machine.hpp"
+#include "util/check.hpp"
+#include "util/hash.hpp"
+
+namespace anoncoord {
+
+enum class filter_phase : unsigned char {
+  remainder,
+  write_level,   ///< level[me] := L
+  write_victim,  ///< victim[L] := me
+  read_victim,   ///< spin part 1: am I still the victim at L?
+  scan_levels,   ///< spin part 2: is anyone else at level >= L?
+  critical,
+  exit_write,    ///< level[me] := 0
+};
+
+class filter_mutex {
+ public:
+  using value_type = std::uint64_t;
+
+  static constexpr int register_count(int n) { return 2 * n - 1; }
+
+  /// `index` in [0, n); `n` >= 2 processes sharing the lock.
+  filter_mutex(int index, int n) : index_(index), n_(n) {
+    ANONCOORD_REQUIRE(n >= 2, "filter lock needs at least two processes");
+    ANONCOORD_REQUIRE(index >= 0 && index < n, "slot index out of range");
+  }
+
+  int index() const { return index_; }
+  filter_phase phase() const { return phase_; }
+  bool in_critical_section() const { return phase_ == filter_phase::critical; }
+  bool in_remainder() const { return phase_ == filter_phase::remainder; }
+  bool in_entry() const {
+    return phase_ != filter_phase::remainder &&
+           phase_ != filter_phase::critical &&
+           phase_ != filter_phase::exit_write;
+  }
+  bool done() const { return false; }
+  std::uint64_t cs_entries() const { return cs_entries_; }
+
+  op_desc peek() const {
+    switch (phase_) {
+      case filter_phase::remainder: return {op_kind::internal, -1};
+      case filter_phase::write_level: return {op_kind::write, index_};
+      case filter_phase::write_victim:
+        return {op_kind::write, victim_register(level_)};
+      case filter_phase::read_victim:
+        return {op_kind::read, victim_register(level_)};
+      case filter_phase::scan_levels: return {op_kind::read, scan_k_};
+      case filter_phase::critical: return {op_kind::internal, -1};
+      case filter_phase::exit_write: return {op_kind::write, index_};
+    }
+    return {op_kind::none, -1};
+  }
+
+  template <class Mem>
+  void step(Mem& mem) {
+    switch (phase_) {
+      case filter_phase::remainder:
+        level_ = 1;
+        phase_ = filter_phase::write_level;
+        break;
+
+      case filter_phase::write_level:
+        mem.write(index_, static_cast<value_type>(level_));
+        phase_ = filter_phase::write_victim;
+        break;
+
+      case filter_phase::write_victim:
+        // victim stores index + 1 so the initial 0 means "nobody".
+        mem.write(victim_register(level_),
+                  static_cast<value_type>(index_ + 1));
+        phase_ = filter_phase::read_victim;
+        break;
+
+      case filter_phase::read_victim:
+        if (mem.read(victim_register(level_)) !=
+            static_cast<value_type>(index_ + 1)) {
+          advance_level();  // someone newer is the victim: level is passed
+        } else {
+          phase_ = filter_phase::scan_levels;
+          scan_k_ = first_other(0);
+        }
+        break;
+
+      case filter_phase::scan_levels:
+        if (mem.read(scan_k_) >= static_cast<value_type>(level_)) {
+          // A conflicting process is at my level or above: re-check victim.
+          phase_ = filter_phase::read_victim;
+        } else {
+          const int next = first_other(scan_k_ + 1);
+          if (next == n_) {
+            advance_level();  // nobody at level >= L: level is passed
+          } else {
+            scan_k_ = next;
+          }
+        }
+        break;
+
+      case filter_phase::critical:
+        ++cs_entries_;
+        phase_ = filter_phase::exit_write;
+        break;
+
+      case filter_phase::exit_write:
+        mem.write(index_, 0);
+        phase_ = filter_phase::remainder;
+        level_ = 0;
+        break;
+    }
+  }
+
+  friend bool operator==(const filter_mutex& a, const filter_mutex& b) {
+    return a.index_ == b.index_ && a.n_ == b.n_ && a.phase_ == b.phase_ &&
+           a.level_ == b.level_ && a.scan_k_ == b.scan_k_;
+  }
+
+  std::size_t hash() const {
+    std::size_t seed = 0xf117e2;
+    hash_combine(seed, index_);
+    hash_combine(seed, static_cast<unsigned>(phase_));
+    hash_combine(seed, level_);
+    hash_combine(seed, scan_k_);
+    return seed;
+  }
+
+ private:
+  int victim_register(int level) const { return n_ + level - 1; }
+
+  /// The smallest k >= from with k != index_, or n_ if none.
+  int first_other(int from) const {
+    int k = from;
+    if (k == index_) ++k;
+    return k;
+  }
+
+  void advance_level() {
+    if (level_ == n_ - 1) {
+      phase_ = filter_phase::critical;
+    } else {
+      ++level_;
+      phase_ = filter_phase::write_level;
+    }
+  }
+
+  int index_;
+  int n_;
+  filter_phase phase_ = filter_phase::remainder;
+  int level_ = 0;
+  int scan_k_ = 0;
+  std::uint64_t cs_entries_ = 0;
+};
+
+}  // namespace anoncoord

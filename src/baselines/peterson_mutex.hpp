@@ -1,0 +1,140 @@
+// Peterson's two-process mutual exclusion — the classical *named-register*
+// baseline for Fig. 1.
+//
+// The contrast is the point of the paper: with an a priori agreement on
+// register names (flag[0], flag[1], turn), two processes solve starvation-
+// free mutual exclusion with 3 registers and O(1) writes per attempt,
+// and the algorithm is NOT symmetric (each process knows whether it is
+// process 0 or process 1). Fig. 1 pays Θ(m) operations per attempt and works
+// under anonymity. bench_mutex_throughput quantifies the gap.
+//
+//   entry(i):  flag[i] := 1; turn := 1-i
+//              await flag[1-i] = 0 or turn = i
+//   exit(i):   flag[i] := 0
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/payloads.hpp"
+#include "runtime/step_machine.hpp"
+#include "util/check.hpp"
+#include "util/hash.hpp"
+
+namespace anoncoord {
+
+enum class peterson_phase : unsigned char {
+  remainder,
+  write_flag,   ///< flag[me] := 1
+  write_turn,   ///< turn := other
+  read_flag,    ///< spin: read flag[other]
+  read_turn,    ///< spin: read turn
+  critical,
+  exit_write,   ///< flag[me] := 0
+};
+
+/// Step machine over 3 named registers: [0] = flag0, [1] = flag1, [2] = turn.
+/// Run it with an identity naming_assignment — it *requires* the standard
+/// model's agreement on register names.
+class peterson_mutex {
+ public:
+  using value_type = std::uint64_t;
+
+  static constexpr int register_count = 3;
+  static constexpr int flag_of(int index) { return index; }
+  static constexpr int turn_register = 2;
+
+  /// `index` is this process's agreed role, 0 or 1 (Peterson is not a
+  /// symmetric algorithm: the roles are part of the prior agreement).
+  explicit peterson_mutex(int index) : index_(index) {
+    ANONCOORD_REQUIRE(index == 0 || index == 1,
+                      "Peterson's algorithm is for two processes");
+  }
+
+  int index() const { return index_; }
+  peterson_phase phase() const { return phase_; }
+  bool in_critical_section() const { return phase_ == peterson_phase::critical; }
+  bool in_remainder() const { return phase_ == peterson_phase::remainder; }
+  bool in_entry() const {
+    return phase_ == peterson_phase::write_flag ||
+           phase_ == peterson_phase::write_turn ||
+           phase_ == peterson_phase::read_flag ||
+           phase_ == peterson_phase::read_turn;
+  }
+  bool done() const { return false; }
+  std::uint64_t cs_entries() const { return cs_entries_; }
+
+  op_desc peek() const {
+    switch (phase_) {
+      case peterson_phase::remainder: return {op_kind::internal, -1};
+      case peterson_phase::write_flag: return {op_kind::write, flag_of(index_)};
+      case peterson_phase::write_turn: return {op_kind::write, turn_register};
+      case peterson_phase::read_flag: return {op_kind::read, flag_of(1 - index_)};
+      case peterson_phase::read_turn: return {op_kind::read, turn_register};
+      case peterson_phase::critical: return {op_kind::internal, -1};
+      case peterson_phase::exit_write: return {op_kind::write, flag_of(index_)};
+    }
+    return {op_kind::none, -1};
+  }
+
+  template <class Mem>
+  void step(Mem& mem) {
+    // `turn` stores the index + 1 so that the initial value 0 means "unset"
+    // (either process may pass).
+    switch (phase_) {
+      case peterson_phase::remainder:
+        phase_ = peterson_phase::write_flag;
+        break;
+      case peterson_phase::write_flag:
+        mem.write(flag_of(index_), 1);
+        phase_ = peterson_phase::write_turn;
+        break;
+      case peterson_phase::write_turn:
+        mem.write(turn_register,
+                  static_cast<value_type>((1 - index_) + 1));
+        phase_ = peterson_phase::read_flag;
+        break;
+      case peterson_phase::read_flag:
+        if (mem.read(flag_of(1 - index_)) == 0) {
+          phase_ = peterson_phase::critical;
+        } else {
+          phase_ = peterson_phase::read_turn;
+        }
+        break;
+      case peterson_phase::read_turn:
+        if (mem.read(turn_register) !=
+            static_cast<value_type>((1 - index_) + 1)) {
+          phase_ = peterson_phase::critical;
+        } else {
+          phase_ = peterson_phase::read_flag;  // keep spinning
+        }
+        break;
+      case peterson_phase::critical:
+        ++cs_entries_;
+        phase_ = peterson_phase::exit_write;
+        break;
+      case peterson_phase::exit_write:
+        mem.write(flag_of(index_), 0);
+        phase_ = peterson_phase::remainder;
+        break;
+    }
+  }
+
+  friend bool operator==(const peterson_mutex& a, const peterson_mutex& b) {
+    return a.index_ == b.index_ && a.phase_ == b.phase_;
+  }
+
+  std::size_t hash() const {
+    std::size_t seed = 0x9e7e2505;
+    hash_combine(seed, index_);
+    hash_combine(seed, static_cast<unsigned>(phase_));
+    return seed;
+  }
+
+ private:
+  int index_;
+  peterson_phase phase_ = peterson_phase::remainder;
+  std::uint64_t cs_entries_ = 0;
+};
+
+}  // namespace anoncoord

@@ -1,0 +1,194 @@
+// Tournament lock: n-process mutual exclusion from a binary tree of
+// two-process Peterson locks — the classic O(log n)-entry *named-register*
+// construction, and the sharpest contrast with the anonymous model: the
+// whole idea is an a-priori-agreed ADDRESSING SCHEME (each process knows its
+// leaf and the register triple of every node on its root path).
+//
+// Layout: a perfect binary tree with `leaves` = 2^ceil(lg n) leaves and
+// `leaves - 1` internal nodes, numbered heap-style from 1 (root). Node k
+// occupies registers [3(k-1), 3(k-1)+2] = (flag0, flag1, turn). Process i
+// starts above leaf `leaves + i` and climbs to the root acquiring the
+// Peterson lock of every node on the way; the exit releases them root-down.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/step_machine.hpp"
+#include "util/check.hpp"
+#include "util/hash.hpp"
+
+namespace anoncoord {
+
+enum class tournament_phase : unsigned char {
+  remainder,
+  write_flag,   ///< node-level Peterson: flag[side] := 1
+  write_turn,   ///< turn := other side
+  read_flag,    ///< spin: read other side's flag
+  read_turn,    ///< spin: read turn
+  critical,
+  exit_write,   ///< release path: flag[side] := 0, root first
+};
+
+class tournament_mutex {
+ public:
+  using value_type = std::uint64_t;
+
+  static int leaves_for(int n) {
+    int leaves = 1;
+    while (leaves < n) leaves *= 2;
+    return leaves;
+  }
+
+  static int register_count(int n) { return 3 * (leaves_for(n) - 1); }
+
+  tournament_mutex(int index, int n) : index_(index), n_(n) {
+    ANONCOORD_REQUIRE(n >= 2, "tournament needs at least two processes");
+    ANONCOORD_REQUIRE(index >= 0 && index < n, "slot index out of range");
+    // Root path, leaf upwards: node ids and which side we arrive from.
+    int node = leaves_for(n) + index;
+    while (node > 1) {
+      path_.push_back({node / 2, node % 2});
+      node /= 2;
+    }
+    levels_ = static_cast<int>(path_.size());
+  }
+
+  int index() const { return index_; }
+  tournament_phase phase() const { return phase_; }
+  bool in_critical_section() const {
+    return phase_ == tournament_phase::critical;
+  }
+  bool in_remainder() const { return phase_ == tournament_phase::remainder; }
+  bool in_entry() const {
+    return phase_ == tournament_phase::write_flag ||
+           phase_ == tournament_phase::write_turn ||
+           phase_ == tournament_phase::read_flag ||
+           phase_ == tournament_phase::read_turn;
+  }
+  bool done() const { return false; }
+  std::uint64_t cs_entries() const { return cs_entries_; }
+
+  op_desc peek() const {
+    switch (phase_) {
+      case tournament_phase::remainder: return {op_kind::internal, -1};
+      case tournament_phase::write_flag:
+        return {op_kind::write, flag_reg(level_, side(level_))};
+      case tournament_phase::write_turn:
+        return {op_kind::write, turn_reg(level_)};
+      case tournament_phase::read_flag:
+        return {op_kind::read, flag_reg(level_, 1 - side(level_))};
+      case tournament_phase::read_turn:
+        return {op_kind::read, turn_reg(level_)};
+      case tournament_phase::critical: return {op_kind::internal, -1};
+      case tournament_phase::exit_write:
+        return {op_kind::write, flag_reg(level_, side(level_))};
+    }
+    return {op_kind::none, -1};
+  }
+
+  template <class Mem>
+  void step(Mem& mem) {
+    switch (phase_) {
+      case tournament_phase::remainder:
+        level_ = 0;  // leaf-most node first
+        phase_ = tournament_phase::write_flag;
+        break;
+
+      case tournament_phase::write_flag:
+        mem.write(flag_reg(level_, side(level_)), 1);
+        phase_ = tournament_phase::write_turn;
+        break;
+
+      case tournament_phase::write_turn:
+        // turn stores side + 1 so 0 means "unset".
+        mem.write(turn_reg(level_),
+                  static_cast<value_type>((1 - side(level_)) + 1));
+        phase_ = tournament_phase::read_flag;
+        break;
+
+      case tournament_phase::read_flag:
+        if (mem.read(flag_reg(level_, 1 - side(level_))) == 0) {
+          won_level();
+        } else {
+          phase_ = tournament_phase::read_turn;
+        }
+        break;
+
+      case tournament_phase::read_turn:
+        if (mem.read(turn_reg(level_)) !=
+            static_cast<value_type>((1 - side(level_)) + 1)) {
+          won_level();
+        } else {
+          phase_ = tournament_phase::read_flag;  // keep spinning
+        }
+        break;
+
+      case tournament_phase::critical:
+        ++cs_entries_;
+        level_ = levels_ - 1;  // release root-first
+        phase_ = tournament_phase::exit_write;
+        break;
+
+      case tournament_phase::exit_write:
+        mem.write(flag_reg(level_, side(level_)), 0);
+        if (level_ == 0) {
+          phase_ = tournament_phase::remainder;
+        } else {
+          --level_;
+        }
+        break;
+    }
+  }
+
+  friend bool operator==(const tournament_mutex& a, const tournament_mutex& b) {
+    return a.index_ == b.index_ && a.n_ == b.n_ && a.phase_ == b.phase_ &&
+           a.level_ == b.level_;
+  }
+
+  std::size_t hash() const {
+    std::size_t seed = 0x70c2;
+    hash_combine(seed, index_);
+    hash_combine(seed, static_cast<unsigned>(phase_));
+    hash_combine(seed, level_);
+    return seed;
+  }
+
+ private:
+  struct hop {
+    int node;  ///< heap index of the Peterson node
+    int from;  ///< 0 = arrived as left child, 1 = as right child
+
+    friend bool operator==(const hop&, const hop&) = default;
+  };
+
+  int side(int level) const {
+    return path_[static_cast<std::size_t>(level)].from;
+  }
+  int node_base(int level) const {
+    return 3 * (path_[static_cast<std::size_t>(level)].node - 1);
+  }
+  int flag_reg(int level, int side_index) const {
+    return node_base(level) + side_index;
+  }
+  int turn_reg(int level) const { return node_base(level) + 2; }
+
+  void won_level() {
+    if (level_ == levels_ - 1) {
+      phase_ = tournament_phase::critical;
+    } else {
+      ++level_;
+      phase_ = tournament_phase::write_flag;
+    }
+  }
+
+  int index_;
+  int n_;
+  std::vector<hop> path_;
+  int levels_ = 0;
+  tournament_phase phase_ = tournament_phase::remainder;
+  int level_ = 0;
+  std::uint64_t cs_entries_ = 0;
+};
+
+}  // namespace anoncoord

@@ -1,0 +1,128 @@
+// §5's "trivial" perfect renaming for the *named* model — the strawman the
+// paper contrasts Fig. 3 against:
+//
+//   "n-1 (obstruction-free) election objects are used. The election objects
+//    are indexed 1, 2, ..., n-1. Each process scans the objects, in order,
+//    starting with object number 1. ... The process is assigned either the
+//    name equal to the index of the object on which its election operation
+//    has succeeded, or n if it is not elected in all n-1 objects. This
+//    trivial solution requires a priori agreement on an ordering for the
+//    election objects, and hence would not work in a model where there is no
+//    a priori agreement on the registers names."
+//
+// Election object k = one ca_consensus instance (input = own identifier)
+// over its own block of 2n named registers; total (n-1) * 2n registers.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "baselines/ca_consensus.hpp"
+#include "mem/payloads.hpp"
+#include "runtime/step_machine.hpp"
+#include "util/check.hpp"
+
+namespace anoncoord {
+
+/// Presents a window [offset, offset + width) of a larger register file as a
+/// register file of its own.
+template <class Mem>
+class offset_memory {
+ public:
+  using value_type = typename Mem::value_type;
+
+  offset_memory(Mem& mem, int offset, int width)
+      : mem_(&mem), offset_(offset), width_(width) {}
+
+  int size() const { return width_; }
+  value_type read(int j) const { return mem_->read(offset_ + j); }
+  void write(int j, value_type v) { mem_->write(offset_ + j, std::move(v)); }
+
+ private:
+  Mem* mem_;
+  int offset_;
+  int width_;
+};
+
+/// The ordered-elections renaming baseline. Requires the named model twice
+/// over: single-writer slots inside each election, and the agreed ordering
+/// of the election objects themselves.
+class trivial_renaming {
+ public:
+  using value_type = ca_record;
+
+  static constexpr int register_count(int n) {
+    return (n - 1) * ca_consensus::register_count(n);
+  }
+
+  /// `index` in [0, n) is the agreed slot; `id` is the (large-name-space)
+  /// identifier submitted to the elections.
+  trivial_renaming(int index, int n, process_id id)
+      : index_(index), n_(n), id_(id),
+        election_(index, n, /*input=*/id) {
+    ANONCOORD_REQUIRE(n >= 2, "renaming needs at least two processes");
+    ANONCOORD_REQUIRE(id != no_process, "ids are positive integers");
+  }
+
+  int index() const { return index_; }
+  process_id id() const { return id_; }
+  bool done() const { return name_.has_value(); }
+  std::optional<std::uint32_t> name() const { return name_; }
+
+  op_desc peek() const {
+    if (name_) return {op_kind::none, -1};
+    op_desc op = election_.peek();
+    if (op.kind == op_kind::read || op.kind == op_kind::write)
+      op.index += block_offset();
+    return op;
+  }
+
+  template <class Mem>
+  void step(Mem& mem) {
+    if (name_) return;
+    offset_memory<Mem> window(mem, block_offset(),
+                              ca_consensus::register_count(n_));
+    election_.step(window);
+    if (!election_.done()) return;
+
+    if (*election_.decision() == id_) {
+      name_ = static_cast<std::uint32_t>(object_ + 1);  // won object k
+    } else if (object_ == n_ - 2) {
+      name_ = static_cast<std::uint32_t>(n_);  // lost every election
+    } else {
+      ++object_;
+      election_ = ca_consensus(index_, n_, id_);
+    }
+  }
+
+  friend bool operator==(const trivial_renaming& a, const trivial_renaming& b) {
+    return a.index_ == b.index_ && a.n_ == b.n_ && a.id_ == b.id_ &&
+           a.object_ == b.object_ && a.name_ == b.name_ &&
+           a.election_ == b.election_;
+  }
+
+  std::size_t hash() const {
+    std::size_t seed = 0x7e1a1;
+    hash_combine(seed, index_);
+    hash_combine(seed, id_);
+    hash_combine(seed, object_);
+    hash_combine(seed, name_.value_or(0));
+    hash_combine(seed, name_.has_value());
+    hash_combine(seed, election_.hash());
+    return seed;
+  }
+
+ private:
+  int block_offset() const {
+    return object_ * ca_consensus::register_count(n_);
+  }
+
+  int index_;
+  int n_;
+  process_id id_;
+  int object_ = 0;  ///< current election object, 0-based
+  ca_consensus election_;
+  std::optional<std::uint32_t> name_;
+};
+
+}  // namespace anoncoord

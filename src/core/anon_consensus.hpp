@@ -1,0 +1,173 @@
+// Figure 2: the memory-anonymous symmetric obstruction-free multi-valued
+// consensus algorithm for n processes using 2n-1 anonymous registers.
+//
+// Paper pseudocode (process i with input in_i, registers p.i[1..2n-1]):
+//
+//   1  mypref := in_i
+//   2  repeat
+//   3    for j = 1..2n-1 do myview[j] := p.i[j] od            // read array
+//   4    if ∃ value != 0 appearing in >= n of the val fields
+//   5      then mypref := value fi                            // adopt
+//   6    j := arbitrary k with myview[k] != (i, mypref)
+//   7    p.i[j] := (i, mypref)                                // write
+//   8  until all myview[j] = (i, mypref)
+//   9  decide(mypref)
+//
+// Interpretation note (documented in DESIGN.md): on the iteration whose scan
+// already shows every entry equal to (i, mypref), no index k exists for line
+// 6 and the `until` is already true, so the machine decides without writing.
+//
+// The machine is well-defined when more processes participate than the n it
+// was configured for — the Theorem 6.3 covering adversary runs exactly that
+// regime to produce an agreement violation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/choice.hpp"
+#include "mem/payloads.hpp"
+#include "runtime/step_machine.hpp"
+#include "util/check.hpp"
+#include "util/hash.hpp"
+
+namespace anoncoord {
+
+/// Step machine for the Fig. 2 algorithm. Registers hold consensus_record.
+class anon_consensus {
+ public:
+  using value_type = consensus_record;
+
+  /// `id` and `input` must be nonzero (0 is the empty-register sentinel).
+  /// `n` is the number of processes the instance is configured for; the
+  /// register file must have exactly 2n-1 registers.
+  anon_consensus(process_id id, std::uint64_t input, int n,
+                 choice_policy choice = choice_policy::first())
+      : id_(id), n_(n), pref_(input), choice_(choice) {
+    ANONCOORD_REQUIRE(id != no_process, "process ids are positive integers");
+    ANONCOORD_REQUIRE(input != 0, "inputs must be nonzero (0 = empty)");
+    ANONCOORD_REQUIRE(n >= 1, "need at least one process");
+    view_.resize(static_cast<std::size_t>(2 * n - 1));
+  }
+
+  process_id id() const { return id_; }
+  int configured_processes() const { return n_; }
+  int registers() const { return 2 * n_ - 1; }
+  std::uint64_t preference() const { return pref_; }
+  bool done() const { return decision_.has_value(); }
+  std::optional<std::uint64_t> decision() const { return decision_; }
+
+  op_desc peek() const {
+    if (decision_) return {op_kind::none, -1};
+    if (writing_) return {op_kind::write, write_target_};
+    return {op_kind::read, j_};
+  }
+
+  template <class Mem>
+  void step(Mem& mem) {
+    if (decision_) return;
+    if (writing_) {
+      mem.write(write_target_, consensus_record{id_, pref_});
+      writing_ = false;
+      j_ = 0;
+      return;
+    }
+    // Line 3: scan one register.
+    view_[static_cast<std::size_t>(j_)] = mem.read(j_);
+    if (++j_ == registers()) post_scan();
+  }
+
+  /// A copy with every identifier renamed through `fn` (0 stays 0).
+  /// Fig. 2 is a *symmetric* algorithm: its behaviour must be invariant
+  /// under such renamings (tests/properties_test.cpp verifies this).
+  /// Input VALUES are left untouched — only identifiers rename.
+  template <class Fn>
+  anon_consensus renamed(Fn fn) const {
+    anon_consensus copy = *this;
+    copy.id_ = fn(id_);
+    for (auto& r : copy.view_)
+      if (r.id != no_process) r.id = fn(r.id);
+    return copy;
+  }
+
+  /// Like renamed(), but ALSO maps values through `fn` — for protocols whose
+  /// values are themselves identifiers (election, §4).
+  template <class Fn>
+  anon_consensus renamed_values_as_ids(Fn fn) const {
+    anon_consensus copy = renamed(fn);
+    if (copy.pref_ != 0) copy.pref_ = fn(copy.pref_);
+    if (copy.decision_ && *copy.decision_ != 0)
+      copy.decision_ = fn(*copy.decision_);
+    for (auto& r : copy.view_)
+      if (r.val != 0) r.val = fn(r.val);
+    return copy;
+  }
+
+  friend bool operator==(const anon_consensus& a, const anon_consensus& b) {
+    return a.id_ == b.id_ && a.n_ == b.n_ && a.pref_ == b.pref_ &&
+           a.j_ == b.j_ && a.writing_ == b.writing_ &&
+           a.write_target_ == b.write_target_ && a.view_ == b.view_ &&
+           a.decision_ == b.decision_ && a.choice_ == b.choice_;
+  }
+
+  std::size_t hash() const {
+    std::size_t seed = 0xc025e2505;
+    hash_combine(seed, id_);
+    hash_combine(seed, pref_);
+    hash_combine(seed, j_);
+    hash_combine(seed, writing_);
+    hash_combine(seed, write_target_);
+    hash_combine(seed, decision_.value_or(0));
+    hash_combine(seed, decision_.has_value());
+    hash_combine(seed, choice_.hash());
+    for (const auto& r : view_) hash_combine(seed, hash_value(r));
+    return seed;
+  }
+
+ private:
+  // Lines 4-8, evaluated when the scan completes.
+  void post_scan() {
+    j_ = 0;
+    // Line 4: a value present in at least n of the val fields is adopted.
+    // (Two distinct such values cannot exist: 2n > 2n-1.)
+    if (auto v = value_with_quorum(); v != 0) pref_ = v;
+
+    // Line 8: if the scan shows (i, mypref) everywhere, decide.
+    const consensus_record mine{id_, pref_};
+    std::vector<int> candidates;
+    for (int k = 0; k < registers(); ++k) {
+      if (view_[static_cast<std::size_t>(k)] != mine) candidates.push_back(k);
+    }
+    if (candidates.empty()) {
+      decision_ = pref_;
+      return;
+    }
+    // Lines 6-7: write (i, mypref) into an arbitrary differing entry.
+    write_target_ = choice_.pick(candidates);
+    writing_ = true;
+  }
+
+  std::uint64_t value_with_quorum() const {
+    for (const auto& r : view_) {
+      if (r.val == 0) continue;
+      int count = 0;
+      for (const auto& s : view_)
+        if (s.val == r.val) ++count;
+      if (count >= n_) return r.val;
+    }
+    return 0;
+  }
+
+  process_id id_;
+  int n_;
+  std::uint64_t pref_;
+  int j_ = 0;
+  bool writing_ = false;
+  int write_target_ = -1;
+  std::vector<consensus_record> view_;
+  std::optional<std::uint64_t> decision_;
+  choice_policy choice_;
+};
+
+}  // namespace anoncoord

@@ -1,0 +1,55 @@
+// §4 (note): memory-anonymous symmetric obstruction-free election.
+//
+// "Each process simply uses its own identifier as its initial input" to the
+// Fig. 2 consensus algorithm; the decided identifier is the elected leader.
+#pragma once
+
+#include <optional>
+
+#include "core/anon_consensus.hpp"
+
+namespace anoncoord {
+
+/// Step machine for obstruction-free leader election among n processes using
+/// 2n-1 anonymous registers.
+class anon_election {
+ public:
+  using value_type = consensus_record;
+
+  anon_election(process_id id, int n,
+                choice_policy choice = choice_policy::first())
+      : inner_(id, /*input=*/id, n, choice) {}
+
+  process_id id() const { return inner_.id(); }
+  int registers() const { return inner_.registers(); }
+  bool done() const { return inner_.done(); }
+
+  /// The elected leader's identifier, once decided.
+  std::optional<process_id> leader() const { return inner_.decision(); }
+  /// True once this process knows it is the leader.
+  bool elected() const { return leader() && *leader() == id(); }
+
+  op_desc peek() const { return inner_.peek(); }
+
+  template <class Mem>
+  void step(Mem& mem) {
+    inner_.step(mem);
+  }
+
+  /// Identifier renaming (election inputs ARE identifiers, so the inner
+  /// consensus renames both id and value fields coherently).
+  template <class Fn>
+  anon_election renamed(Fn fn) const {
+    anon_election copy = *this;
+    copy.inner_ = inner_.renamed_values_as_ids(fn);
+    return copy;
+  }
+
+  friend bool operator==(const anon_election&, const anon_election&) = default;
+  std::size_t hash() const { return inner_.hash() ^ 0xe1ec7ed; }
+
+ private:
+  anon_consensus inner_;
+};
+
+}  // namespace anoncoord

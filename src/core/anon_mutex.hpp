@@ -1,0 +1,274 @@
+// Figure 1: the memory-anonymous symmetric deadlock-free mutual exclusion
+// algorithm for two processes (m >= 3 registers, m odd).
+//
+// Paper pseudocode (process i, registers p.i[1..m] all initially 0):
+//
+//   1  repeat                                                   // entry
+//   2    for j = 1..m do if p.i[j] = 0 then p.i[j] := i fi od   // scan&write
+//   3    for j = 1..m do myview[j] := p.i[j] od                 // read all
+//   4    if i appears in fewer than ceil(m/2) entries then      // lose
+//   5      for j = 1..m do if p.i[j] = i then p.i[j] := 0 fi od // clean up
+//   6      repeat                                               // wait
+//   7        for j = 1..m do myview[j] := p.i[j] od
+//   8      until all myview[j] = 0
+//   9    fi
+//  10  until all myview[j] = i
+//  11  critical section
+//  12  for j = 1..m do p.i[j] := 0 od                           // exit
+//
+// Each register access (the read in "if p.i[j] = 0" and the subsequent
+// write are two separate atomic operations — the model has no
+// read-modify-write) is one step() call. The machine is also well-defined
+// for even m and for more than two participants: that is deliberate, since
+// the lower-bound experiments (Theorems 3.1, 3.4, 6.2) run exactly those
+// misconfigured regimes to exhibit the violations the paper proves must
+// exist.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "mem/payloads.hpp"
+#include "runtime/step_machine.hpp"
+#include "util/check.hpp"
+#include "util/hash.hpp"
+#include "util/math.hpp"
+
+namespace anoncoord {
+
+enum class mutex_phase : unsigned char {
+  remainder,      ///< outside the protocol; next step begins the entry code
+  try_read,       ///< line 2: reading p[j] to see whether it is free
+  try_write,      ///< line 2: claiming p[j] (it read as 0)
+  view_read,      ///< line 3: reading the array into myview
+  cleanup_read,   ///< line 5: looking for own marks to erase
+  cleanup_write,  ///< line 5: erasing an own mark
+  wait_read,      ///< lines 6-8: waiting for the CS to be released
+  critical,       ///< line 11: inside the critical section
+  exit_write,     ///< line 12: resetting registers on exit
+};
+
+std::ostream& operator<<(std::ostream& os, mutex_phase ph);
+
+/// Step machine for the Fig. 1 algorithm. Registers hold process ids
+/// (uint64_t, 0 = free). Logical indices are 0-based internally.
+class anon_mutex {
+ public:
+  using value_type = process_id;
+
+  /// `id` must be a positive integer (paper §2); `m` >= 2. Correctness is
+  /// guaranteed by Theorem 3.1 for two participants and odd m >= 3.
+  anon_mutex(process_id id, int m)
+      : id_(id), m_(m), view_(static_cast<std::size_t>(m), no_process) {
+    ANONCOORD_REQUIRE(id != no_process, "process ids are positive integers");
+    ANONCOORD_REQUIRE(m >= 2, "the algorithm needs at least two registers");
+  }
+
+  process_id id() const { return id_; }
+  int registers() const { return m_; }
+  mutex_phase phase() const { return phase_; }
+  bool in_critical_section() const { return phase_ == mutex_phase::critical; }
+  bool in_remainder() const { return phase_ == mutex_phase::remainder; }
+  /// A process is *trying* if it is inside the entry code.
+  bool in_entry() const {
+    return !in_remainder() && !in_critical_section() &&
+           phase_ != mutex_phase::exit_write;
+  }
+  bool done() const { return false; }  // mutex processes cycle forever
+
+  /// Number of completed passes through the critical section.
+  std::uint64_t cs_entries() const { return cs_entries_; }
+  /// Number of times the process lost a round and entered the wait loop.
+  std::uint64_t losses() const { return losses_; }
+
+  op_desc peek() const {
+    switch (phase_) {
+      case mutex_phase::remainder: return {op_kind::internal, -1};
+      case mutex_phase::try_read: return {op_kind::read, j_};
+      case mutex_phase::try_write: return {op_kind::write, j_};
+      case mutex_phase::view_read: return {op_kind::read, j_};
+      case mutex_phase::cleanup_read: return {op_kind::read, j_};
+      case mutex_phase::cleanup_write: return {op_kind::write, j_};
+      case mutex_phase::wait_read: return {op_kind::read, j_};
+      case mutex_phase::critical: return {op_kind::internal, -1};
+      case mutex_phase::exit_write: return {op_kind::write, j_};
+    }
+    return {op_kind::none, -1};
+  }
+
+  template <class Mem>
+  void step(Mem& mem) {
+    switch (phase_) {
+      case mutex_phase::remainder:
+        // Begin the entry code (line 1).
+        begin_scan();
+        break;
+
+      case mutex_phase::try_read:
+        // Line 2, read half: claim only registers currently 0.
+        if (mem.read(j_) == no_process) {
+          phase_ = mutex_phase::try_write;
+        } else {
+          advance_scan();
+        }
+        break;
+
+      case mutex_phase::try_write:
+        // Line 2, write half. The value may have changed since the read —
+        // plain registers allow the stale overwrite, and the proof does too.
+        mem.write(j_, id_);
+        phase_ = mutex_phase::try_read;
+        advance_scan();
+        break;
+
+      case mutex_phase::view_read:
+        // Line 3: snapshot-by-scan into myview.
+        view_[static_cast<std::size_t>(j_)] = mem.read(j_);
+        if (++j_ == m_) decide_after_view();
+        break;
+
+      case mutex_phase::cleanup_read:
+        // Line 5: erase own marks.
+        if (mem.read(j_) == id_) {
+          phase_ = mutex_phase::cleanup_write;
+        } else {
+          advance_cleanup();
+        }
+        break;
+
+      case mutex_phase::cleanup_write:
+        mem.write(j_, no_process);
+        phase_ = mutex_phase::cleanup_read;
+        advance_cleanup();
+        break;
+
+      case mutex_phase::wait_read:
+        // Lines 6-8: spin until every register reads 0.
+        view_[static_cast<std::size_t>(j_)] = mem.read(j_);
+        if (++j_ == m_) {
+          j_ = 0;
+          if (all_view_equal(no_process)) {
+            begin_scan();  // back to line 2
+          }
+          // else: re-read the array (stay in wait_read with j_ = 0)
+        }
+        break;
+
+      case mutex_phase::critical:
+        // Leaving the CS: begin the exit code (line 12).
+        ++cs_entries_;
+        phase_ = mutex_phase::exit_write;
+        j_ = 0;
+        break;
+
+      case mutex_phase::exit_write:
+        mem.write(j_, no_process);
+        if (++j_ == m_) {
+          phase_ = mutex_phase::remainder;
+          j_ = 0;
+        }
+        break;
+    }
+  }
+
+  /// A copy of this machine with every identifier renamed through `fn`
+  /// (0 stays 0). A *symmetric* algorithm's behaviour is invariant under id
+  /// renaming — the lock-step engine (Theorem 3.4) verifies exactly that.
+  template <class Fn>
+  anon_mutex renamed(Fn fn) const {
+    anon_mutex copy = *this;
+    copy.id_ = fn(id_);
+    for (auto& v : copy.view_)
+      if (v != no_process) v = fn(v);
+    return copy;
+  }
+
+  friend bool operator==(const anon_mutex& a, const anon_mutex& b) {
+    // Statistics counters are observational and excluded on purpose: the
+    // model checker must identify states that behave identically.
+    return a.id_ == b.id_ && a.m_ == b.m_ && a.phase_ == b.phase_ &&
+           a.j_ == b.j_ && a.view_ == b.view_;
+  }
+
+  std::size_t hash() const {
+    std::size_t seed = 0x310c4;
+    hash_combine(seed, id_);
+    hash_combine(seed, static_cast<unsigned>(phase_));
+    hash_combine(seed, j_);
+    hash_range(seed, view_.begin(), view_.end());
+    return seed;
+  }
+
+ private:
+  void begin_scan() {
+    phase_ = mutex_phase::try_read;
+    j_ = 0;
+  }
+
+  void advance_scan() {
+    if (++j_ == m_) {
+      phase_ = mutex_phase::view_read;
+      j_ = 0;
+    }
+  }
+
+  void advance_cleanup() {
+    if (++j_ == m_) {
+      phase_ = mutex_phase::wait_read;
+      j_ = 0;
+    }
+  }
+
+  bool all_view_equal(process_id v) const {
+    for (process_id x : view_)
+      if (x != v) return false;
+    return true;
+  }
+
+  int count_view(process_id v) const {
+    int c = 0;
+    for (process_id x : view_)
+      if (x == v) ++c;
+    return c;
+  }
+
+  // Lines 4 and 10, evaluated when the myview scan completes.
+  void decide_after_view() {
+    j_ = 0;
+    const int mine = count_view(id_);
+    if (mine == m_) {
+      phase_ = mutex_phase::critical;  // line 10 satisfied
+    } else if (mine < majority_threshold(m_)) {
+      ++losses_;
+      phase_ = mutex_phase::cleanup_read;  // lines 4-5
+    } else {
+      begin_scan();  // neither won nor lost: retry from line 2
+    }
+  }
+
+  process_id id_;
+  int m_;
+  mutex_phase phase_ = mutex_phase::remainder;
+  int j_ = 0;
+  std::vector<process_id> view_;
+  std::uint64_t cs_entries_ = 0;
+  std::uint64_t losses_ = 0;
+};
+
+inline std::ostream& operator<<(std::ostream& os, mutex_phase ph) {
+  switch (ph) {
+    case mutex_phase::remainder: return os << "remainder";
+    case mutex_phase::try_read: return os << "try_read";
+    case mutex_phase::try_write: return os << "try_write";
+    case mutex_phase::view_read: return os << "view_read";
+    case mutex_phase::cleanup_read: return os << "cleanup_read";
+    case mutex_phase::cleanup_write: return os << "cleanup_write";
+    case mutex_phase::wait_read: return os << "wait_read";
+    case mutex_phase::critical: return os << "critical";
+    case mutex_phase::exit_write: return os << "exit_write";
+  }
+  return os;
+}
+
+}  // namespace anoncoord

@@ -1,0 +1,233 @@
+// Figure 3: the memory-anonymous symmetric obstruction-free *adaptive
+// perfect renaming* algorithm for n processes using 2n-1 anonymous registers.
+//
+// The algorithm proceeds in (locally tracked) rounds; round r elects one
+// leader by running the Fig. 2 agreement pattern over the same shared space,
+// with round numbers and an election history carried inside every register so
+// late processes can catch up. The process elected in round r takes r as its
+// new name; a process that reaches round n takes n.
+//
+// Paper pseudocode (process i, registers p.i[1..2n-1], fields
+// (id, val, round, history) all initially (0, 0, 0, ∅)):
+//
+//   1  repeat
+//   2    mypref := i
+//   3    repeat
+//   4      for j = 1..2n-1 do myview[j] := p.i[j] od
+//   5      if ∃ j, v : (i, v) ∈ myview[j].history
+//   6        then return(v) fi                              // already renamed
+//   7      mytemp := max_j myview[j].round
+//   8      if mytemp > myround then
+//   9        j := arbitrary k with myview[k].round = mytemp
+//  10        mypref := myview[j].val                        // catch up
+//  11        myhistory := myview[j].history
+//  12        myround := myview[j].round fi
+//  13      if ∃ v != 0 appearing >= n times in the val fields of the
+//             entries whose round field equals myround
+//  14        then mypref := v fi
+//  15      j := arbitrary k with myview[k] != (i, mypref, myround, myhistory)
+//  16      p.i[j] := (i, mypref, myround, myhistory)
+//  17    until all myview[j] = (i, mypref, myround, myhistory)
+//  18    if mypref = i then return(myround) fi              // elected
+//  19    myhistory := myhistory ∪ {(mypref, myround)}
+//  20    myround := myround + 1
+//  21  until myround = n
+//  22  return(n)                                            // last process
+//
+// Same interpretation note as Fig. 2 for line 15 (see DESIGN.md), and the
+// machine is intentionally well-defined with more participants than n so the
+// Theorem 6.5 covering adversary can exhibit a duplicate name.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/choice.hpp"
+#include "mem/payloads.hpp"
+#include "runtime/step_machine.hpp"
+#include "util/check.hpp"
+#include "util/hash.hpp"
+
+namespace anoncoord {
+
+/// Step machine for the Fig. 3 algorithm. Registers hold renaming_record.
+class anon_renaming {
+ public:
+  using value_type = renaming_record;
+
+  anon_renaming(process_id id, int n,
+                choice_policy choice = choice_policy::first())
+      : id_(id), n_(n), pref_(id), choice_(choice) {
+    ANONCOORD_REQUIRE(id != no_process, "process ids are positive integers");
+    ANONCOORD_REQUIRE(n >= 1, "need at least one process");
+    view_.resize(static_cast<std::size_t>(2 * n - 1));
+  }
+
+  process_id id() const { return id_; }
+  int configured_processes() const { return n_; }
+  int registers() const { return 2 * n_ - 1; }
+  std::uint32_t round() const { return round_; }
+  bool done() const { return name_.has_value(); }
+  /// The acquired name in {1, .., n}, once the process terminates.
+  std::optional<std::uint32_t> name() const { return name_; }
+
+  op_desc peek() const {
+    if (name_) return {op_kind::none, -1};
+    if (writing_) return {op_kind::write, write_target_};
+    return {op_kind::read, j_};
+  }
+
+  template <class Mem>
+  void step(Mem& mem) {
+    if (name_) return;
+    if (writing_) {
+      mem.write(write_target_,
+                renaming_record{id_, pref_, round_, history_});
+      writing_ = false;
+      j_ = 0;
+      return;
+    }
+    // Line 4: scan one register.
+    view_[static_cast<std::size_t>(j_)] = mem.read(j_);
+    if (++j_ == registers()) post_scan();
+  }
+
+  /// A copy with every identifier renamed through `fn` (0 stays 0): own id,
+  /// ids inside the view records, preferences (which ARE identifiers in
+  /// Fig. 3) and history entries. Symmetric-algorithm invariance is checked
+  /// in tests/properties_test.cpp.
+  template <class Fn>
+  anon_renaming renamed(Fn fn) const {
+    anon_renaming copy = *this;
+    copy.id_ = fn(id_);
+    if (copy.pref_ != 0) copy.pref_ = fn(copy.pref_);
+    copy.history_ = rename_history(history_, fn);
+    for (auto& r : copy.view_) {
+      if (r.id != no_process) r.id = fn(r.id);
+      if (r.val != 0) r.val = fn(r.val);
+      r.history = rename_history(r.history, fn);
+    }
+    return copy;
+  }
+
+  friend bool operator==(const anon_renaming& a, const anon_renaming& b) {
+    return a.id_ == b.id_ && a.n_ == b.n_ && a.pref_ == b.pref_ &&
+           a.round_ == b.round_ && a.history_ == b.history_ && a.j_ == b.j_ &&
+           a.writing_ == b.writing_ && a.write_target_ == b.write_target_ &&
+           a.view_ == b.view_ && a.name_ == b.name_ && a.choice_ == b.choice_;
+  }
+
+  std::size_t hash() const {
+    std::size_t seed = 0x2e4a111e;
+    hash_combine(seed, id_);
+    hash_combine(seed, pref_);
+    hash_combine(seed, round_);
+    hash_combine(seed, j_);
+    hash_combine(seed, writing_);
+    hash_combine(seed, write_target_);
+    hash_combine(seed, name_.value_or(0));
+    hash_combine(seed, name_.has_value());
+    hash_combine(seed, choice_.hash());
+    for (const auto& e : history_.entries()) {
+      hash_combine(seed, e.id);
+      hash_combine(seed, e.round);
+    }
+    for (const auto& r : view_) hash_combine(seed, hash_value(r));
+    return seed;
+  }
+
+ private:
+  // Lines 5-17, evaluated when the scan completes.
+  void post_scan() {
+    j_ = 0;
+
+    // Lines 5-6: someone recorded this process's election in a history.
+    for (const auto& r : view_) {
+      if (const auto won = r.history.round_of(id_); won != 0) {
+        name_ = won;
+        return;
+      }
+    }
+
+    // Lines 7-12: catch up to the maximum round in sight.
+    std::uint32_t max_round = round_;
+    for (const auto& r : view_) max_round = std::max(max_round, r.round);
+    if (max_round > round_) {
+      for (const auto& r : view_) {
+        if (r.round == max_round) {
+          pref_ = r.val;
+          history_ = r.history;
+          round_ = max_round;
+          break;
+        }
+      }
+    }
+
+    // Lines 13-14: adopt a value with a quorum among current-round entries.
+    if (auto v = value_with_quorum(); v != 0) pref_ = v;
+
+    // Line 17: unanimity check against the scan just taken.
+    const renaming_record mine{id_, pref_, round_, history_};
+    std::vector<int> candidates;
+    for (int k = 0; k < registers(); ++k) {
+      if (view_[static_cast<std::size_t>(k)] != mine) candidates.push_back(k);
+    }
+    if (candidates.empty()) {
+      finish_round();
+      return;
+    }
+    // Lines 15-16: write the full record into an arbitrary differing entry.
+    write_target_ = choice_.pick(candidates);
+    writing_ = true;
+  }
+
+  // Lines 18-21: the inner loop ended — round `round_` elected `pref_`.
+  void finish_round() {
+    if (pref_ == id_) {
+      name_ = round_;  // line 18: this process won round `round_`
+      return;
+    }
+    history_.insert({pref_, round_});          // line 19
+    ++round_;                                  // line 20
+    if (round_ == static_cast<std::uint32_t>(n_)) {
+      name_ = static_cast<std::uint32_t>(n_);  // lines 21-22
+      return;
+    }
+    pref_ = id_;  // line 2 of the next outer iteration
+  }
+
+  template <class Fn>
+  static election_history rename_history(const election_history& h, Fn fn) {
+    election_history out;
+    for (const auto& e : h.entries())
+      out.insert({fn(e.id), e.round});
+    return out;
+  }
+
+  std::uint64_t value_with_quorum() const {
+    for (const auto& r : view_) {
+      if (r.round != round_ || r.val == 0) continue;
+      int count = 0;
+      for (const auto& s : view_)
+        if (s.round == round_ && s.val == r.val) ++count;
+      if (count >= n_) return r.val;
+    }
+    return 0;
+  }
+
+  process_id id_;
+  int n_;
+  std::uint64_t pref_;
+  std::uint32_t round_ = 1;
+  election_history history_;
+  int j_ = 0;
+  bool writing_ = false;
+  int write_target_ = -1;
+  std::vector<renaming_record> view_;
+  std::optional<std::uint32_t> name_;
+  choice_policy choice_;
+};
+
+}  // namespace anoncoord

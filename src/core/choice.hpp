@@ -1,0 +1,52 @@
+// Arbitrary-choice policy.
+//
+// Figures 2 and 3 both contain the step "j := an arbitrary index k such that
+// myview[k] != ...". Correctness must not depend on which k is picked, so the
+// choice is a pluggable policy: deterministic first-match (default; what the
+// model checker explores) or a seeded pseudo-random pick (used by randomized
+// tests to explore more behaviours). The policy's entire state is one 64-bit
+// word so machines stay value-semantic, comparable and hashable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace anoncoord {
+
+class choice_policy {
+ public:
+  /// Deterministic: always the smallest qualifying index.
+  static choice_policy first() { return choice_policy{0, false}; }
+  /// Seeded pseudo-random pick among the qualifying indices.
+  static choice_policy random(std::uint64_t seed) {
+    return choice_policy{seed, true};
+  }
+
+  /// Pick one index from `candidates` (must be non-empty).
+  int pick(const std::vector<int>& candidates) {
+    ANONCOORD_REQUIRE(!candidates.empty(), "no candidate index to pick");
+    if (!randomized_) return candidates.front();
+    splitmix64 sm(state_);
+    const std::uint64_t r = sm.next();
+    state_ = r;  // advance so successive picks differ
+    return candidates[static_cast<std::size_t>(r % candidates.size())];
+  }
+
+  friend bool operator==(const choice_policy&, const choice_policy&) = default;
+
+  std::size_t hash() const {
+    return static_cast<std::size_t>(state_ * 2 + (randomized_ ? 1 : 0));
+  }
+
+ private:
+  choice_policy(std::uint64_t state, bool randomized)
+      : state_(state), randomized_(randomized) {}
+
+  std::uint64_t state_;
+  bool randomized_;
+};
+
+}  // namespace anoncoord

@@ -1,0 +1,112 @@
+// §8, explored: "to consider models where, in addition to unnamed objects, a
+// limited number of named objects are also available."
+//
+// The smallest interesting hybrid: ONE named register plus m-1 unnamed ones.
+// Recall why even m is fatal in the pure model (§3.2, first property): a
+// solution using fewer registers would need "a prior agreement on which
+// m - l registers should be ignored" — and there is none. A single named
+// register IS that agreement:
+//
+//   * if m is odd, ignore the named register and run Fig. 1 on the m
+//     registers as usual (anonymity is no obstacle);
+//   * if m is even, every process agrees to ignore THE NAMED register and
+//     runs Fig. 1 on the remaining m-1 (odd!) unnamed ones.
+//
+// So deadlock-free two-process mutual exclusion becomes solvable for EVERY
+// m >= 3 — one named register strictly increases the power of the model,
+// the constructive face of Theorem 6.1's separation. The tests model-check
+// this for even m, where Theorem 3.1 forbids any purely anonymous solution.
+//
+// Register convention: physical register 0 is the named one (all processes
+// know this index a priori); the others are anonymous, so each process
+// still gets an arbitrary private numbering of registers 1..m-1.
+#pragma once
+
+#include <cstdint>
+
+#include "core/anon_mutex.hpp"
+#include "runtime/step_machine.hpp"
+#include "util/check.hpp"
+#include "util/permutation.hpp"
+
+namespace anoncoord {
+
+/// Two-process deadlock-free mutex over 1 named + (m-1) unnamed registers,
+/// for any m >= 3. Logical indices 0..m-1; index 0 is the named register by
+/// convention (the naming_assignment used with this machine must map every
+/// process's logical 0 to physical 0 and permute only 1..m-1).
+class hybrid_mutex {
+ public:
+  using value_type = process_id;
+
+  hybrid_mutex(process_id id, int m)
+      : m_(m), use_named_(m % 2 == 1),
+        inner_(id, m % 2 == 1 ? m : m - 1) {
+    ANONCOORD_REQUIRE(m >= 3, "the hybrid construction needs m >= 3");
+  }
+
+  process_id id() const { return inner_.id(); }
+  int registers() const { return m_; }
+  /// Whether the named register participates (m odd) or is ignored (m even).
+  bool uses_named_register() const { return use_named_; }
+
+  bool in_critical_section() const { return inner_.in_critical_section(); }
+  bool in_remainder() const { return inner_.in_remainder(); }
+  bool in_entry() const { return inner_.in_entry(); }
+  bool done() const { return false; }
+  std::uint64_t cs_entries() const { return inner_.cs_entries(); }
+
+  op_desc peek() const {
+    op_desc op = inner_.peek();
+    if (op.kind == op_kind::read || op.kind == op_kind::write)
+      op.index = translate(op.index);
+    return op;
+  }
+
+  template <class Mem>
+  void step(Mem& mem) {
+    shifted_memory<Mem> view{&mem, use_named_ ? 0 : 1};
+    inner_.step(view);
+  }
+
+  friend bool operator==(const hybrid_mutex& a, const hybrid_mutex& b) {
+    return a.m_ == b.m_ && a.inner_ == b.inner_;
+  }
+
+  std::size_t hash() const { return inner_.hash() ^ 0x4b21d; }
+
+ private:
+  /// m odd: inner index j is logical j. m even: the inner machine addresses
+  /// only the unnamed registers, logical 1..m-1.
+  int translate(int inner_index) const {
+    return use_named_ ? inner_index : inner_index + 1;
+  }
+
+  template <class Mem>
+  struct shifted_memory {
+    using value_type = typename Mem::value_type;
+    Mem* mem;
+    int shift;
+    int size() const { return mem->size() - shift; }
+    value_type read(int j) const { return mem->read(j + shift); }
+    void write(int j, value_type v) { mem->write(j + shift, std::move(v)); }
+  };
+
+  int m_;
+  bool use_named_;
+  anon_mutex inner_;
+};
+
+/// The naming family the hybrid model allows: logical 0 is pinned to the
+/// named physical register 0; logical 1..m-1 may be any permutation of the
+/// unnamed physical registers 1..m-1.
+inline permutation hybrid_naming(const permutation& unnamed_part) {
+  permutation p;
+  p.push_back(0);
+  for (int v : unnamed_part) p.push_back(v + 1);
+  ANONCOORD_REQUIRE(is_permutation_of_iota(p),
+                    "unnamed part must permute {0..m-2}");
+  return p;
+}
+
+}  // namespace anoncoord

@@ -1,0 +1,370 @@
+#include "lowerbound/covering.hpp"
+
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "core/anon_consensus.hpp"
+#include "core/anon_mutex.hpp"
+#include "core/anon_renaming.hpp"
+#include "mem/naming.hpp"
+#include "runtime/simulator.hpp"
+#include "util/check.hpp"
+#include "util/permutation.hpp"
+
+namespace anoncoord {
+
+namespace {
+
+// Generous per-phase step budgets; every phase below is deterministic and
+// terminates far earlier. Blowing a budget means the construction broke.
+constexpr std::uint64_t solo_budget = 1'000'000;
+
+/// Step `p` until its next operation is a write (it "covers" a register).
+/// Returns the number of steps taken.
+template <class Machine>
+std::uint64_t run_until_covering(simulator<Machine>& sim, int p) {
+  std::uint64_t steps = 0;
+  while (sim.machine(p).peek().kind != op_kind::write) {
+    ANONCOORD_ASSERT(sim.enabled(p), "process finished before covering");
+    ANONCOORD_ASSERT(steps < solo_budget, "covering prefix did not converge");
+    sim.step_process(p);
+    ++steps;
+  }
+  return steps;
+}
+
+/// The naming for covering process k (k = 0-based index among P): any
+/// ordering whose FIRST register is physical register k. A rotation by k
+/// does the job, and mirrors the proof's freedom to pick each process's
+/// scan order.
+permutation covering_naming(int registers, int k) {
+  return rotation_permutation(registers, k);
+}
+
+template <class R>
+void note(R& res, std::string line) {
+  res.narrative.push_back(std::move(line));
+}
+
+}  // namespace
+
+covering_mutex_result run_covering_mutex(int m) {
+  ANONCOORD_REQUIRE(m >= 3, "the demo needs m >= 3 registers");
+
+  covering_mutex_result res;
+  res.m = m;
+
+  // Processes: index 0 = q; indices 1..m = the covering set P.
+  const int procs = m + 1;
+  std::vector<permutation> perms;
+  perms.push_back(identity_permutation(m));  // q
+  for (int k = 0; k < m; ++k) perms.push_back(covering_naming(m, k));
+
+  std::vector<anon_mutex> machines;
+  const process_id q_id = 1000;
+  machines.emplace_back(q_id, m);
+  for (int k = 0; k < m; ++k)
+    machines.emplace_back(static_cast<process_id>(k + 1), m);
+
+  simulator<anon_mutex> sim(m, naming_assignment(std::move(perms)),
+                            std::move(machines));
+
+  // Phase x: run each p in P alone (from the initial state) until it covers
+  // its register. These prefixes contain no writes, so they commute with
+  // everything that follows.
+  for (int p = 1; p < procs; ++p) {
+    run_until_covering(sim, p);
+    ANONCOORD_ASSERT(sim.machine(p).peek().kind == op_kind::write,
+                     "process must be poised to write");
+  }
+  {
+    std::ostringstream os;
+    os << "x: " << m << " processes each ran alone until poised to write; "
+       << "together they cover all " << m << " registers; no writes yet";
+    note(res, os.str());
+  }
+
+  // Phase y: q runs alone until it is in its critical section. Its write set
+  // is all m registers (it wrote its id everywhere before entering).
+  sim.run_solo(0, solo_budget,
+               [](const anon_mutex& mc) { return mc.in_critical_section(); });
+  ANONCOORD_ASSERT(sim.machine(0).in_critical_section(),
+                   "q failed to enter the CS solo");
+  for (int r = 0; r < m; ++r)
+    ANONCOORD_ASSERT(sim.memory().peek(r) == q_id,
+                     "q's solo entry must have written every register");
+  note(res, "y: q ran alone, wrote its id into all registers and entered "
+            "its critical section");
+
+  // Phase w: the block write by P erases every trace q left behind.
+  for (int p = 1; p < procs; ++p) sim.step_process(p);
+  for (int r = 0; r < m; ++r)
+    ANONCOORD_ASSERT(sim.memory().peek(r) != q_id && sim.memory().peek(r) != 0,
+                     "the block write must overwrite q's marks");
+  note(res, "w: block write — each covering process performed its pending "
+            "write; every register q wrote is overwritten");
+
+  // Phase z: each p sees its id in only 1 < ceil(m/2) registers, loses, and
+  // erases its own mark (Fig. 1 lines 4-8). The adversary sequences this in
+  // two read-only-then-clean waves: first every p completes its scan and
+  // loses (reads only — every register still holds some id, so nobody claims
+  // anything); then every p runs its cleanup pass, which writes 0 only over
+  // its own mark. Afterwards every register is 0 again.
+  for (int p = 1; p < procs; ++p) {
+    sim.run_solo(p, solo_budget, [](const anon_mutex& mc) {
+      return mc.phase() == mutex_phase::cleanup_read;
+    });
+    ANONCOORD_ASSERT(sim.machine(p).phase() == mutex_phase::cleanup_read,
+                     "covering process should lose its attempt");
+  }
+  for (int p = 1; p < procs; ++p) {
+    sim.run_solo(p, solo_budget, [](const anon_mutex& mc) {
+      return mc.phase() == mutex_phase::wait_read;
+    });
+    ANONCOORD_ASSERT(sim.machine(p).phase() == mutex_phase::wait_read,
+                     "covering process should settle into the wait loop");
+  }
+  for (int r = 0; r < m; ++r)
+    ANONCOORD_ASSERT(sim.memory().peek(r) == 0,
+                     "cleanup should restore the initial register contents");
+  note(res, "z: every covering process lost its attempt and cleaned up; the "
+            "registers are back to their initial values — to P, the "
+            "configuration is indistinguishable from one where q never ran");
+
+  // Finale: one covering process now runs alone and, finding pristine
+  // registers, enters the critical section while q is still inside.
+  sim.run_solo(1, solo_budget,
+               [](const anon_mutex& mc) { return mc.in_critical_section(); });
+  res.total_steps = sim.total_steps();
+  res.first_in_cs = q_id;
+  if (sim.machine(1).in_critical_section() &&
+      sim.machine(0).in_critical_section()) {
+    res.violation = true;
+    res.second_in_cs = sim.machine(1).id();
+    std::ostringstream os;
+    os << "rho: process " << res.second_in_cs << " entered the critical "
+       << "section while q (" << q_id << ") is still inside — mutual "
+       << "exclusion is violated with " << procs << " processes on " << m
+       << " registers";
+    note(res, os.str());
+  }
+  return res;
+}
+
+covering_consensus_result run_covering_consensus(int configured_n,
+                                                 std::uint64_t input_q,
+                                                 std::uint64_t input_p) {
+  ANONCOORD_REQUIRE(configured_n >= 2, "need n >= 2");
+  ANONCOORD_REQUIRE(input_q != 0 && input_p != 0 && input_q != input_p,
+                    "inputs must be distinct and nonzero");
+
+  covering_consensus_result res;
+  res.configured_n = configured_n;
+  res.registers = 2 * configured_n - 1;
+  const int R = res.registers;
+  res.total_processes = R + 1;
+
+  std::vector<permutation> perms;
+  perms.push_back(identity_permutation(R));  // q
+  for (int k = 0; k < R; ++k) perms.push_back(covering_naming(R, k));
+
+  std::vector<anon_consensus> machines;
+  const process_id q_id = 1000;
+  machines.emplace_back(q_id, input_q, configured_n);
+  for (int k = 0; k < R; ++k)
+    machines.emplace_back(static_cast<process_id>(k + 1), input_p,
+                          configured_n);
+
+  simulator<anon_consensus> sim(R, naming_assignment(std::move(perms)),
+                                std::move(machines));
+
+  // Phase x: covering prefixes (scan only — no writes).
+  for (int p = 1; p <= R; ++p) run_until_covering(sim, p);
+  {
+    std::ostringstream os;
+    os << "x: " << R << " processes with input " << input_p
+       << " each ran alone until poised to write; together they cover all "
+       << R << " registers";
+    note(res, os.str());
+  }
+
+  // Phase y: q decides solo.
+  sim.run_solo(0, solo_budget,
+               [](const anon_consensus& mc) { return mc.done(); });
+  ANONCOORD_ASSERT(sim.machine(0).done(), "q failed to decide solo");
+  res.decision_q = *sim.machine(0).decision();
+  ANONCOORD_ASSERT(res.decision_q == input_q,
+                   "a solo run must decide its own input (validity)");
+  note(res, "y: q ran alone and decided its input " +
+                std::to_string(res.decision_q));
+
+  // Phase w: block write — every register q wrote is overwritten.
+  for (int p = 1; p <= R; ++p) sim.step_process(p);
+  for (int r = 0; r < R; ++r)
+    ANONCOORD_ASSERT(sim.memory().peek(r).id != q_id,
+                     "the block write must overwrite q's marks");
+  note(res, "w: block write — all traces of q's run are erased; P sees a "
+            "configuration in which only processes with input " +
+                std::to_string(input_p) + " ever took steps");
+
+  // Phase z: one covering process runs alone and decides.
+  sim.run_solo(1, solo_budget,
+               [](const anon_consensus& mc) { return mc.done(); });
+  ANONCOORD_ASSERT(sim.machine(1).done(), "p failed to decide solo");
+  res.decision_p = *sim.machine(1).decision();
+  res.total_steps = sim.total_steps();
+  res.violation = res.decision_p != res.decision_q;
+  if (res.violation) {
+    std::ostringstream os;
+    os << "rho: process " << sim.machine(1).id() << " decided "
+       << res.decision_p << " while q already decided " << res.decision_q
+       << " — agreement is violated with " << res.total_processes
+       << " processes on " << R << " (= n-1) registers";
+    note(res, os.str());
+  }
+  return res;
+}
+
+covering_chain_result run_covering_chain(int configured_n, int levels) {
+  ANONCOORD_REQUIRE(configured_n >= 2, "need n >= 2");
+  ANONCOORD_REQUIRE(levels >= 1, "need at least one covering level");
+
+  covering_chain_result res;
+  res.configured_n = configured_n;
+  res.registers = 2 * configured_n - 1;
+  res.levels = levels;
+  const int R = res.registers;
+  res.total_processes = 1 + levels * R;
+
+  // Process index layout: 0 = q (decides value 1); group g (0-based)
+  // occupies indices 1 + g*R .. g*R + R, all with input g + 2.
+  std::vector<permutation> perms;
+  perms.push_back(identity_permutation(R));
+  std::vector<anon_consensus> machines;
+  machines.emplace_back(static_cast<process_id>(1000), /*input=*/1,
+                        configured_n);
+  for (int g = 0; g < levels; ++g) {
+    for (int k = 0; k < R; ++k) {
+      perms.push_back(covering_naming(R, k));
+      machines.emplace_back(static_cast<process_id>(2000 + g * R + k),
+                            static_cast<std::uint64_t>(g + 2), configured_n);
+    }
+  }
+  simulator<anon_consensus> sim(R, naming_assignment(std::move(perms)),
+                                std::move(machines));
+
+  // Stage EVERY covering prefix on the pristine configuration (reads only,
+  // so they all commute with everything that follows).
+  for (int p = 1; p < res.total_processes; ++p) run_until_covering(sim, p);
+  {
+    std::ostringstream os;
+    os << "x: staged " << levels << " covering sets of " << R
+       << " processes each on the initial configuration (no writes yet)";
+    note(res, os.str());
+  }
+
+  // q decides first.
+  sim.run_solo(0, solo_budget,
+               [](const anon_consensus& mc) { return mc.done(); });
+  ANONCOORD_ASSERT(sim.machine(0).done(), "q failed to decide solo");
+  res.decisions.push_back(*sim.machine(0).decision());
+  note(res, "level 0: q ran alone and decided " +
+                std::to_string(res.decisions.back()));
+
+  // Each level: erase every visible trace, then let one survivor decide.
+  for (int g = 0; g < levels; ++g) {
+    const int base = 1 + g * R;
+    for (int k = 0; k < R; ++k) sim.step_process(base + k);  // block write
+    const int leader = base;
+    sim.run_solo(leader, solo_budget,
+                 [](const anon_consensus& mc) { return mc.done(); });
+    ANONCOORD_ASSERT(sim.machine(leader).done(),
+                     "level leader failed to decide solo");
+    res.decisions.push_back(*sim.machine(leader).decision());
+    std::ostringstream os;
+    os << "level " << (g + 1) << ": block write erased all earlier traces; "
+       << "survivor decided " << res.decisions.back();
+    note(res, os.str());
+  }
+
+  res.total_steps = sim.total_steps();
+  std::set<std::uint64_t> distinct(res.decisions.begin(),
+                                   res.decisions.end());
+  res.violation = distinct.size() == res.decisions.size();
+  if (res.violation) {
+    std::ostringstream os;
+    os << "rho: " << res.decisions.size() << " pairwise distinct decisions "
+       << "from one run — not even " << levels << "-set consensus holds "
+       << "with unnamed registers and unknown process count";
+    note(res, os.str());
+  }
+  return res;
+}
+
+covering_renaming_result run_covering_renaming(int configured_n) {
+  ANONCOORD_REQUIRE(configured_n >= 2, "need n >= 2");
+
+  covering_renaming_result res;
+  res.configured_n = configured_n;
+  res.registers = 2 * configured_n - 1;
+  const int R = res.registers;
+  res.total_processes = R + 1;
+
+  std::vector<permutation> perms;
+  perms.push_back(identity_permutation(R));  // q
+  for (int k = 0; k < R; ++k) perms.push_back(covering_naming(R, k));
+
+  std::vector<anon_renaming> machines;
+  const process_id q_id = 1000;
+  machines.emplace_back(q_id, configured_n);
+  for (int k = 0; k < R; ++k)
+    machines.emplace_back(static_cast<process_id>(k + 1), configured_n);
+
+  simulator<anon_renaming> sim(R, naming_assignment(std::move(perms)),
+                               std::move(machines));
+
+  // Phase x: covering prefixes.
+  for (int p = 1; p <= R; ++p) run_until_covering(sim, p);
+  {
+    std::ostringstream os;
+    os << "x: " << R << " processes each ran alone until poised to write; "
+       << "together they cover all " << R << " registers";
+    note(res, os.str());
+  }
+
+  // Phase y: q acquires the name 1 solo (adaptivity: a lone participant
+  // gets the name 1).
+  sim.run_solo(0, solo_budget,
+               [](const anon_renaming& mc) { return mc.done(); });
+  ANONCOORD_ASSERT(sim.machine(0).done(), "q failed to rename solo");
+  res.name_q = *sim.machine(0).name();
+  ANONCOORD_ASSERT(res.name_q == 1, "a solo participant must get name 1");
+  note(res, "y: q ran alone and acquired the name 1");
+
+  // Phase w: block write.
+  for (int p = 1; p <= R; ++p) sim.step_process(p);
+  for (int r = 0; r < R; ++r)
+    ANONCOORD_ASSERT(sim.memory().peek(r).id != q_id,
+                     "the block write must overwrite q's marks");
+  note(res, "w: block write — all traces of q's run are erased");
+
+  // Phase z: one covering process runs alone and acquires a name.
+  sim.run_solo(1, solo_budget,
+               [](const anon_renaming& mc) { return mc.done(); });
+  ANONCOORD_ASSERT(sim.machine(1).done(), "p failed to rename solo");
+  res.name_p = *sim.machine(1).name();
+  res.total_steps = sim.total_steps();
+  res.violation = res.name_p == res.name_q;
+  if (res.violation) {
+    std::ostringstream os;
+    os << "rho: process " << sim.machine(1).id() << " acquired the name "
+       << res.name_p << " which q already holds — uniqueness is violated "
+       << "with " << res.total_processes << " processes on " << R
+       << " (= n-1) registers";
+    note(res, os.str());
+  }
+  return res;
+}
+
+}  // namespace anoncoord

@@ -1,0 +1,101 @@
+// The §6 covering arguments, made executable.
+//
+// Each of Theorems 6.2, 6.3 and 6.5 constructs, for ANY algorithm in the
+// misconfigured regime (number of processes unknown / registers fewer than
+// the bound), a run ρ that violates the problem's safety property:
+//
+//   1. let q run alone from the initial state until it succeeds (enters the
+//      CS / decides / acquires name 1); call its write set W;
+//   2. pick |W| fresh processes P; *because the registers are anonymous*,
+//      choose each p's private numbering so that p's first write covers a
+//      distinct register of W, and run each p alone (from the initial
+//      state!) just until it is poised to write — these prefixes contain no
+//      writes, so they commute with q's solo run;
+//   3. release the block write: P overwrites every trace q left behind;
+//   4. the configuration is now indistinguishable (to P) from one in which
+//      q never ran, so letting P continue produces a second success — two
+//      processes in the CS, two different decisions, or a duplicate name.
+//
+// These orchestrations run the paper's own algorithms (Figs. 1-3) in exactly
+// the regimes the theorems exclude, so the violation the proof guarantees
+// becomes a concrete, replayable trace. The step machines' peek() is what
+// lets the adversary stop a process precisely when it "covers" a register.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mem/payloads.hpp"
+
+namespace anoncoord {
+
+/// Theorem 6.2: Fig. 1 mutex with m registers faced with m+1 participants.
+struct covering_mutex_result {
+  int m = 0;                       ///< registers (and covering processes)
+  bool violation = false;          ///< two processes ended up in the CS
+  process_id first_in_cs = 0;      ///< q
+  process_id second_in_cs = 0;     ///< the covering process that followed
+  std::uint64_t total_steps = 0;
+  std::vector<std::string> narrative;  ///< phase-by-phase account
+};
+
+covering_mutex_result run_covering_mutex(int m);
+
+/// Theorem 6.3(2): Fig. 2 consensus configured for n processes (2n-1
+/// registers) faced with 2n participants — i.e. N = 2n processes sharing
+/// only N-1 registers.
+struct covering_consensus_result {
+  int configured_n = 0;
+  int registers = 0;
+  int total_processes = 0;
+  bool violation = false;          ///< two different decisions
+  std::uint64_t decision_q = 0;
+  std::uint64_t decision_p = 0;
+  std::uint64_t total_steps = 0;
+  std::vector<std::string> narrative;
+};
+
+covering_consensus_result run_covering_consensus(int configured_n,
+                                                 std::uint64_t input_q,
+                                                 std::uint64_t input_p);
+
+/// Theorem 6.5(2): Fig. 3 renaming configured for n processes faced with 2n
+/// participants — two processes acquire the name 1.
+struct covering_renaming_result {
+  int configured_n = 0;
+  int registers = 0;
+  int total_processes = 0;
+  bool violation = false;          ///< duplicate new name
+  std::uint32_t name_q = 0;
+  std::uint32_t name_p = 0;
+  std::uint64_t total_steps = 0;
+  std::vector<std::string> narrative;
+};
+
+covering_renaming_result run_covering_renaming(int configured_n);
+
+/// §6.3 remark, executable: "for every k >= 1, there is no obstruction-free
+/// k-set consensus algorithm when the number of processes is not a priori
+/// known using unnamed registers."
+///
+/// The construction iterates the covering trick: stage `levels` fresh
+/// covering sets on the initial (all-zero) configuration, then alternate
+/// solo-decide / block-write-erase. Every level's survivor decides a new
+/// value, producing levels+1 pairwise distinct decisions from Fig. 2 — so
+/// with enough (unknown-many) processes, not even (levels)-set agreement
+/// survives on a fixed anonymous register file.
+struct covering_chain_result {
+  int configured_n = 0;
+  int registers = 0;
+  int levels = 0;            ///< covering sets staged (k = levels)
+  int total_processes = 0;   ///< 1 + levels * registers
+  std::vector<std::uint64_t> decisions;  ///< levels+1 values, all distinct
+  bool violation = false;    ///< decisions are pairwise distinct
+  std::uint64_t total_steps = 0;
+  std::vector<std::string> narrative;
+};
+
+covering_chain_result run_covering_chain(int configured_n, int levels);
+
+}  // namespace anoncoord

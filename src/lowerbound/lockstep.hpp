@@ -1,0 +1,58 @@
+// The Theorem 3.4 lock-step construction, made executable.
+//
+// "We arrange the registers as a unidirectional ring of size m ... we pick l
+//  processes and assign these l processes the same ring ordering, though
+//  potentially different initial registers ... the distance between any two
+//  neighbouring initial registers is exactly m/l. We run the l processes in
+//  lock steps. Since only comparisons for equality are allowed, processes
+//  that take the same number of steps will be at the same state, and thus it
+//  is not possible to break symmetry. Thus, either all the processes will
+//  enter their critical sections at the same time violating mutual
+//  exclusion, or no process will ever enter its critical section violating
+//  deadlock-freedom."
+//
+// run_lockstep_mutex() realizes this against the Fig. 1 machine (which is
+// well-defined for any number of participants): it places l rotation-offset
+// processes at stride m/l, drives them in strict lock steps, *verifies at
+// every round* that the global state is invariant under the rotation
+// (register r -> r + stride, process k -> k+1, identifiers renamed), and
+// classifies the forced outcome:
+//
+//   * me_violation  — all l processes are in the CS simultaneously;
+//   * livelock      — the global state revisits a previous round's state
+//                     with no CS entry in between: the lock-step run cycles
+//                     forever and no process ever enters its CS.
+//
+// Requires l | m (otherwise the equidistant placement does not exist — which
+// is precisely why relative primality escapes the argument).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace anoncoord {
+
+enum class lockstep_outcome {
+  me_violation,      ///< all processes entered the CS at the same time
+  livelock,          ///< state cycle with no CS entry: deadlock-freedom fails
+  budget_exhausted,  ///< inconclusive within max_rounds (not expected)
+};
+
+std::string to_string(lockstep_outcome o);
+
+struct lockstep_result {
+  int m = 0;                ///< registers on the ring
+  int l = 0;                ///< processes placed on the ring
+  int stride = 0;           ///< m / l
+  lockstep_outcome outcome = lockstep_outcome::budget_exhausted;
+  bool symmetry_held = false;  ///< rotation-invariance verified every round
+  std::uint64_t rounds = 0;    ///< lock-step rounds until classification
+  std::uint64_t cycle_start = 0;  ///< first round of the repeated state
+};
+
+/// Run the Theorem 3.4 construction for Fig. 1 with l processes on m
+/// registers. Precondition: l >= 2, m >= 2, l divides m.
+lockstep_result run_lockstep_mutex(int m, int l,
+                                   std::uint64_t max_rounds = 100000);
+
+}  // namespace anoncoord

@@ -1,0 +1,145 @@
+#include "mem/linearizability.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+#include "util/check.hpp"
+
+namespace anoncoord {
+
+namespace {
+
+bool precedes(const history_op& a, const history_op& b) {
+  return a.responded < b.invoked;
+}
+
+std::string describe(const history_op& op) {
+  std::ostringstream os;
+  os << (op.op == history_op::kind::read ? "read->" : "write(") << op.value
+     << (op.op == history_op::kind::read ? "" : ")") << " [" << op.invoked
+     << "," << op.responded << ") t" << op.thread;
+  return os.str();
+}
+
+}  // namespace
+
+linearizability_verdict check_register_history(
+    const std::vector<history_op>& history) {
+  std::vector<history_op> writes;
+  std::vector<history_op> reads;
+  for (const auto& op : history) {
+    ANONCOORD_REQUIRE(op.invoked <= op.responded,
+                      "operation responds before it is invoked");
+    if (op.op == history_op::kind::write) {
+      ANONCOORD_REQUIRE(op.value != 0, "write values must be nonzero "
+                                       "(0 denotes the initial value)");
+      writes.push_back(op);
+    } else {
+      reads.push_back(op);
+    }
+  }
+
+  // Writes must be real-time totally ordered (the tractable regime).
+  std::sort(writes.begin(), writes.end(),
+            [](const history_op& a, const history_op& b) {
+              return a.invoked < b.invoked;
+            });
+  for (std::size_t i = 1; i < writes.size(); ++i) {
+    ANONCOORD_REQUIRE(precedes(writes[i - 1], writes[i]),
+                      "writes overlap; this checker handles totally "
+                      "real-time-ordered writes only");
+  }
+
+  // Unique write values; map value -> write index (initial value 0 -> -1).
+  std::unordered_map<std::uint64_t, std::ptrdiff_t> index_of;
+  for (std::size_t i = 0; i < writes.size(); ++i) {
+    ANONCOORD_REQUIRE(index_of.emplace(writes[i].value,
+                                       static_cast<std::ptrdiff_t>(i))
+                          .second,
+                      "write values must be unique");
+  }
+
+  linearizability_verdict verdict;
+  const auto fail = [&](const std::string& axiom, const history_op& a,
+                        const std::string& extra) {
+    verdict.linearizable = false;
+    verdict.violation = axiom + ": " + describe(a) + extra;
+  };
+
+  // Resolve each read's source write.
+  std::vector<std::ptrdiff_t> source(reads.size());
+  for (std::size_t i = 0; i < reads.size(); ++i) {
+    const auto& r = reads[i];
+    if (r.value == 0) {
+      source[i] = -1;  // the initial value
+    } else {
+      auto it = index_of.find(r.value);
+      if (it == index_of.end()) {
+        fail("unwritten-value", r, " returned a value never written");
+        return verdict;
+      }
+      source[i] = it->second;
+    }
+
+    // A1: the source write must not begin after the read ends.
+    if (source[i] >= 0) {
+      const auto& w = writes[static_cast<std::size_t>(source[i])];
+      if (precedes(r, w)) {
+        fail("A1", r, " returned " + describe(w) + " from its future");
+        return verdict;
+      }
+    }
+
+    // A2: no write lies entirely between the source write and the read.
+    // Writes are totally ordered, so it suffices to look at source+1.
+    const auto next = static_cast<std::size_t>(source[i] + 1);
+    if (next < writes.size() && precedes(writes[next], r)) {
+      fail("A2", r,
+           " skipped the completed overwrite " + describe(writes[next]));
+      return verdict;
+    }
+  }
+
+  // A3: non-overlapping reads must not observe writes in inverted order.
+  // Sweep reads by invocation time; "retire" reads (sorted by response) once
+  // their response precedes the current invocation, keeping the maximum
+  // retired source. A retired read with a larger source than the current
+  // read is an inversion. O(R log R).
+  std::vector<std::size_t> by_invocation(reads.size());
+  std::vector<std::size_t> by_response(reads.size());
+  for (std::size_t i = 0; i < reads.size(); ++i)
+    by_invocation[i] = by_response[i] = i;
+  std::sort(by_invocation.begin(), by_invocation.end(),
+            [&](std::size_t a, std::size_t b) {
+              return reads[a].invoked < reads[b].invoked;
+            });
+  std::sort(by_response.begin(), by_response.end(),
+            [&](std::size_t a, std::size_t b) {
+              return reads[a].responded < reads[b].responded;
+            });
+  std::size_t retire = 0;
+  std::ptrdiff_t max_retired_source = -2;  // below every real source
+  std::size_t max_retired_read = 0;
+  for (std::size_t idx : by_invocation) {
+    while (retire < by_response.size() &&
+           reads[by_response[retire]].responded < reads[idx].invoked) {
+      if (source[by_response[retire]] > max_retired_source) {
+        max_retired_source = source[by_response[retire]];
+        max_retired_read = by_response[retire];
+      }
+      ++retire;
+    }
+    if (max_retired_source > source[idx]) {
+      fail("A3", reads[max_retired_read],
+           " then " + describe(reads[idx]) + " observed writes in inverted "
+           "order (new/old inversion)");
+      return verdict;
+    }
+  }
+
+  verdict.linearizable = true;
+  return verdict;
+}
+
+}  // namespace anoncoord

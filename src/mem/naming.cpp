@@ -1,0 +1,64 @@
+#include "mem/naming.hpp"
+
+namespace anoncoord {
+
+std::string to_string(naming_kind kind) {
+  switch (kind) {
+    case naming_kind::identity: return "identity";
+    case naming_kind::rotation: return "rotation";
+    case naming_kind::random: return "random";
+  }
+  return "?";
+}
+
+naming_assignment::naming_assignment(std::vector<permutation> perms)
+    : perms_(std::move(perms)) {
+  ANONCOORD_REQUIRE(!perms_.empty(), "need at least one process");
+  const auto size = perms_.front().size();
+  for (const auto& p : perms_) {
+    ANONCOORD_REQUIRE(p.size() == size, "all numberings must cover the same "
+                                        "register file");
+    ANONCOORD_REQUIRE(is_permutation_of_iota(p),
+                      "each numbering must be a permutation");
+  }
+}
+
+naming_assignment naming_assignment::identity(int processes, int registers) {
+  ANONCOORD_REQUIRE(processes > 0, "need at least one process");
+  return naming_assignment(std::vector<permutation>(
+      static_cast<std::size_t>(processes), identity_permutation(registers)));
+}
+
+naming_assignment naming_assignment::rotations(int processes, int registers,
+                                               int stride) {
+  ANONCOORD_REQUIRE(processes > 0, "need at least one process");
+  std::vector<permutation> perms;
+  perms.reserve(static_cast<std::size_t>(processes));
+  for (int k = 0; k < processes; ++k)
+    perms.push_back(rotation_permutation(registers, k * stride));
+  return naming_assignment(std::move(perms));
+}
+
+naming_assignment naming_assignment::random(int processes, int registers,
+                                            std::uint64_t seed) {
+  ANONCOORD_REQUIRE(processes > 0, "need at least one process");
+  xoshiro256 rng(seed);
+  std::vector<permutation> perms;
+  perms.reserve(static_cast<std::size_t>(processes));
+  for (int k = 0; k < processes; ++k)
+    perms.push_back(random_permutation(registers, rng));
+  return naming_assignment(std::move(perms));
+}
+
+int naming_assignment::registers() const {
+  ANONCOORD_REQUIRE(!perms_.empty(), "empty assignment");
+  return static_cast<int>(perms_.front().size());
+}
+
+const permutation& naming_assignment::of(int process) const {
+  ANONCOORD_REQUIRE(process >= 0 && process < processes(),
+                    "process index out of range");
+  return perms_[static_cast<std::size_t>(process)];
+}
+
+}  // namespace anoncoord

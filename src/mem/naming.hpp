@@ -1,0 +1,94 @@
+// Naming: the anonymity layer.
+//
+// "From the point of view of the processes, the registers do not have global
+//  names: the first register examined and the subsequent order in which
+//  registers are scanned may be different for each process." (§1)
+//
+// A naming_assignment gives each process a private permutation of the
+// physical register indices; naming_view applies one process's permutation so
+// the algorithm's logical index j addresses physical register perm[j].
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/permutation.hpp"
+#include "util/rng.hpp"
+
+namespace anoncoord {
+
+/// How an adversary assigns per-process register numberings.
+enum class naming_kind {
+  identity,   ///< every process uses the same (physical) order — the *named* model
+  rotation,   ///< process k's order is the ring rotated by k * stride (Thm 3.4)
+  random,     ///< independent uniformly random permutation per process
+};
+
+std::string to_string(naming_kind kind);
+
+/// One permutation per process. assignment[p][j] = physical index of process
+/// p's j-th register.
+class naming_assignment {
+ public:
+  naming_assignment() = default;
+  naming_assignment(std::vector<permutation> perms);
+
+  /// All processes share the identity numbering (the standard named model).
+  static naming_assignment identity(int processes, int registers);
+  /// Ring rotations at the given stride: process k gets rotation by k*stride.
+  /// With stride = registers / l this is exactly the Theorem 3.4 placement.
+  static naming_assignment rotations(int processes, int registers, int stride);
+  /// Independent random permutations (seeded).
+  static naming_assignment random(int processes, int registers,
+                                  std::uint64_t seed);
+
+  int processes() const { return static_cast<int>(perms_.size()); }
+  int registers() const;
+  const permutation& of(int process) const;
+
+  friend bool operator==(const naming_assignment&,
+                         const naming_assignment&) = default;
+
+ private:
+  std::vector<permutation> perms_;
+};
+
+/// Applies one process's numbering over any register file.
+/// Mem must provide read(int)/write(int, V)/size().
+template <class Mem>
+class naming_view {
+ public:
+  using value_type = typename Mem::value_type;
+
+  naming_view(Mem& mem, permutation perm)
+      : mem_(&mem), perm_(std::move(perm)) {
+    ANONCOORD_REQUIRE(static_cast<int>(perm_.size()) == mem.size(),
+                      "permutation size must match register file size");
+    ANONCOORD_REQUIRE(is_permutation_of_iota(perm_),
+                      "naming must be a permutation of register indices");
+  }
+
+  int size() const { return static_cast<int>(perm_.size()); }
+
+  value_type read(int logical) const { return mem_->read(physical(logical)); }
+
+  void write(int logical, value_type v) {
+    mem_->write(physical(logical), std::move(v));
+  }
+
+  /// The physical register this process's logical index j denotes.
+  int physical(int logical) const {
+    ANONCOORD_REQUIRE(logical >= 0 && logical < size(),
+                      "logical register index out of range");
+    return perm_[static_cast<std::size_t>(logical)];
+  }
+
+  const permutation& perm() const { return perm_; }
+
+ private:
+  Mem* mem_;
+  permutation perm_;
+};
+
+}  // namespace anoncoord

@@ -1,0 +1,100 @@
+// Memory-ordering-parameterized register file — the ablation knob behind the
+// paper's §1 aside that memory-anonymous algorithms, being insensitive to
+// access order, "may need to use only a small number of memory barriers".
+//
+// shared_register_file (the default) gives every operation seq_cst order,
+// which is what the atomic-register model formally requires (operations on
+// ALL registers appear in one total order). This file exposes weaker
+// disciplines so bench_ablation can price the fences:
+//
+//   seq_cst   — the model-faithful default;
+//   acq_rel   — release stores / acquire loads: per-register coherence and
+//               happens-before via each register, but no single total order
+//               across registers (IRIW-style anomalies become possible; the
+//               Fig. 1 proof does not obviously survive this);
+//   relaxed   — coherence only; for measurement, NOT for running algorithms.
+//
+// Only word-sized lock-free payloads are supported: the weaker orders exist
+// to measure fence costs, which is meaningless for the boxed representation.
+#pragma once
+
+#include <atomic>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/padded.hpp"
+
+namespace anoncoord {
+
+enum class memory_discipline {
+  seq_cst,
+  acq_rel,
+  relaxed,
+};
+
+inline const char* to_string(memory_discipline d) {
+  switch (d) {
+    case memory_discipline::seq_cst: return "seq_cst";
+    case memory_discipline::acq_rel: return "acq_rel";
+    case memory_discipline::relaxed: return "relaxed";
+  }
+  return "?";
+}
+
+/// A register file over lock-free atomics whose load/store orders are fixed
+/// at compile time. Interface-compatible with shared_register_file.
+template <class V, memory_discipline Discipline>
+class ordered_register_file {
+  static_assert(std::atomic<V>::is_always_lock_free,
+                "ordered_register_file is for word-sized payloads only");
+
+ public:
+  using value_type = V;
+
+  explicit ordered_register_file(int size)
+      : regs_(static_cast<std::size_t>(size)) {
+    ANONCOORD_REQUIRE(size > 0, "register file needs at least one register");
+  }
+
+  int size() const { return static_cast<int>(regs_.size()); }
+
+  V read(int physical) const {
+    check_index(physical);
+    return regs_[static_cast<std::size_t>(physical)].value.load(load_order());
+  }
+
+  void write(int physical, V v) {
+    check_index(physical);
+    regs_[static_cast<std::size_t>(physical)].value.store(v, store_order());
+  }
+
+  static constexpr memory_discipline discipline() { return Discipline; }
+
+ private:
+  static constexpr std::memory_order load_order() {
+    switch (Discipline) {
+      case memory_discipline::seq_cst: return std::memory_order_seq_cst;
+      case memory_discipline::acq_rel: return std::memory_order_acquire;
+      case memory_discipline::relaxed: return std::memory_order_relaxed;
+    }
+    return std::memory_order_seq_cst;
+  }
+
+  static constexpr std::memory_order store_order() {
+    switch (Discipline) {
+      case memory_discipline::seq_cst: return std::memory_order_seq_cst;
+      case memory_discipline::acq_rel: return std::memory_order_release;
+      case memory_discipline::relaxed: return std::memory_order_relaxed;
+    }
+    return std::memory_order_seq_cst;
+  }
+
+  void check_index(int physical) const {
+    ANONCOORD_REQUIRE(physical >= 0 && physical < size(),
+                      "register index out of range");
+  }
+
+  std::vector<padded<std::atomic<V>>> regs_;
+};
+
+}  // namespace anoncoord

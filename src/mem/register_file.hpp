@@ -1,0 +1,79 @@
+// Register files: the physical array of anonymous MWMR atomic registers.
+//
+// Two implementations share the same duck-typed interface
+//     int size() const;  V read(int physical) const;  void write(int physical, V);
+//
+//   * sim_register_file<V>    — owned by the deterministic simulator / model
+//     checker; no synchronization (the driver serializes steps), plus
+//     read/write counters and an optional write-notification hook.
+//   * shared_register_file<V> — in mem/shared_register_file.hpp, backed by
+//     real std::atomic storage for multi-threaded execution.
+//
+// Register *anonymity* is layered on top by naming_view (mem/naming.hpp):
+// algorithms always address registers through a per-process permutation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace anoncoord {
+
+/// Operation counters kept by the simulator's register file.
+struct mem_counters {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+};
+
+/// Plain-value register file for single-threaded (scheduled) execution.
+template <class V>
+class sim_register_file {
+ public:
+  using value_type = V;
+
+  explicit sim_register_file(int size)
+      : regs_(static_cast<std::size_t>(size)) {
+    ANONCOORD_REQUIRE(size > 0, "register file needs at least one register");
+  }
+
+  int size() const { return static_cast<int>(regs_.size()); }
+
+  V read(int physical) const {
+    check_index(physical);
+    ++counters_.reads;
+    return regs_[static_cast<std::size_t>(physical)];
+  }
+
+  void write(int physical, V v) {
+    check_index(physical);
+    ++counters_.writes;
+    regs_[static_cast<std::size_t>(physical)] = std::move(v);
+  }
+
+  /// Direct (uncounted) access for checkers and test assertions.
+  const V& peek(int physical) const {
+    check_index(physical);
+    return regs_[static_cast<std::size_t>(physical)];
+  }
+
+  /// Reset every register to its initial value and clear counters.
+  void reset() {
+    for (auto& r : regs_) r = V{};
+    counters_ = {};
+  }
+
+  const std::vector<V>& snapshot() const { return regs_; }
+  const mem_counters& counters() const { return counters_; }
+
+ private:
+  void check_index(int physical) const {
+    ANONCOORD_REQUIRE(physical >= 0 && physical < size(),
+                      "register index out of range");
+  }
+
+  std::vector<V> regs_;
+  mutable mem_counters counters_;
+};
+
+}  // namespace anoncoord

@@ -1,0 +1,116 @@
+// Thread-shared register file: real atomic MWMR registers.
+//
+// Atomic-register semantics in the paper = linearizable single-word reads and
+// writes. We realize them two ways depending on the payload:
+//
+//   * word-sized trivially-copyable payloads (the Fig. 1 mutex uses plain
+//     process ids) live in a lock-free std::atomic<V> with seq_cst ordering;
+//   * larger payloads (consensus/renaming records with history sets) live
+//     behind std::atomic<std::shared_ptr<const V>>, which still makes every
+//     read and write an individually linearizable operation on that register
+//     — exactly the granularity the model grants.
+//
+// Each register sits on its own cache line so the plasticity experiment
+// (DESIGN.md E9) measures genuine per-register contention.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/padded.hpp"
+
+namespace anoncoord {
+
+namespace detail {
+
+/// Lock-free register for word-sized payloads.
+template <class V>
+class trivial_register {
+ public:
+  V read() const { return value_.load(std::memory_order_seq_cst); }
+  void write(V v) { value_.store(v, std::memory_order_seq_cst); }
+
+ private:
+  std::atomic<V> value_{V{}};
+};
+
+/// Linearizable register for arbitrary payloads via atomic shared_ptr.
+/// A null pointer denotes the initial value V{} so construction stays cheap.
+template <class V>
+class boxed_register {
+ public:
+  V read() const {
+    auto p = value_.load(std::memory_order_seq_cst);
+    return p ? *p : V{};
+  }
+
+  void write(V v) {
+    value_.store(std::make_shared<const V>(std::move(v)),
+                 std::memory_order_seq_cst);
+  }
+
+ private:
+  std::atomic<std::shared_ptr<const V>> value_{nullptr};
+};
+
+template <class V>
+inline constexpr bool use_trivial_register = [] {
+  // Guard the std::atomic<V> instantiation: it hard-errors for types that
+  // are not trivially copyable, so the check must short-circuit at
+  // compile time, not merely at evaluation time.
+  if constexpr (std::is_trivially_copyable_v<V>)
+    return std::atomic<V>::is_always_lock_free;
+  else
+    return false;
+}();
+
+template <class V>
+using register_impl = std::conditional_t<use_trivial_register<V>,
+                                         trivial_register<V>,
+                                         boxed_register<V>>;
+
+}  // namespace detail
+
+/// An array of atomic registers shareable between threads.
+/// read()/write() are safe to call concurrently from any thread.
+template <class V>
+class shared_register_file {
+ public:
+  using value_type = V;
+
+  explicit shared_register_file(int size)
+      : regs_(static_cast<std::size_t>(size)) {
+    ANONCOORD_REQUIRE(size > 0, "register file needs at least one register");
+  }
+
+  int size() const { return static_cast<int>(regs_.size()); }
+
+  V read(int physical) const {
+    check_index(physical);
+    return regs_[static_cast<std::size_t>(physical)].value.read();
+  }
+
+  void write(int physical, V v) {
+    check_index(physical);
+    regs_[static_cast<std::size_t>(physical)].value.write(std::move(v));
+  }
+
+  /// Whether this instantiation uses lock-free word atomics.
+  static constexpr bool is_lock_free() {
+    return detail::use_trivial_register<V>;
+  }
+
+ private:
+  void check_index(int physical) const {
+    ANONCOORD_REQUIRE(physical >= 0 && physical < size(),
+                      "register index out of range");
+  }
+
+  // vector is sized once at construction; elements are never moved after.
+  std::vector<padded<detail::register_impl<V>>> regs_;
+};
+
+}  // namespace anoncoord

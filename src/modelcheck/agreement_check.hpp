@@ -1,0 +1,125 @@
+// Model-checking harnesses for the Fig. 2 consensus and Fig. 3 renaming
+// algorithms: exhaustive verification of their safety properties over every
+// interleaving of a small configuration, plus the obstruction-freedom-shaped
+// progress property "from every reachable state, a state where all processes
+// have terminated is reachable" (some continuation — e.g. running each
+// process alone in turn — finishes the job).
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/anon_consensus.hpp"
+#include "core/anon_renaming.hpp"
+#include "mem/naming.hpp"
+#include "modelcheck/explorer.hpp"
+
+namespace anoncoord {
+
+struct agreement_check_result {
+  bool complete = false;
+  bool safety = false;       ///< agreement+validity / uniqueness+range
+  bool termination_possible = false;  ///< EF(all done) from every state
+  std::uint64_t num_states = 0;
+  std::vector<int> counterexample;
+
+  bool ok() const { return complete && safety && termination_possible; }
+  std::string verdict() const {
+    if (!complete) return "INCOMPLETE";
+    if (!safety) return "SAFETY-VIOLATION";
+    if (!termination_possible) return "STUCK";
+    return "OK";
+  }
+};
+
+namespace detail {
+
+template <class Machine, class BadPred>
+agreement_check_result run_agreement_check(int registers,
+                                           const naming_assignment& naming,
+                                           std::vector<Machine> machines,
+                                           BadPred is_bad,
+                                           std::uint64_t max_states) {
+  using ex = explorer<Machine>;
+  typename ex::options opt;
+  opt.max_states = max_states;
+  ex e(registers, naming, std::move(machines), opt);
+
+  auto res = e.explore(is_bad);
+
+  agreement_check_result out;
+  out.complete = res.complete;
+  out.num_states = res.num_states;
+  out.safety = !res.safety_violated();
+  if (res.safety_violated()) {
+    out.counterexample = res.bad_schedule;
+    return out;
+  }
+  if (!res.complete) return out;
+
+  e.check_progress(
+      res, [](const global_state<Machine>&) { return true; },
+      [](const global_state<Machine>& s) {
+        for (const auto& p : s.procs)
+          if (!p.done()) return false;
+        return true;
+      });
+  out.termination_possible = !res.progress_violated();
+  if (res.progress_violated()) out.counterexample = res.stuck_schedule;
+  return out;
+}
+
+}  // namespace detail
+
+/// Exhaustively check Fig. 2 for the given naming and inputs: agreement
+/// (all decisions equal) and validity (decisions come from the inputs).
+inline agreement_check_result check_anon_consensus(
+    int n, const naming_assignment& naming,
+    const std::vector<std::pair<process_id, std::uint64_t>>& id_and_input,
+    std::uint64_t max_states = 2'000'000) {
+  std::vector<anon_consensus> machines;
+  std::set<std::uint64_t> inputs;
+  for (auto [id, in] : id_and_input) {
+    machines.emplace_back(id, in, n);
+    inputs.insert(in);
+  }
+  return detail::run_agreement_check(
+      2 * n - 1, naming, std::move(machines),
+      [inputs](const global_state<anon_consensus>& s) {
+        std::set<std::uint64_t> decisions;
+        for (const auto& p : s.procs)
+          if (p.decision()) decisions.insert(*p.decision());
+        if (decisions.size() > 1) return true;  // agreement violated
+        for (auto d : decisions)
+          if (!inputs.count(d)) return true;  // validity violated
+        return false;
+      },
+      max_states);
+}
+
+/// Exhaustively check Fig. 3 for the given naming and ids: names are unique
+/// and drawn from {1, .., n} (perfectness; adaptivity is checked by the
+/// simulator-based tests, which control the participant set).
+inline agreement_check_result check_anon_renaming(
+    int n, const naming_assignment& naming, const std::vector<process_id>& ids,
+    std::uint64_t max_states = 2'000'000) {
+  std::vector<anon_renaming> machines;
+  for (auto id : ids) machines.emplace_back(id, n);
+  return detail::run_agreement_check(
+      2 * n - 1, naming, std::move(machines),
+      [n](const global_state<anon_renaming>& s) {
+        std::set<std::uint32_t> names;
+        for (const auto& p : s.procs) {
+          if (!p.name()) continue;
+          const std::uint32_t v = *p.name();
+          if (v < 1 || v > static_cast<std::uint32_t>(n)) return true;
+          if (!names.insert(v).second) return true;  // duplicate name
+        }
+        return false;
+      },
+      max_states);
+}
+
+}  // namespace anoncoord

@@ -1,0 +1,270 @@
+// Explicit-state model checker for step-machine systems.
+//
+// A global state is (register contents, every process's local state) — the
+// paper's §6.1 definition. Because machines are deterministic given what
+// they read, each enabled process contributes exactly one successor, and the
+// reachable graph under *all* interleavings is explored by BFS with
+// memoization. This mechanically verifies, for concrete configurations, what
+// the paper proves by hand:
+//
+//   * safety invariants (mutual exclusion, agreement, ...) hold in every
+//     reachable state, with a counterexample schedule extracted on failure;
+//   * progress potential: from every reachable state satisfying a premise
+//     (e.g. "someone is in the entry code"), a goal state (e.g. "someone is
+//     in the CS") is reachable. A reachable state from which the goal is
+//     UNreachable is a genuine liveness violation — every continuation of
+//     that run avoids the goal forever — which is exactly the shape of the
+//     even-m and lock-step counterexamples behind Theorems 3.1 and 3.4.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/naming.hpp"
+#include "runtime/step_machine.hpp"
+#include "util/check.hpp"
+#include "util/hash.hpp"
+
+namespace anoncoord {
+
+/// Memory adapter exposing a plain vector as a register file (the model
+/// checker owns register contents inside each global state).
+template <class V>
+class vector_memory {
+ public:
+  using value_type = V;
+
+  explicit vector_memory(std::vector<V>& regs) : regs_(&regs) {}
+
+  int size() const { return static_cast<int>(regs_->size()); }
+  V read(int physical) const {
+    return regs_->at(static_cast<std::size_t>(physical));
+  }
+  void write(int physical, V v) {
+    regs_->at(static_cast<std::size_t>(physical)) = std::move(v);
+  }
+
+ private:
+  std::vector<V>* regs_;
+};
+
+template <class Machine>
+struct global_state {
+  using value_type = typename Machine::value_type;
+
+  std::vector<value_type> regs;
+  std::vector<Machine> procs;
+
+  friend bool operator==(const global_state&, const global_state&) = default;
+
+  std::size_t hash() const {
+    std::size_t seed = 0x57a7e;
+    for (const auto& r : regs) hash_combine(seed, hash_value(r));
+    for (const auto& p : procs) hash_combine(seed, p.hash());
+    return seed;
+  }
+};
+
+template <class Machine>
+class explorer {
+ public:
+  using state_type = global_state<Machine>;
+  using state_predicate = std::function<bool(const state_type&)>;
+
+  struct options {
+    /// Exploration cap; result.complete reports whether it was reached.
+    std::uint64_t max_states = 2'000'000;
+  };
+
+  struct result {
+    bool complete = false;        ///< full reachable set explored
+    std::uint64_t num_states = 0;
+    std::uint64_t num_edges = 0;
+
+    /// First reachable state violating the safety predicate, if any,
+    /// together with the schedule (process indices) leading to it.
+    std::optional<state_type> bad_state;
+    std::vector<int> bad_schedule;
+
+    /// Progress analysis (filled by check_progress): reachable states
+    /// satisfying the premise from which no goal state is reachable.
+    std::uint64_t stuck_states = 0;
+    std::optional<state_type> stuck_state;
+    std::vector<int> stuck_schedule;
+
+    bool safety_violated() const { return bad_state.has_value(); }
+    bool progress_violated() const { return stuck_states > 0; }
+  };
+
+  explorer(int registers, naming_assignment naming,
+           std::vector<Machine> initial_machines, options opt = {})
+      : registers_(registers), naming_(std::move(naming)),
+        initial_machines_(std::move(initial_machines)), opt_(opt) {
+    ANONCOORD_REQUIRE(
+        naming_.processes() == static_cast<int>(initial_machines_.size()),
+        "naming assignment and machine count disagree");
+    ANONCOORD_REQUIRE(naming_.registers() == registers,
+                      "naming assignment built for a different register file");
+  }
+
+  /// Explore the reachable state space, checking `is_bad` (safety violation)
+  /// on every discovered state. Exploration stops early on a violation.
+  result explore(const state_predicate& is_bad = {}) {
+    reset();
+    result res;
+
+    state_type init;
+    init.regs.assign(static_cast<std::size_t>(registers_),
+                     typename state_type::value_type{});
+    init.procs = initial_machines_;
+    intern(init, /*parent=*/-1, /*via=*/-1);
+    if (is_bad && is_bad(init)) {
+      res.bad_state = init;
+      finish(res);
+      return res;
+    }
+
+    std::uint64_t frontier = 0;
+    while (frontier < states_.size()) {
+      if (states_.size() >= opt_.max_states) {
+        finish(res);
+        return res;  // incomplete
+      }
+      const auto s = static_cast<std::int64_t>(frontier++);
+      const int nprocs = static_cast<int>(states_[static_cast<std::size_t>(s)].procs.size());
+      for (int p = 0; p < nprocs; ++p) {
+        // Copy-then-step; machines are value types.
+        state_type next = states_[static_cast<std::size_t>(s)];
+        Machine& machine = next.procs[static_cast<std::size_t>(p)];
+        if (machine.peek().kind == op_kind::none) continue;
+        vector_memory<typename state_type::value_type> raw(next.regs);
+        naming_view<vector_memory<typename state_type::value_type>> view(
+            raw, naming_.of(p));
+        machine.step(view);
+        const auto [idx, fresh] = intern(std::move(next), s, p);
+        edges_.emplace_back(static_cast<std::uint32_t>(s),
+                            static_cast<std::uint32_t>(idx));
+        if (fresh && is_bad && is_bad(states_[static_cast<std::size_t>(idx)])) {
+          res.bad_state = states_[static_cast<std::size_t>(idx)];
+          res.bad_schedule = schedule_to(idx);
+          finish(res);
+          return res;
+        }
+      }
+    }
+    res.complete = true;
+    finish(res);
+    return res;
+  }
+
+  /// After a *complete* explore(): verify that from every reachable state
+  /// satisfying `premise`, some state satisfying `goal` is reachable.
+  /// Populates the progress fields of `res`.
+  void check_progress(result& res, const state_predicate& premise,
+                      const state_predicate& goal) const {
+    ANONCOORD_REQUIRE(res.complete,
+                      "progress analysis needs a complete state space");
+    const auto n = states_.size();
+    // Backward reachability from goal states over the recorded edges.
+    std::vector<char> reaches_goal(n, 0);
+    std::vector<std::vector<std::uint32_t>> reverse(n);
+    for (const auto& [from, to] : edges_)
+      reverse[to].push_back(from);
+    std::deque<std::uint32_t> queue;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (goal(states_[i])) {
+        reaches_goal[i] = 1;
+        queue.push_back(static_cast<std::uint32_t>(i));
+      }
+    }
+    while (!queue.empty()) {
+      const auto v = queue.front();
+      queue.pop_front();
+      for (auto u : reverse[v]) {
+        if (!reaches_goal[u]) {
+          reaches_goal[u] = 1;
+          queue.push_back(u);
+        }
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (premise(states_[i]) && !reaches_goal[i]) {
+        ++res.stuck_states;
+        if (!res.stuck_state) {
+          res.stuck_state = states_[i];
+          res.stuck_schedule = schedule_to(static_cast<std::int64_t>(i));
+        }
+      }
+    }
+  }
+
+  const std::vector<state_type>& states() const { return states_; }
+
+ private:
+  struct state_hasher {
+    std::size_t operator()(const state_type* s) const { return s->hash(); }
+  };
+  struct state_equal {
+    bool operator()(const state_type* a, const state_type* b) const {
+      return *a == *b;
+    }
+  };
+
+  void reset() {
+    states_.clear();
+    index_.clear();
+    parent_.clear();
+    via_.clear();
+    edges_.clear();
+  }
+
+  // Deduplicate a state; returns (index, inserted-fresh).
+  std::pair<std::int64_t, bool> intern(state_type s, std::int64_t parent,
+                                       int via) {
+    // Look up without inserting: keys point into states_, so we must only
+    // insert the pointer after the state has its final address.
+    auto it = index_.find(&s);
+    if (it != index_.end()) return {it->second, false};
+    states_.push_back(std::move(s));
+    const auto idx = static_cast<std::int64_t>(states_.size() - 1);
+    index_.emplace(&states_.back(), idx);
+    parent_.push_back(parent);
+    via_.push_back(via);
+    return {idx, true};
+  }
+
+  std::vector<int> schedule_to(std::int64_t idx) const {
+    std::vector<int> sched;
+    for (std::int64_t s = idx; s >= 0 && parent_[static_cast<std::size_t>(s)] >= 0;
+         s = parent_[static_cast<std::size_t>(s)]) {
+      sched.push_back(via_[static_cast<std::size_t>(s)]);
+    }
+    std::reverse(sched.begin(), sched.end());
+    return sched;
+  }
+
+  void finish(result& res) const {
+    res.num_states = states_.size();
+    res.num_edges = edges_.size();
+  }
+
+  int registers_;
+  naming_assignment naming_;
+  std::vector<Machine> initial_machines_;
+  options opt_;
+
+  std::deque<state_type> states_;  // deque: stable addresses for index_ keys
+  std::unordered_map<const state_type*, std::int64_t, state_hasher,
+                     state_equal>
+      index_;
+  std::vector<std::int64_t> parent_;
+  std::vector<int> via_;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges_;
+};
+
+}  // namespace anoncoord

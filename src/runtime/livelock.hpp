@@ -1,0 +1,76 @@
+// Livelock detection under deterministic schedules.
+//
+// A livelock is PROVEN (not just suspected) when the global state — register
+// contents plus every process's local state — recurs under a deterministic
+// schedule whose choice depends only on that state and its own position:
+// from the repeat onward the run replays the cycle forever. This is the same
+// argument the lock-step engine uses for Theorem 3.4, packaged for any
+// machine type and any round-based schedule.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "runtime/simulator.hpp"
+#include "util/hash.hpp"
+
+namespace anoncoord {
+
+template <class Machine>
+struct livelock_report {
+  bool livelock = false;        ///< a state cycle was found before the goal
+  bool goal_reached = false;    ///< the goal predicate fired first
+  std::uint64_t rounds = 0;     ///< rounds executed
+  std::uint64_t cycle_start = 0;  ///< first round of the repeated state
+};
+
+/// Drive the simulator in strict round-robin rounds (each enabled process
+/// takes one step per round, in index order) until either `goal` holds or a
+/// global state repeats at a round boundary. States are compared by a
+/// 64-bit hash of (registers, machine states) — the standard explicit-state
+/// trade-off; a collision could only cause an early "livelock" report.
+template <class Machine>
+livelock_report<Machine> detect_livelock_round_robin(
+    simulator<Machine>& sim,
+    const std::function<bool(const simulator<Machine>&)>& goal,
+    std::uint64_t max_rounds = 1'000'000) {
+  livelock_report<Machine> report;
+
+  const auto state_key = [&sim] {
+    std::size_t seed = 0x11f310c;
+    for (const auto& r : sim.memory().snapshot())
+      hash_combine(seed, hash_value(r));
+    for (int p = 0; p < sim.process_count(); ++p)
+      hash_combine(seed, sim.machine(p).hash());
+    return seed;
+  };
+
+  std::unordered_map<std::size_t, std::uint64_t> seen;
+  seen.emplace(state_key(), 0);
+
+  for (std::uint64_t round = 1; round <= max_rounds; ++round) {
+    bool anyone_moved = false;
+    for (int p = 0; p < sim.process_count(); ++p) {
+      if (sim.enabled(p)) {
+        sim.step_process(p);
+        anyone_moved = true;
+      }
+    }
+    report.rounds = round;
+    if (goal(sim)) {
+      report.goal_reached = true;
+      return report;
+    }
+    if (!anyone_moved) return report;  // everyone finished or crashed
+    const auto [it, fresh] = seen.emplace(state_key(), round);
+    if (!fresh) {
+      report.livelock = true;
+      report.cycle_start = it->second;
+      return report;
+    }
+  }
+  return report;
+}
+
+}  // namespace anoncoord

@@ -1,0 +1,94 @@
+#include "runtime/schedule.hpp"
+
+#include "util/check.hpp"
+
+namespace anoncoord {
+
+namespace {
+bool any_enabled(const std::vector<char>& enabled) {
+  for (char e : enabled)
+    if (e) return true;
+  return false;
+}
+}  // namespace
+
+int round_robin_schedule::pick(const std::vector<char>& enabled,
+                               std::uint64_t /*step*/) {
+  ANONCOORD_REQUIRE(any_enabled(enabled), "pick() with no enabled process");
+  const int n = static_cast<int>(enabled.size());
+  for (int d = 1; d <= n; ++d) {
+    const int p = (last_ + d) % n;
+    if (enabled[static_cast<std::size_t>(p)]) {
+      last_ = p;
+      return p;
+    }
+  }
+  return -1;  // unreachable
+}
+
+int random_schedule::pick(const std::vector<char>& enabled,
+                          std::uint64_t /*step*/) {
+  ANONCOORD_REQUIRE(any_enabled(enabled), "pick() with no enabled process");
+  int count = 0;
+  for (char e : enabled) count += e ? 1 : 0;
+  auto target = static_cast<int>(rng_.below(static_cast<std::uint64_t>(count)));
+  for (std::size_t p = 0; p < enabled.size(); ++p) {
+    if (!enabled[p]) continue;
+    if (target-- == 0) return static_cast<int>(p);
+  }
+  return -1;  // unreachable
+}
+
+int scripted_schedule::pick(const std::vector<char>& enabled,
+                            std::uint64_t /*step*/) {
+  if (next_ >= script_.size()) return -1;
+  const int p = script_[next_++];
+  ANONCOORD_REQUIRE(p >= 0 && static_cast<std::size_t>(p) < enabled.size(),
+                    "scripted process index out of range");
+  ANONCOORD_REQUIRE(enabled[static_cast<std::size_t>(p)],
+                    "script schedules a process that cannot take a step");
+  return p;
+}
+
+int solo_schedule::pick(const std::vector<char>& enabled,
+                        std::uint64_t /*step*/) {
+  if (static_cast<std::size_t>(process_) >= enabled.size() ||
+      !enabled[static_cast<std::size_t>(process_)])
+    return -1;  // the distinguished process cannot move; stop the run
+  return process_;
+}
+
+int bursty_schedule::pick(const std::vector<char>& enabled,
+                          std::uint64_t step) {
+  ANONCOORD_REQUIRE(any_enabled(enabled), "pick() with no enabled process");
+  const int n = static_cast<int>(enabled.size());
+  if (burst_remaining_ > 0 &&
+      enabled[static_cast<std::size_t>(burst_target_)]) {
+    --burst_remaining_;
+    return burst_target_;
+  }
+  burst_remaining_ = 0;
+  if (burst_every_ > 0 && step > 0 &&
+      step % static_cast<std::uint64_t>(burst_every_) == 0) {
+    // Grant a solo burst to a rotating enabled process.
+    for (int d = 0; d < n; ++d) {
+      const int p = (burst_target_ + 1 + d) % n;
+      if (enabled[static_cast<std::size_t>(p)]) {
+        burst_target_ = p;
+        burst_remaining_ = burst_length_ - 1;
+        return p;
+      }
+    }
+  }
+  // Otherwise: uniform random among enabled.
+  int count = 0;
+  for (char e : enabled) count += e ? 1 : 0;
+  auto target = static_cast<int>(rng_.below(static_cast<std::uint64_t>(count)));
+  for (std::size_t p = 0; p < enabled.size(); ++p) {
+    if (!enabled[p]) continue;
+    if (target-- == 0) return static_cast<int>(p);
+  }
+  return -1;  // unreachable
+}
+
+}  // namespace anoncoord

@@ -1,0 +1,90 @@
+// Schedules: the adversary that decides which process takes the next step.
+//
+// The paper's model grants "a very powerful adversary, which can determine
+// (essentially) the order in which processes access the registers" (§2).
+// A schedule sees only which processes are currently able to take a step and
+// picks one; concrete subclasses realize the adversaries the experiments
+// need (round-robin, lock-step, seeded random, fully scripted, solo runs).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace anoncoord {
+
+/// Abstract scheduling adversary. pick() receives one flag per process
+/// (true = the process is enabled: not crashed, not terminated) and the
+/// global step count; it returns the process to step next, or -1 to stop the
+/// run (e.g. a script ran out). pick() is never called with all-false flags.
+class schedule {
+ public:
+  virtual ~schedule() = default;
+  virtual int pick(const std::vector<char>& enabled, std::uint64_t step) = 0;
+};
+
+/// Strict rotation over the enabled processes. With every process enabled
+/// this is exactly the paper's "lock steps" adversary (each process takes one
+/// step, then each takes another, ...).
+class round_robin_schedule final : public schedule {
+ public:
+  int pick(const std::vector<char>& enabled, std::uint64_t step) override;
+
+ private:
+  int last_ = -1;
+};
+
+/// Uniformly random choice among the enabled processes (seeded, replayable).
+class random_schedule final : public schedule {
+ public:
+  explicit random_schedule(std::uint64_t seed) : rng_(seed) {}
+  int pick(const std::vector<char>& enabled, std::uint64_t step) override;
+
+ private:
+  xoshiro256 rng_;
+};
+
+/// Replays a fixed sequence of process indices; returns -1 when exhausted.
+/// Used to replay counterexample traces exactly.
+class scripted_schedule final : public schedule {
+ public:
+  explicit scripted_schedule(std::vector<int> script)
+      : script_(std::move(script)) {}
+  int pick(const std::vector<char>& enabled, std::uint64_t step) override;
+
+ private:
+  std::vector<int> script_;
+  std::size_t next_ = 0;
+};
+
+/// Runs one distinguished process exclusively (the obstruction-freedom
+/// "runs alone" regime); every other process is held still.
+class solo_schedule final : public schedule {
+ public:
+  explicit solo_schedule(int process) : process_(process) {}
+  int pick(const std::vector<char>& enabled, std::uint64_t step) override;
+
+ private:
+  int process_;
+};
+
+/// Random schedule that periodically grants one process a solo burst: an
+/// obstruction-free adversary that is hostile but eventually lets someone
+/// run alone, so OF algorithms terminate. Burst target rotates.
+class bursty_schedule final : public schedule {
+ public:
+  bursty_schedule(std::uint64_t seed, int burst_every, int burst_length)
+      : rng_(seed), burst_every_(burst_every), burst_length_(burst_length) {}
+  int pick(const std::vector<char>& enabled, std::uint64_t step) override;
+
+ private:
+  xoshiro256 rng_;
+  int burst_every_;
+  int burst_length_;
+  int burst_remaining_ = 0;
+  int burst_target_ = 0;
+};
+
+}  // namespace anoncoord

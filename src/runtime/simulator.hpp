@@ -1,0 +1,160 @@
+// Deterministic simulator: runs a set of step machines over a simulated
+// anonymous register file under a pluggable scheduling adversary.
+//
+// All shared-memory steps are serialized by the simulator, which makes every
+// interleaving of atomic register operations expressible and every run
+// exactly replayable (and is why the simulated register file needs no
+// synchronization). Crash injection stops scheduling a process permanently —
+// the paper's notion of a faulty process (§2).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "mem/naming.hpp"
+#include "mem/register_file.hpp"
+#include "runtime/schedule.hpp"
+#include "runtime/step_machine.hpp"
+#include "util/check.hpp"
+
+namespace anoncoord {
+
+/// One recorded shared-memory step (for traces and counterexample printing).
+struct trace_event {
+  std::uint64_t step = 0;  ///< global step index
+  int process = -1;        ///< which process moved
+  op_desc op;              ///< what it was about to do (logical index)
+  int physical = -1;       ///< physical register (after its naming), or -1
+};
+
+template <class Machine>
+class simulator {
+ public:
+  using value_type = typename Machine::value_type;
+  using memory_type = sim_register_file<value_type>;
+
+  /// The naming assignment must cover exactly `machines.size()` processes.
+  simulator(int registers, naming_assignment naming,
+            std::vector<Machine> machines)
+      : mem_(registers), naming_(std::move(naming)),
+        machines_(std::move(machines)),
+        crashed_(machines_.size(), false),
+        steps_taken_(machines_.size(), 0) {
+    ANONCOORD_REQUIRE(
+        naming_.processes() == static_cast<int>(machines_.size()),
+        "naming assignment and machine count disagree");
+    ANONCOORD_REQUIRE(naming_.registers() == registers,
+                      "naming assignment built for a different register file");
+  }
+
+  int process_count() const { return static_cast<int>(machines_.size()); }
+  const Machine& machine(int p) const { return machines_.at(static_cast<std::size_t>(p)); }
+  Machine& machine(int p) { return machines_.at(static_cast<std::size_t>(p)); }
+  const memory_type& memory() const { return mem_; }
+  memory_type& memory() { return mem_; }
+  const naming_assignment& naming() const { return naming_; }
+  std::uint64_t total_steps() const { return total_steps_; }
+  std::uint64_t steps_of(int p) const {
+    return steps_taken_.at(static_cast<std::size_t>(p));
+  }
+
+  /// Permanently stop scheduling process p (crash it). Paper §2: a faulty
+  /// process "leaves the algorithm ... permanently refraining from writing".
+  void crash(int p) { crashed_.at(static_cast<std::size_t>(p)) = true; }
+  bool crashed(int p) const { return crashed_.at(static_cast<std::size_t>(p)); }
+
+  /// Whether process p can take a step right now.
+  bool enabled(int p) const {
+    const auto i = static_cast<std::size_t>(p);
+    return !crashed_[i] && machines_[i].peek().kind != op_kind::none;
+  }
+
+  /// Execute exactly one step of process p. Returns the recorded event.
+  trace_event step_process(int p) {
+    ANONCOORD_REQUIRE(enabled(p), "stepping a process that cannot move");
+    auto& machine = machines_[static_cast<std::size_t>(p)];
+    const op_desc op = machine.peek();
+    trace_event ev{total_steps_, p, op, -1};
+    naming_view<memory_type> view(mem_, naming_.of(p));
+    if (op.kind == op_kind::read || op.kind == op_kind::write)
+      ev.physical = view.physical(op.index);
+    machine.step(view);
+    ++total_steps_;
+    ++steps_taken_[static_cast<std::size_t>(p)];
+    if (tracing_) trace_.push_back(ev);
+    return ev;
+  }
+
+  /// Observer invoked after every step; return false to stop the run.
+  using observer = std::function<bool(const simulator&, const trace_event&)>;
+
+  struct run_result {
+    std::uint64_t steps = 0;      ///< steps executed during this run() call
+    bool stopped_by_observer = false;
+    bool schedule_exhausted = false;  ///< schedule returned -1
+    bool no_enabled_process = false;  ///< everyone finished or crashed
+    bool hit_step_limit = false;
+  };
+
+  /// Drive the system under `sched` until the observer stops it, the step
+  /// limit is reached, the schedule gives up, or no process can move.
+  run_result run(schedule& sched, std::uint64_t max_steps,
+                 const observer& obs = {}) {
+    run_result res;
+    std::vector<char> enabled_flags(machines_.size(), 0);
+    while (res.steps < max_steps) {
+      bool any = false;
+      for (std::size_t p = 0; p < machines_.size(); ++p) {
+        enabled_flags[p] = enabled(static_cast<int>(p)) ? 1 : 0;
+        any = any || enabled_flags[p];
+      }
+      if (!any) {
+        res.no_enabled_process = true;
+        return res;
+      }
+      const int p = sched.pick(enabled_flags, total_steps_);
+      if (p < 0) {
+        res.schedule_exhausted = true;
+        return res;
+      }
+      const trace_event ev = step_process(p);
+      ++res.steps;
+      if (obs && !obs(*this, ev)) {
+        res.stopped_by_observer = true;
+        return res;
+      }
+    }
+    res.hit_step_limit = true;
+    return res;
+  }
+
+  /// Run process p alone until `until` holds (or the step budget runs out).
+  /// Returns the number of steps taken; this is the obstruction-freedom
+  /// "runs alone for sufficiently long" regime.
+  std::uint64_t run_solo(int p, std::uint64_t max_steps,
+                         const std::function<bool(const Machine&)>& until) {
+    std::uint64_t steps = 0;
+    while (steps < max_steps && !until(machine(p)) && enabled(p)) {
+      step_process(p);
+      ++steps;
+    }
+    return steps;
+  }
+
+  void enable_tracing() { tracing_ = true; }
+  const std::vector<trace_event>& trace() const { return trace_; }
+
+ private:
+  memory_type mem_;
+  naming_assignment naming_;
+  std::vector<Machine> machines_;
+  std::vector<char> crashed_;
+  std::vector<std::uint64_t> steps_taken_;
+  std::uint64_t total_steps_ = 0;
+  bool tracing_ = false;
+  std::vector<trace_event> trace_;
+};
+
+}  // namespace anoncoord

@@ -1,0 +1,78 @@
+// The step-machine protocol.
+//
+// Every algorithm in core/ and baselines/ is written once as a *step
+// machine*: a value-semantic state object where
+//
+//   op_desc peek() const   announces the next operation without doing it
+//                          (a read or write of a logical register index, or
+//                          an internal transition with no shared access);
+//   step(Mem&)             performs exactly ONE shared-memory operation (or
+//                          one internal transition) and advances the local
+//                          state. Local computation is folded into the
+//                          preceding shared step, matching the standard
+//                          step-complexity accounting.
+//
+// One implementation then runs under four drivers:
+//   - runtime/simulator.hpp      (deterministic adversarial scheduling)
+//   - runtime/threaded.hpp       (real threads over shared_register_file)
+//   - modelcheck/explorer.hpp    (exhaustive state-space search)
+//   - lowerbound/covering.hpp    (peek() lets the covering adversary halt a
+//                                 process exactly when it "covers" a register)
+//
+// Machines must be copyable, equality-comparable, and hashable (expose
+// std::size_t hash() const) so the model checker can memoize global states.
+#pragma once
+
+#include <concepts>
+#include <cstddef>
+#include <ostream>
+
+namespace anoncoord {
+
+enum class op_kind : unsigned char {
+  read,      ///< next step reads a logical register
+  write,     ///< next step writes a logical register
+  internal,  ///< next step is a local transition (CS entry/exit boundary, ...)
+  none,      ///< the machine is finished; step() is a no-op
+};
+
+/// Description of a machine's next operation. `index` is the *logical*
+/// register index (before the process's naming permutation is applied) and is
+/// meaningful only for read/write.
+struct op_desc {
+  op_kind kind = op_kind::none;
+  int index = -1;
+
+  friend bool operator==(const op_desc&, const op_desc&) = default;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const op_desc& op) {
+  switch (op.kind) {
+    case op_kind::read: return os << "read(" << op.index << ")";
+    case op_kind::write: return os << "write(" << op.index << ")";
+    case op_kind::internal: return os << "internal";
+    case op_kind::none: return os << "none";
+  }
+  return os;
+}
+
+/// Concept a driver requires of an algorithm state object.
+template <class M, class Mem>
+concept step_machine = requires(M m, const M cm, Mem& mem) {
+  { cm.peek() } -> std::same_as<op_desc>;
+  m.step(mem);
+  { cm.done() } -> std::same_as<bool>;
+  { cm == cm } -> std::same_as<bool>;
+  { cm.hash() } -> std::same_as<std::size_t>;
+};
+
+/// Concept a machine requires of the memory it runs against.
+template <class Mem>
+concept register_memory = requires(Mem& m, const Mem& cm, int j,
+                                   typename Mem::value_type v) {
+  { cm.size() } -> std::convertible_to<int>;
+  { m.read(j) } -> std::convertible_to<typename Mem::value_type>;
+  m.write(j, v);
+};
+
+}  // namespace anoncoord

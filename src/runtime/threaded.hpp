@@ -1,0 +1,201 @@
+// Real-thread execution of step machines over shared atomic registers.
+//
+// The deterministic simulator explores chosen interleavings; this driver
+// exposes the algorithms to genuine hardware concurrency (preemption, cache
+// effects, weak timing). Obstruction-free algorithms only guarantee progress
+// when a process eventually runs alone, so contended runs use a polite
+// randomized backoff — the standard practical companion of
+// obstruction-freedom (Herlihy–Luchangco–Moir) — which makes livelock
+// probabilistically vanishing without changing any safety property.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "mem/naming.hpp"
+#include "mem/shared_register_file.hpp"
+#include "runtime/step_machine.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace anoncoord {
+
+/// Randomized exponential backoff for contended obstruction-free retries.
+class contention_backoff {
+ public:
+  explicit contention_backoff(std::uint64_t seed, unsigned max_exponent = 12)
+      : rng_(seed), max_exponent_(max_exponent) {}
+
+  /// Call after an unsuccessful attempt: sleeps a random time that doubles
+  /// (on average) with every consecutive failure.
+  void lose() {
+    const unsigned e = attempt_ < max_exponent_ ? attempt_ : max_exponent_;
+    ++attempt_;
+    const std::uint64_t limit = 1ULL << e;
+    const std::uint64_t us = rng_.below(limit) + 1;
+    std::this_thread::sleep_for(std::chrono::microseconds(us));
+  }
+
+  /// Call after success to reset the window.
+  void win() { attempt_ = 0; }
+
+ private:
+  xoshiro256 rng_;
+  unsigned max_exponent_;
+  unsigned attempt_ = 0;
+};
+
+/// Step `machine` against `mem` until `until(machine)` holds or the budget
+/// runs out. Returns the number of steps taken.
+template <class Machine, class Mem, class Pred>
+std::uint64_t drive_until(Machine& machine, Mem& mem, std::uint64_t max_steps,
+                          Pred until) {
+  std::uint64_t steps = 0;
+  while (steps < max_steps && !until(machine) &&
+         machine.peek().kind != op_kind::none) {
+    machine.step(mem);
+    ++steps;
+  }
+  return steps;
+}
+
+/// Mutex helpers: run the entry code to completion / the exit code to rest.
+template <class Machine, class Mem>
+std::uint64_t acquire(Machine& machine, Mem& mem,
+                      std::uint64_t max_steps = UINT64_MAX) {
+  return drive_until(machine, mem, max_steps,
+                     [](const Machine& m) { return m.in_critical_section(); });
+}
+
+template <class Machine, class Mem>
+std::uint64_t release(Machine& machine, Mem& mem,
+                      std::uint64_t max_steps = UINT64_MAX) {
+  ANONCOORD_REQUIRE(machine.in_critical_section(),
+                    "release() outside the critical section");
+  return drive_until(machine, mem, max_steps,
+                     [](const Machine& m) { return m.in_remainder(); });
+}
+
+// ---------------------------------------------------------------------------
+// Mutual-exclusion stress harness.
+// ---------------------------------------------------------------------------
+
+struct mutex_stress_result {
+  std::uint64_t violations = 0;     ///< times >1 thread was inside the CS
+  std::uint64_t total_entries = 0;  ///< CS entries across all threads
+  std::uint64_t canary = 0;         ///< non-atomic counter incremented in CS
+  std::uint64_t total_steps = 0;    ///< register operations across threads
+};
+
+/// Run mutex machines (one per thread) against real shared registers; each
+/// thread performs `iterations` critical sections. The CS body increments a
+/// deliberately non-atomic canary and checks an occupancy counter, so a
+/// mutual-exclusion failure shows up both as `violations > 0` and (with high
+/// probability) as `canary != total_entries`.
+template <class Machine>
+mutex_stress_result run_mutex_stress(std::vector<Machine> machines,
+                                     int registers,
+                                     const naming_assignment& naming,
+                                     std::uint64_t iterations) {
+  ANONCOORD_REQUIRE(!machines.empty(), "need at least one machine");
+  ANONCOORD_REQUIRE(naming.processes() == static_cast<int>(machines.size()),
+                    "naming assignment and machine count disagree");
+
+  using file = shared_register_file<typename Machine::value_type>;
+  file mem(registers);
+
+  std::atomic<int> occupancy{0};
+  std::atomic<std::uint64_t> violations{0};
+  std::atomic<std::uint64_t> total_steps{0};
+  std::uint64_t canary = 0;  // written only inside the CS
+
+  {
+    std::vector<std::jthread> threads;
+    threads.reserve(machines.size());
+    for (std::size_t t = 0; t < machines.size(); ++t) {
+      threads.emplace_back([&, t] {
+        naming_view<file> view(mem, naming.of(static_cast<int>(t)));
+        Machine& machine = machines[t];
+        std::uint64_t steps = 0;
+        for (std::uint64_t it = 0; it < iterations; ++it) {
+          steps += acquire(machine, view);
+          const int inside = occupancy.fetch_add(1) + 1;
+          if (inside > 1) violations.fetch_add(1);
+          ++canary;  // data race iff mutual exclusion is broken
+          occupancy.fetch_sub(1);
+          steps += release(machine, view);
+        }
+        total_steps.fetch_add(steps);
+      });
+    }
+  }  // jthreads join here
+
+  mutex_stress_result res;
+  res.violations = violations.load();
+  res.total_entries = iterations * machines.size();
+  res.canary = canary;
+  res.total_steps = total_steps.load();
+  return res;
+}
+
+// ---------------------------------------------------------------------------
+// One-shot (consensus / election / renaming) threaded harness.
+// ---------------------------------------------------------------------------
+
+struct oneshot_thread_result {
+  bool all_done = false;
+  std::vector<std::uint64_t> steps;  ///< per-thread register operations
+};
+
+/// Run one-shot machines (done() becomes true exactly once) on real threads
+/// until every machine terminates. Contended retries back off politely so
+/// obstruction-free algorithms terminate in practice. `backoff_window` is
+/// how many steps a thread takes between backoff decisions.
+template <class Machine>
+oneshot_thread_result run_oneshot_threads(std::vector<Machine>& machines,
+                                          int registers,
+                                          const naming_assignment& naming,
+                                          std::uint64_t max_steps_per_thread,
+                                          std::uint64_t backoff_window = 256,
+                                          std::uint64_t seed = 42) {
+  ANONCOORD_REQUIRE(!machines.empty(), "need at least one machine");
+  ANONCOORD_REQUIRE(naming.processes() == static_cast<int>(machines.size()),
+                    "naming assignment and machine count disagree");
+
+  using file = shared_register_file<typename Machine::value_type>;
+  file mem(registers);
+
+  oneshot_thread_result res;
+  res.steps.assign(machines.size(), 0);
+
+  {
+    std::vector<std::jthread> threads;
+    threads.reserve(machines.size());
+    for (std::size_t t = 0; t < machines.size(); ++t) {
+      threads.emplace_back([&, t] {
+        naming_view<file> view(mem, naming.of(static_cast<int>(t)));
+        Machine& machine = machines[t];
+        contention_backoff backoff(seed + t);
+        std::uint64_t steps = 0;
+        while (!machine.done() && steps < max_steps_per_thread) {
+          for (std::uint64_t k = 0;
+               k < backoff_window && !machine.done(); ++k) {
+            machine.step(view);
+            ++steps;
+          }
+          if (!machine.done()) backoff.lose();
+        }
+        res.steps[t] = steps;
+      });
+    }
+  }  // join
+
+  res.all_done = true;
+  for (const auto& m : machines) res.all_done = res.all_done && m.done();
+  return res;
+}
+
+}  // namespace anoncoord

@@ -1,0 +1,84 @@
+#include "runtime/trace_io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace anoncoord {
+
+namespace {
+
+char op_code(op_kind kind) {
+  switch (kind) {
+    case op_kind::read: return 'r';
+    case op_kind::write: return 'w';
+    case op_kind::internal: return 'i';
+    case op_kind::none: return 'n';
+  }
+  return '?';
+}
+
+op_kind op_from_code(char c, std::size_t line) {
+  switch (c) {
+    case 'r': return op_kind::read;
+    case 'w': return op_kind::write;
+    case 'i': return op_kind::internal;
+    case 'n': return op_kind::none;
+    default:
+      ANONCOORD_REQUIRE(false, "bad op code '" + std::string(1, c) +
+                                   "' on trace line " + std::to_string(line));
+  }
+  return op_kind::none;  // unreachable
+}
+
+}  // namespace
+
+std::size_t write_trace(std::ostream& os,
+                        const std::vector<trace_event>& trace) {
+  for (const auto& ev : trace) {
+    os << ev.step << ' ' << ev.process << ' ' << op_code(ev.op.kind) << ' '
+       << ev.op.index << ' ' << ev.physical << '\n';
+  }
+  return trace.size();
+}
+
+std::vector<trace_event> read_trace(std::istream& is) {
+  std::vector<trace_event> trace;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    trace_event ev;
+    char code = '?';
+    fields >> ev.step >> ev.process >> code >> ev.op.index >> ev.physical;
+    ANONCOORD_REQUIRE(static_cast<bool>(fields),
+                      "malformed trace line " + std::to_string(lineno));
+    ev.op.kind = op_from_code(code, lineno);
+    trace.push_back(ev);
+  }
+  return trace;
+}
+
+std::vector<int> schedule_of(const std::vector<trace_event>& trace) {
+  std::vector<int> schedule;
+  schedule.reserve(trace.size());
+  for (const auto& ev : trace) schedule.push_back(ev.process);
+  return schedule;
+}
+
+std::string trace_to_string(const std::vector<trace_event>& trace) {
+  std::ostringstream os;
+  write_trace(os, trace);
+  return os.str();
+}
+
+std::vector<trace_event> trace_from_string(const std::string& text) {
+  std::istringstream is(text);
+  return read_trace(is);
+}
+
+}  // namespace anoncoord

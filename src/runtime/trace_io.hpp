@@ -1,0 +1,37 @@
+// Trace serialization: write a recorded run to a text stream and read it
+// back as a replayable schedule.
+//
+// Counterexamples are only useful if they can be shared and re-executed;
+// the format is one event per line,
+//
+//     <step> <process> <op> <logical> <physical>
+//
+// with <op> one of r/w/i (read / write / internal). The schedule extracted
+// from a trace (the process column) replays the identical run through
+// scripted_schedule provided the initial configuration matches.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "runtime/simulator.hpp"
+
+namespace anoncoord {
+
+/// Serialize events, one per line. Returns the number of lines written.
+std::size_t write_trace(std::ostream& os,
+                        const std::vector<trace_event>& trace);
+
+/// Parse a trace written by write_trace. Throws precondition_error on
+/// malformed input (with the offending line number).
+std::vector<trace_event> read_trace(std::istream& is);
+
+/// The schedule (process index sequence) embedded in a trace.
+std::vector<int> schedule_of(const std::vector<trace_event>& trace);
+
+/// Convenience round-trips via std::string.
+std::string trace_to_string(const std::vector<trace_event>& trace);
+std::vector<trace_event> trace_from_string(const std::string& text);
+
+}  // namespace anoncoord

@@ -1,0 +1,87 @@
+#include "runtime/trace_render.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace anoncoord {
+
+namespace {
+
+std::string event_cell(const trace_event& ev, bool show_physical) {
+  std::ostringstream os;
+  os << ev.op;
+  if (show_physical && ev.physical >= 0) os << "->r" << ev.physical;
+  return os.str();
+}
+
+}  // namespace
+
+std::string render_trace_timeline(const std::vector<trace_event>& trace,
+                                  int process_count,
+                                  trace_render_options opt) {
+  ANONCOORD_REQUIRE(process_count > 0, "need at least one process lane");
+  const std::size_t limit =
+      opt.max_events == 0 ? trace.size()
+                          : std::min(trace.size(), opt.max_events);
+
+  // Column widths: lane headers and the widest cell per lane.
+  std::vector<std::size_t> width(static_cast<std::size_t>(process_count));
+  for (int p = 0; p < process_count; ++p)
+    width[static_cast<std::size_t>(p)] = 2 + std::to_string(p).size();
+  for (std::size_t i = 0; i < limit; ++i) {
+    const auto& ev = trace[i];
+    ANONCOORD_REQUIRE(ev.process >= 0 && ev.process < process_count,
+                      "trace mentions a process outside the lane count");
+    width[static_cast<std::size_t>(ev.process)] =
+        std::max(width[static_cast<std::size_t>(ev.process)],
+                 event_cell(ev, opt.show_physical).size());
+  }
+
+  std::ostringstream os;
+  os << std::setw(6) << "step" << " |";
+  for (int p = 0; p < process_count; ++p)
+    os << " " << std::left
+       << std::setw(static_cast<int>(width[static_cast<std::size_t>(p)]))
+       << ("p" + std::to_string(p)) << " |";
+  os << "\n" << std::string(6, '-') << "-+";
+  for (int p = 0; p < process_count; ++p)
+    os << std::string(width[static_cast<std::size_t>(p)] + 2, '-') << "+";
+  os << "\n";
+
+  for (std::size_t i = 0; i < limit; ++i) {
+    const auto& ev = trace[i];
+    os << std::right << std::setw(6) << ev.step << " |";
+    for (int p = 0; p < process_count; ++p) {
+      const std::string cell =
+          p == ev.process ? event_cell(ev, opt.show_physical) : "";
+      os << " " << std::left
+         << std::setw(static_cast<int>(width[static_cast<std::size_t>(p)]))
+         << cell << " |";
+    }
+    os << "\n";
+  }
+  if (limit < trace.size())
+    os << "... (" << trace.size() - limit << " more events)\n";
+  return os.str();
+}
+
+std::string render_trace_lines(const std::vector<trace_event>& trace,
+                               trace_render_options opt) {
+  const std::size_t limit =
+      opt.max_events == 0 ? trace.size()
+                          : std::min(trace.size(), opt.max_events);
+  std::ostringstream os;
+  for (std::size_t i = 0; i < limit; ++i) {
+    const auto& ev = trace[i];
+    os << "t=" << ev.step << " p" << ev.process << " "
+       << event_cell(ev, opt.show_physical) << "\n";
+  }
+  if (limit < trace.size())
+    os << "... (" << trace.size() - limit << " more events)\n";
+  return os.str();
+}
+
+}  // namespace anoncoord

@@ -1,0 +1,36 @@
+// Trace rendering: human-readable timelines of recorded runs.
+//
+// Counterexample schedules from the model checker and the covering
+// adversary become far easier to audit as per-process lanes:
+//
+//     step | p0            | p1
+//     -----+---------------+--------------
+//        0 | internal      |
+//        1 |               | read(0)->r2
+//        2 | write(0)->r0  |
+//
+// The renderer works on any simulator trace (it needs only trace_event).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "runtime/simulator.hpp"
+
+namespace anoncoord {
+
+struct trace_render_options {
+  std::size_t max_events = 200;  ///< truncate long traces (0 = no limit)
+  bool show_physical = true;     ///< append "->rK" with the physical register
+};
+
+/// Render a trace as a fixed-width per-process timeline.
+std::string render_trace_timeline(const std::vector<trace_event>& trace,
+                                  int process_count,
+                                  trace_render_options opt = {});
+
+/// One-line-per-event rendering ("t=3 p1 write(0)->r2").
+std::string render_trace_lines(const std::vector<trace_event>& trace,
+                               trace_render_options opt = {});
+
+}  // namespace anoncoord

@@ -1,0 +1,60 @@
+// Runtime checking helpers.
+//
+// The library is a research artifact whose whole point is validating
+// invariants, so precondition violations throw (they are bugs in the caller,
+// and tests assert on them) rather than abort.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace anoncoord {
+
+/// Thrown when a documented precondition of a public API is violated.
+class precondition_error : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown when an internal invariant fails (a bug in anoncoord itself).
+class invariant_error : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void throw_precondition(const char* expr, const char* file,
+                                            int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw precondition_error(os.str());
+}
+
+[[noreturn]] inline void throw_invariant(const char* expr, const char* file,
+                                         int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw invariant_error(os.str());
+}
+}  // namespace detail
+
+}  // namespace anoncoord
+
+/// Validate a caller-facing precondition; throws anoncoord::precondition_error.
+#define ANONCOORD_REQUIRE(expr, msg)                                       \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::anoncoord::detail::throw_precondition(#expr, __FILE__, __LINE__,   \
+                                              (msg));                      \
+  } while (false)
+
+/// Validate an internal invariant; throws anoncoord::invariant_error.
+#define ANONCOORD_ASSERT(expr, msg)                                     \
+  do {                                                                  \
+    if (!(expr))                                                        \
+      ::anoncoord::detail::throw_invariant(#expr, __FILE__, __LINE__,   \
+                                           (msg));                      \
+  } while (false)

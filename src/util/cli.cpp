@@ -1,0 +1,75 @@
+#include "util/cli.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace anoncoord {
+
+void cli_args::define(const std::string& name, const std::string& default_value,
+                      const std::string& help) {
+  ANONCOORD_REQUIRE(!name.empty() && name[0] != '-',
+                    "flag names are given without leading dashes");
+  flags_[name] = flag{default_value, default_value, help};
+}
+
+bool cli_args::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") return false;
+    ANONCOORD_REQUIRE(arg.rfind("--", 0) == 0, "expected --flag, got: " + arg);
+    arg = arg.substr(2);
+    std::string name = arg;
+    std::string value;
+    bool have_value = false;
+    if (auto eq = arg.find('='); eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+      have_value = true;
+    }
+    auto it = flags_.find(name);
+    ANONCOORD_REQUIRE(it != flags_.end(), "unknown flag: --" + name);
+    if (!have_value) {
+      // "--name value" form, unless the next token is another flag (then the
+      // flag is boolean-style and becomes "true").
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        value = argv[++i];
+      } else {
+        value = "true";
+      }
+    }
+    it->second.value = value;
+  }
+  return true;
+}
+
+std::string cli_args::get(const std::string& name) const {
+  auto it = flags_.find(name);
+  ANONCOORD_REQUIRE(it != flags_.end(), "flag not defined: " + name);
+  return it->second.value;
+}
+
+std::int64_t cli_args::get_int(const std::string& name) const {
+  return std::stoll(get(name));
+}
+
+double cli_args::get_double(const std::string& name) const {
+  return std::stod(get(name));
+}
+
+bool cli_args::get_bool(const std::string& name) const {
+  const std::string v = get(name);
+  return v == "true" || v == "1" || v == "yes";
+}
+
+std::string cli_args::help(const std::string& program) const {
+  std::ostringstream os;
+  os << "usage: " << program << " [flags]\n";
+  for (const auto& [name, f] : flags_) {
+    os << "  --" << name << " (default: " << f.default_value << ")  " << f.help
+       << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace anoncoord

@@ -1,0 +1,40 @@
+// Minimal command-line flag parsing for bench/example binaries.
+//
+// Supports "--name=value", "--name value", and boolean "--name". Unknown
+// flags raise a precondition error listing the registered flags.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace anoncoord {
+
+class cli_args {
+ public:
+  /// Register a flag with its default value and help text.
+  void define(const std::string& name, const std::string& default_value,
+              const std::string& help);
+
+  /// Parse argv; throws precondition_error on unknown flags.
+  /// Recognizes --help by returning false (caller should print help()).
+  bool parse(int argc, const char* const* argv);
+
+  std::string get(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+
+  std::string help(const std::string& program) const;
+
+ private:
+  struct flag {
+    std::string value;
+    std::string default_value;
+    std::string help;
+  };
+  std::map<std::string, flag> flags_;
+};
+
+}  // namespace anoncoord

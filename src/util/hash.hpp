@@ -1,0 +1,41 @@
+// Hash combination utilities used by model-checker state hashing.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace anoncoord {
+
+/// Mix a 64-bit value (splitmix64 finalizer); good avalanche for state hashing.
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Fold `v`'s hash into the running seed.
+template <class T>
+void hash_combine(std::size_t& seed, const T& v) {
+  seed = static_cast<std::size_t>(
+      mix64(static_cast<std::uint64_t>(seed) +
+            static_cast<std::uint64_t>(std::hash<T>{}(v))));
+}
+
+/// Hash every element of a range into the seed (order-sensitive).
+template <class It>
+void hash_range(std::size_t& seed, It first, It last) {
+  for (; first != last; ++first) hash_combine(seed, *first);
+}
+
+template <class T>
+std::size_t hash_vector(const std::vector<T>& v) {
+  std::size_t seed = v.size();
+  hash_range(seed, v.begin(), v.end());
+  return seed;
+}
+
+}  // namespace anoncoord

@@ -1,0 +1,44 @@
+// Small arithmetic helpers used throughout the library and the lower-bound
+// machinery (Theorem 3.4 is a statement about relative primality).
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+
+namespace anoncoord {
+
+/// ceil(a / b) for positive integers.
+constexpr std::int64_t ceil_div(std::int64_t a, std::int64_t b) noexcept {
+  return (a + b - 1) / b;
+}
+
+/// The paper's write-quorum threshold: ceil(m / 2).
+constexpr int majority_threshold(int m) noexcept {
+  return static_cast<int>(ceil_div(m, 2));
+}
+
+/// True iff gcd(a, b) == 1. Note the paper's convention: a number is NOT
+/// relatively prime to itself (gcd(a, a) = a > 1 for a > 1).
+constexpr bool relatively_prime(std::int64_t a, std::int64_t b) noexcept {
+  return std::gcd(a, b) == 1;
+}
+
+/// Theorem 3.4 predicate: m admits a symmetric deadlock-free memory-anonymous
+/// mutex for n processes only if m is relatively prime to every l in (1, n].
+constexpr bool mutex_space_admissible(int m, int n) noexcept {
+  for (int l = 2; l <= n; ++l) {
+    if (!relatively_prime(m, l)) return false;
+  }
+  return true;
+}
+
+/// Smallest divisor l with 1 < l <= n shared between m and some l (that is,
+/// a witness for why (m, n) violates Theorem 3.4), or 0 if none exists.
+constexpr int mutex_space_violation_witness(int m, int n) noexcept {
+  for (int l = 2; l <= n; ++l) {
+    if (!relatively_prime(m, l)) return l;
+  }
+  return 0;
+}
+
+}  // namespace anoncoord

@@ -1,0 +1,25 @@
+// Cache-line padding for contended data.
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+namespace anoncoord {
+
+// Pinned to 64 (true for every mainstream x86-64/ARM64 part) rather than
+// std::hardware_destructive_interference_size, whose value is not ABI-stable
+// across compiler flags (GCC warns about exactly this under -Winterference-size).
+inline constexpr std::size_t cacheline_size = 64;
+
+/// Wraps T on its own cache line so adjacent registers don't false-share.
+/// The plasticity experiment (DESIGN.md E9) depends on registers being
+/// independently contended.
+template <class T>
+struct alignas(cacheline_size) padded {
+  T value{};
+
+  padded() = default;
+  explicit padded(const T& v) : value(v) {}
+};
+
+}  // namespace anoncoord

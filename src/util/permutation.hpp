@@ -1,0 +1,98 @@
+// Permutations of register indices.
+//
+// A process's private numbering of the m anonymous registers is a permutation
+// of {0, .., m-1}: logical index j (what the algorithm uses) maps to physical
+// index perm[j] (a slot in the register file). The adversary chooses these.
+#pragma once
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace anoncoord {
+
+using permutation = std::vector<int>;
+
+/// The identity permutation on {0, .., m-1}.
+inline permutation identity_permutation(int m) {
+  ANONCOORD_REQUIRE(m >= 0, "size must be non-negative");
+  permutation p(static_cast<std::size_t>(m));
+  std::iota(p.begin(), p.end(), 0);
+  return p;
+}
+
+/// Rotation by `shift`: logical j maps to physical (j + shift) mod m.
+/// Rotations realize the "ring ordering with different initial registers"
+/// assignment from the Theorem 3.4 lower-bound construction.
+inline permutation rotation_permutation(int m, int shift) {
+  ANONCOORD_REQUIRE(m > 0, "size must be positive");
+  permutation p(static_cast<std::size_t>(m));
+  const int s = ((shift % m) + m) % m;
+  for (int j = 0; j < m; ++j) p[static_cast<std::size_t>(j)] = (j + s) % m;
+  return p;
+}
+
+/// A uniformly random permutation (Fisher–Yates with the given seed).
+inline permutation random_permutation(int m, xoshiro256& rng) {
+  permutation p = identity_permutation(m);
+  for (int j = m - 1; j > 0; --j) {
+    const auto k = static_cast<int>(rng.below(static_cast<std::uint64_t>(j) + 1));
+    std::swap(p[static_cast<std::size_t>(j)], p[static_cast<std::size_t>(k)]);
+  }
+  return p;
+}
+
+/// True iff p is a permutation of {0, .., p.size()-1}.
+inline bool is_permutation_of_iota(const permutation& p) {
+  std::vector<bool> seen(p.size(), false);
+  for (int v : p) {
+    if (v < 0 || static_cast<std::size_t>(v) >= p.size()) return false;
+    if (seen[static_cast<std::size_t>(v)]) return false;
+    seen[static_cast<std::size_t>(v)] = true;
+  }
+  return true;
+}
+
+/// The inverse permutation: inverse(p)[p[j]] == j.
+inline permutation inverse_permutation(const permutation& p) {
+  ANONCOORD_REQUIRE(is_permutation_of_iota(p), "not a permutation");
+  permutation inv(p.size());
+  for (std::size_t j = 0; j < p.size(); ++j)
+    inv[static_cast<std::size_t>(p[j])] = static_cast<int>(j);
+  return inv;
+}
+
+/// Composition: (a ∘ b)[j] = a[b[j]] (apply b first, then a).
+inline permutation compose_permutations(const permutation& a,
+                                        const permutation& b) {
+  ANONCOORD_REQUIRE(a.size() == b.size(), "size mismatch");
+  permutation c(a.size());
+  for (std::size_t j = 0; j < b.size(); ++j)
+    c[j] = a[static_cast<std::size_t>(b[j])];
+  return c;
+}
+
+/// Enumerate all m! permutations of {0, .., m-1} in lexicographic order.
+/// Intended for exhaustive model checking with small m (m <= 8 or so).
+inline std::vector<permutation> all_permutations(int m) {
+  ANONCOORD_REQUIRE(m >= 0 && m <= 10, "all_permutations: m too large");
+  std::vector<permutation> out;
+  permutation p = identity_permutation(m);
+  do {
+    out.push_back(p);
+  } while (std::next_permutation(p.begin(), p.end()));
+  return out;
+}
+
+/// All m rotations of {0, .., m-1}.
+inline std::vector<permutation> all_rotations(int m) {
+  std::vector<permutation> out;
+  out.reserve(static_cast<std::size_t>(m));
+  for (int s = 0; s < m; ++s) out.push_back(rotation_permutation(m, s));
+  return out;
+}
+
+}  // namespace anoncoord

@@ -1,0 +1,92 @@
+// Deterministic, seedable random number generation.
+//
+// Every randomized component in the library (random schedulers, random naming
+// assignments, arbitrary-choice policies) takes an explicit seed so that runs
+// — including counterexample runs — are exactly replayable.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace anoncoord {
+
+/// splitmix64: used to expand a single seed into a full xoshiro state.
+class splitmix64 {
+ public:
+  explicit constexpr splitmix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: fast, high-quality PRNG. Satisfies UniformRandomBitGenerator.
+class xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr xoshiro256(std::uint64_t seed = 0x1234abcdULL) noexcept {
+    splitmix64 sm(seed);
+    for (auto& w : s_) w = sm.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Unbiased integer in [0, bound). bound must be > 0.
+  std::uint64_t below(std::uint64_t bound) {
+    ANONCOORD_REQUIRE(bound > 0, "below() needs a positive bound");
+    // Lemire-style rejection; the loop almost never iterates.
+    std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      std::uint64_t r = (*this)();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    ANONCOORD_REQUIRE(lo <= hi, "range() needs lo <= hi");
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Bernoulli trial with probability p (clamped to [0,1]).
+  bool chance(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    constexpr double scale = 1.0 / 18446744073709551616.0;  // 2^-64
+    return static_cast<double>((*this)()) * scale < p;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace anoncoord

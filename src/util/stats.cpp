@@ -1,0 +1,116 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace anoncoord {
+
+void summary_stats::add(double x) {
+  samples_.push_back(x);
+  sorted_valid_ = false;
+}
+
+void summary_stats::ensure_sorted() const {
+  if (!sorted_valid_) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+}
+
+double summary_stats::min() const {
+  ANONCOORD_REQUIRE(!samples_.empty(), "min of empty stats");
+  ensure_sorted();
+  return sorted_.front();
+}
+
+double summary_stats::max() const {
+  ANONCOORD_REQUIRE(!samples_.empty(), "max of empty stats");
+  ensure_sorted();
+  return sorted_.back();
+}
+
+double summary_stats::sum() const {
+  double s = 0;
+  for (double x : samples_) s += x;
+  return s;
+}
+
+double summary_stats::mean() const {
+  ANONCOORD_REQUIRE(!samples_.empty(), "mean of empty stats");
+  return sum() / static_cast<double>(samples_.size());
+}
+
+double summary_stats::stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0;
+  for (double x : samples_) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+double summary_stats::percentile(double q) const {
+  ANONCOORD_REQUIRE(!samples_.empty(), "percentile of empty stats");
+  ANONCOORD_REQUIRE(q >= 0.0 && q <= 100.0, "percentile out of range");
+  ensure_sorted();
+  if (q == 0.0) return sorted_.front();
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q / 100.0 * static_cast<double>(sorted_.size())));
+  return sorted_[std::min(rank, sorted_.size()) - 1];
+}
+
+std::string summary_stats::to_string() const {
+  if (samples_.empty()) return "(no samples)";
+  std::ostringstream os;
+  os.precision(4);
+  os << "mean=" << mean() << " sd=" << stddev() << " min=" << min()
+     << " p50=" << median() << " p99=" << percentile(99) << " max=" << max()
+     << " (n=" << count() << ")";
+  return os.str();
+}
+
+histogram::histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets, 0) {
+  ANONCOORD_REQUIRE(hi > lo, "histogram needs hi > lo");
+  ANONCOORD_REQUIRE(buckets > 0, "histogram needs at least one bucket");
+}
+
+void histogram::add(double x) {
+  const double span = hi_ - lo_;
+  auto idx = static_cast<std::ptrdiff_t>((x - lo_) / span *
+                                         static_cast<double>(counts_.size()));
+  idx = std::clamp<std::ptrdiff_t>(
+      idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+double histogram::bucket_low(std::size_t b) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(b) /
+                   static_cast<double>(counts_.size());
+}
+
+double histogram::bucket_high(std::size_t b) const {
+  return bucket_low(b + 1);
+}
+
+std::string histogram::render(std::size_t max_width) const {
+  std::size_t peak = 0;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::ostringstream os;
+  os.precision(4);
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    if (counts_[b] == 0) continue;
+    const std::size_t bar =
+        peak == 0 ? 0 : counts_[b] * max_width / peak;
+    os << "[" << bucket_low(b) << ", " << bucket_high(b) << ") "
+       << std::string(std::max<std::size_t>(bar, 1), '#') << " " << counts_[b]
+       << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace anoncoord

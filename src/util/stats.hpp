@@ -1,0 +1,63 @@
+// Summary statistics and histograms for experiment harnesses.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace anoncoord {
+
+/// Accumulates samples and reports summary statistics.
+/// Keeps all samples so exact percentiles are available (experiments here are
+/// at most a few million samples).
+class summary_stats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  double min() const;
+  double max() const;
+  double mean() const;
+  double sum() const;
+  /// Sample standard deviation (n-1 denominator); 0 for fewer than 2 samples.
+  double stddev() const;
+  /// Exact percentile by nearest-rank; q in [0, 100].
+  double percentile(double q) const;
+  double median() const { return percentile(50.0); }
+
+  /// "mean=… sd=… min=… p50=… p99=… max=… (n=…)"
+  std::string to_string() const;
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+/// A fixed-bucket linear histogram over [lo, hi); out-of-range samples land in
+/// saturating end buckets.
+class histogram {
+ public:
+  histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x);
+  std::size_t total() const { return total_; }
+  const std::vector<std::size_t>& buckets() const { return counts_; }
+  double bucket_low(std::size_t b) const;
+  double bucket_high(std::size_t b) const;
+
+  /// Multi-line ASCII rendering, one row per non-empty bucket.
+  std::string render(std::size_t max_width = 50) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace anoncoord

@@ -1,0 +1,54 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace anoncoord {
+
+ascii_table::ascii_table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  ANONCOORD_REQUIRE(!headers_.empty(), "table needs at least one column");
+}
+
+void ascii_table::add_row(std::vector<std::string> cells) {
+  ANONCOORD_REQUIRE(cells.size() == headers_.size(),
+                    "row width does not match header width");
+  rows_.push_back(std::move(cells));
+}
+
+std::string ascii_table::format_cell(double v) {
+  std::ostringstream os;
+  os << std::setprecision(4) << v;
+  return os.str();
+}
+
+std::string ascii_table::render() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    width[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (std::size_t c = 0; c < row.size(); ++c)
+      os << " " << std::left << std::setw(static_cast<int>(width[c])) << row[c]
+         << " |";
+    os << "\n";
+  };
+
+  emit_row(headers_);
+  os << "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    os << std::string(width[c] + 2, '-') << "|";
+  os << "\n";
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+}  // namespace anoncoord

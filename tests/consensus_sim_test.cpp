@@ -1,0 +1,242 @@
+// Simulator-driven tests for Fig. 2 consensus (and the §4 election wrapper):
+// solo termination within the proof's step bound, agreement/validity under
+// schedule sweeps, crash tolerance in the obstruction-free sense.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "core/anon_consensus.hpp"
+#include "core/anon_election.hpp"
+#include "mem/naming.hpp"
+#include "runtime/schedule.hpp"
+#include "runtime/simulator.hpp"
+
+namespace anoncoord {
+namespace {
+
+/// Build a consensus simulator for n processes with the given inputs.
+simulator<anon_consensus> make_consensus(
+    int n, const std::vector<std::uint64_t>& inputs,
+    const naming_assignment& naming,
+    choice_policy choice = choice_policy::first()) {
+  std::vector<anon_consensus> machines;
+  for (std::size_t i = 0; i < inputs.size(); ++i)
+    machines.emplace_back(static_cast<process_id>(100 + i), inputs[i], n,
+                          choice);
+  return simulator<anon_consensus>(2 * n - 1, naming, std::move(machines));
+}
+
+bool all_done(const simulator<anon_consensus>& sim) {
+  for (int p = 0; p < sim.process_count(); ++p)
+    if (!sim.machine(p).done()) return false;
+  return true;
+}
+
+void expect_agreement_and_validity(const simulator<anon_consensus>& sim,
+                                   const std::vector<std::uint64_t>& inputs) {
+  std::set<std::uint64_t> decisions;
+  for (int p = 0; p < sim.process_count(); ++p) {
+    ASSERT_TRUE(sim.machine(p).done()) << "process " << p << " undecided";
+    decisions.insert(*sim.machine(p).decision());
+  }
+  EXPECT_EQ(decisions.size(), 1u) << "agreement violated";
+  const std::set<std::uint64_t> input_set(inputs.begin(), inputs.end());
+  EXPECT_TRUE(input_set.count(*decisions.begin())) << "validity violated";
+}
+
+// ---------------------------------------------------------------------------
+// Construction.
+// ---------------------------------------------------------------------------
+
+TEST(AnonConsensusTest, RejectsBadParameters) {
+  EXPECT_THROW(anon_consensus(0, 1, 2), precondition_error);  // id 0
+  EXPECT_THROW(anon_consensus(1, 0, 2), precondition_error);  // input 0
+  EXPECT_THROW(anon_consensus(1, 1, 0), precondition_error);  // n >= 1
+}
+
+TEST(AnonConsensusTest, RegistersIs2nMinus1) {
+  EXPECT_EQ(anon_consensus(1, 1, 1).registers(), 1);
+  EXPECT_EQ(anon_consensus(1, 1, 3).registers(), 5);
+  EXPECT_EQ(anon_consensus(1, 1, 8).registers(), 15);
+}
+
+// ---------------------------------------------------------------------------
+// Solo runs (obstruction-freedom, Theorem 4.1's bound).
+// ---------------------------------------------------------------------------
+
+TEST(AnonConsensusTest, SoloRunDecidesOwnInput) {
+  for (int n : {1, 2, 3, 5}) {
+    auto sim = make_consensus(n, std::vector<std::uint64_t>(
+                                     static_cast<std::size_t>(n), 7),
+                              naming_assignment::identity(n, 2 * n - 1));
+    sim.run_solo(0, 100000,
+                 [](const anon_consensus& mc) { return mc.done(); });
+    ASSERT_TRUE(sim.machine(0).done()) << "n=" << n;
+    EXPECT_EQ(*sim.machine(0).decision(), 7u);
+  }
+}
+
+TEST(AnonConsensusTest, SoloRunWriteCountMatchesTheorem41Bound) {
+  // Theorem 4.1: a solo process fills all 2n-1 entries, one write per
+  // iteration — so exactly 2n-1 writes when starting from a clean slate.
+  for (int n : {2, 3, 4, 6}) {
+    auto sim = make_consensus(n, std::vector<std::uint64_t>(
+                                     static_cast<std::size_t>(n), 9),
+                              naming_assignment::identity(n, 2 * n - 1));
+    sim.run_solo(0, 1000000,
+                 [](const anon_consensus& mc) { return mc.done(); });
+    ASSERT_TRUE(sim.machine(0).done());
+    EXPECT_EQ(sim.memory().counters().writes,
+              static_cast<std::uint64_t>(2 * n - 1))
+        << "n=" << n;
+  }
+}
+
+TEST(AnonConsensusTest, SoloAfterOthersDecidedAdoptsTheirValue) {
+  auto sim = make_consensus(2, {5, 6}, naming_assignment::identity(2, 3));
+  sim.run_solo(0, 10000, [](const anon_consensus& mc) { return mc.done(); });
+  ASSERT_TRUE(sim.machine(0).done());
+  EXPECT_EQ(*sim.machine(0).decision(), 5u);
+  // Process 1 now runs alone: n=2 of the val fields hold 5, so it adopts 5.
+  sim.run_solo(1, 10000, [](const anon_consensus& mc) { return mc.done(); });
+  ASSERT_TRUE(sim.machine(1).done());
+  EXPECT_EQ(*sim.machine(1).decision(), 5u);
+}
+
+TEST(AnonConsensusTest, CrashedProcessDoesNotBlockOthers) {
+  // Obstruction-freedom tolerates any number of crashes of *stopped*
+  // processes: crash one process mid-protocol, the other still decides.
+  auto sim = make_consensus(2, {3, 4}, naming_assignment::identity(2, 3));
+  // Let process 1 take a few steps (it scans, then writes once).
+  for (int i = 0; i < 4; ++i) sim.step_process(1);
+  sim.crash(1);
+  sim.run_solo(0, 10000, [](const anon_consensus& mc) { return mc.done(); });
+  ASSERT_TRUE(sim.machine(0).done());
+  const std::uint64_t d = *sim.machine(0).decision();
+  EXPECT_TRUE(d == 3 || d == 4) << "validity under crash";
+}
+
+// ---------------------------------------------------------------------------
+// Election wrapper.
+// ---------------------------------------------------------------------------
+
+TEST(AnonElectionTest, SoloElectsSelf) {
+  std::vector<anon_election> machines;
+  machines.emplace_back(42, 2);
+  machines.emplace_back(43, 2);
+  simulator<anon_election> sim(3, naming_assignment::identity(2, 3),
+                               std::move(machines));
+  sim.run_solo(0, 10000, [](const anon_election& mc) { return mc.done(); });
+  ASSERT_TRUE(sim.machine(0).done());
+  EXPECT_TRUE(sim.machine(0).elected());
+  EXPECT_EQ(*sim.machine(0).leader(), 42u);
+}
+
+TEST(AnonElectionTest, AllParticipantsAgreeOnLeader) {
+  std::vector<anon_election> machines;
+  for (process_id id : {11, 22, 33})
+    machines.emplace_back(id, 3);
+  simulator<anon_election> sim(5, naming_assignment::random(3, 5, 17),
+                               std::move(machines));
+  bursty_schedule sched(99, 64, 256);
+  sim.run(sched, 500000, [](const simulator<anon_election>& s,
+                            const trace_event&) {
+    for (int p = 0; p < s.process_count(); ++p)
+      if (!s.machine(p).done()) return true;
+    return false;
+  });
+  std::set<process_id> leaders;
+  int elected_count = 0;
+  for (int p = 0; p < 3; ++p) {
+    ASSERT_TRUE(sim.machine(p).done());
+    leaders.insert(*sim.machine(p).leader());
+    elected_count += sim.machine(p).elected() ? 1 : 0;
+  }
+  EXPECT_EQ(leaders.size(), 1u);
+  EXPECT_EQ(elected_count, 1);
+  EXPECT_TRUE(*leaders.begin() == 11u || *leaders.begin() == 22u ||
+              *leaders.begin() == 33u);
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep: agreement and validity over (n, naming, seed) under an
+// obstruction-free adversary with solo bursts.
+// ---------------------------------------------------------------------------
+
+class ConsensusSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, std::uint64_t>> {};
+
+TEST_P(ConsensusSweep, AgreementAndValidityHold) {
+  const auto [n, naming_id, seed] = GetParam();
+  const int regs = 2 * n - 1;
+  naming_assignment naming = naming_assignment::identity(n, regs);
+  if (naming_id == 1) naming = naming_assignment::rotations(n, regs, 1);
+  if (naming_id == 2) naming = naming_assignment::random(n, regs, seed + 5);
+
+  std::vector<std::uint64_t> inputs;
+  xoshiro256 rng(seed);
+  for (int i = 0; i < n; ++i)
+    inputs.push_back(rng.below(3) + 1);  // small domain: collisions likely
+
+  auto sim = make_consensus(n, inputs, naming,
+                            choice_policy::random(seed * 13 + 1));
+  // Solo bursts long enough for a full solo decision (~(2n-1)^2 steps).
+  bursty_schedule sched(seed, 50, 5 * (2 * n - 1) * (2 * n - 1));
+  auto res = sim.run(sched, 2'000'000,
+                     [](const simulator<anon_consensus>& s,
+                        const trace_event&) {
+                       for (int p = 0; p < s.process_count(); ++p)
+                         if (!s.machine(p).done()) return true;
+                       return false;
+                     });
+  ASSERT_TRUE(res.stopped_by_observer || all_done(sim))
+      << "processes did not all decide";
+  expect_agreement_and_validity(sim, inputs);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    NxNamingxSeed, ConsensusSweep,
+    ::testing::Combine(::testing::Values(2, 3, 4, 5),
+                       ::testing::Values(0, 1, 2),
+                       ::testing::Values(1u, 2u, 3u, 4u)),
+    [](const ::testing::TestParamInfo<ConsensusSweep::ParamType>& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "_naming" +
+             std::to_string(std::get<1>(info.param)) + "_seed" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// Once any process decides v, every later decision is v (the heart of
+// Theorem 4.1): check at the moment of each decision during random runs.
+// ---------------------------------------------------------------------------
+
+TEST(AnonConsensusTest, FirstDecisionLocksTheValue) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    auto sim = make_consensus(3, {1, 2, 3},
+                              naming_assignment::random(3, 5, seed),
+                              choice_policy::first());
+    bursty_schedule sched(seed, 40, 150);
+    std::optional<std::uint64_t> first_decision;
+    sim.run(sched, 1'000'000,
+            [&](const simulator<anon_consensus>& s, const trace_event&) {
+              for (int p = 0; p < s.process_count(); ++p) {
+                const auto& mc = s.machine(p);
+                if (mc.done()) {
+                  if (!first_decision) first_decision = *mc.decision();
+                  EXPECT_EQ(*mc.decision(), *first_decision)
+                      << "seed=" << seed;
+                }
+              }
+              for (int p = 0; p < s.process_count(); ++p)
+                if (!s.machine(p).done()) return true;
+              return false;
+            });
+    EXPECT_TRUE(first_decision.has_value()) << "seed=" << seed;
+  }
+}
+
+}  // namespace
+}  // namespace anoncoord

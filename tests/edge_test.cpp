@@ -1,0 +1,249 @@
+// Edge-case and boundary tests across the library: degenerate sizes (n = 1,
+// m = 2), quorum boundaries, duplicate inputs, simulator bookkeeping, and
+// the explorer's progress analysis on a purpose-built stuck machine.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "core/anon_consensus.hpp"
+#include "core/anon_mutex.hpp"
+#include "core/anon_renaming.hpp"
+#include "mem/naming.hpp"
+#include "modelcheck/explorer.hpp"
+#include "runtime/schedule.hpp"
+#include "runtime/simulator.hpp"
+
+namespace anoncoord {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Degenerate configurations.
+// ---------------------------------------------------------------------------
+
+TEST(EdgeTest, ConsensusWithNEquals1DecidesImmediately) {
+  // n = 1: one register; the process writes it once and decides.
+  std::vector<anon_consensus> machines;
+  machines.emplace_back(7, 42, 1);
+  simulator<anon_consensus> sim(1, naming_assignment::identity(1, 1),
+                                std::move(machines));
+  sim.run_solo(0, 100, [](const anon_consensus& mc) { return mc.done(); });
+  ASSERT_TRUE(sim.machine(0).done());
+  EXPECT_EQ(*sim.machine(0).decision(), 42u);
+  EXPECT_EQ(sim.memory().counters().writes, 1u);
+}
+
+TEST(EdgeTest, RenamingWithNEquals1TakesName1) {
+  std::vector<anon_renaming> machines;
+  machines.emplace_back(7, 1);
+  simulator<anon_renaming> sim(1, naming_assignment::identity(1, 1),
+                               std::move(machines));
+  sim.run_solo(0, 100, [](const anon_renaming& mc) { return mc.done(); });
+  ASSERT_TRUE(sim.machine(0).done());
+  EXPECT_EQ(*sim.machine(0).name(), 1u);
+}
+
+TEST(EdgeTest, MutexWithMEquals2SoloStillWorks) {
+  // m = 2 is even — hopeless under contention (E1) but a solo process must
+  // still get in: anonymity only bites when someone else interferes.
+  std::vector<anon_mutex> machines;
+  machines.emplace_back(1, 2);
+  machines.emplace_back(2, 2);
+  simulator<anon_mutex> sim(2, naming_assignment::rotations(2, 2, 1),
+                            std::move(machines));
+  sim.run_solo(0, 100,
+               [](const anon_mutex& mc) { return mc.in_critical_section(); });
+  EXPECT_TRUE(sim.machine(0).in_critical_section());
+}
+
+// ---------------------------------------------------------------------------
+// Quorum boundary in Fig. 2: a value needs >= n of the 2n-1 val fields.
+// ---------------------------------------------------------------------------
+
+TEST(EdgeTest, QuorumOfNMinus1DoesNotForceAdoption) {
+  // n = 3, R = 5. Plant value 9 in exactly n-1 = 2 registers; a scanning
+  // process must NOT adopt it.
+  const int n = 3;
+  std::vector<anon_consensus> machines;
+  machines.emplace_back(1, 5, n);
+  simulator<anon_consensus> sim(2 * n - 1,
+                                naming_assignment::identity(1, 2 * n - 1),
+                                std::move(machines));
+  sim.memory().write(0, consensus_record{50, 9});
+  sim.memory().write(1, consensus_record{51, 9});
+  for (int j = 0; j < 2 * n - 1; ++j) sim.step_process(0);  // full scan
+  EXPECT_EQ(sim.machine(0).preference(), 5u) << "n-1 occurrences adopted";
+}
+
+TEST(EdgeTest, QuorumOfNForcesAdoption) {
+  const int n = 3;
+  std::vector<anon_consensus> machines;
+  machines.emplace_back(1, 5, n);
+  simulator<anon_consensus> sim(2 * n - 1,
+                                naming_assignment::identity(1, 2 * n - 1),
+                                std::move(machines));
+  for (int r = 0; r < n; ++r)
+    sim.memory().write(r, consensus_record{static_cast<process_id>(50 + r), 9});
+  for (int j = 0; j < 2 * n - 1; ++j) sim.step_process(0);
+  EXPECT_EQ(sim.machine(0).preference(), 9u) << "n occurrences must adopt";
+}
+
+TEST(EdgeTest, DuplicateInputsAreFineAndDecideThatValue) {
+  // All processes share one input: the only valid decision is that input.
+  const int n = 4;
+  std::vector<anon_consensus> machines;
+  for (int i = 0; i < n; ++i)
+    machines.emplace_back(static_cast<process_id>(i + 1), 6, n);
+  simulator<anon_consensus> sim(
+      2 * n - 1, naming_assignment::random(n, 2 * n - 1, 5),
+      std::move(machines));
+  bursty_schedule sched(9, 50, 5 * 49);
+  sim.run(sched, 2'000'000,
+          [](const simulator<anon_consensus>& s, const trace_event&) {
+            for (int p = 0; p < s.process_count(); ++p)
+              if (!s.machine(p).done()) return true;
+            return false;
+          });
+  for (int p = 0; p < n; ++p) {
+    ASSERT_TRUE(sim.machine(p).done());
+    EXPECT_EQ(*sim.machine(p).decision(), 6u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Simulator bookkeeping.
+// ---------------------------------------------------------------------------
+
+TEST(EdgeTest, RunResultFlagsAreMutuallyConsistent) {
+  std::vector<anon_mutex> machines;
+  machines.emplace_back(1, 3);
+  machines.emplace_back(2, 3);
+  simulator<anon_mutex> sim(3, naming_assignment::identity(2, 3),
+                            std::move(machines));
+  round_robin_schedule rr;
+  auto res = sim.run(rr, 10, {});
+  EXPECT_TRUE(res.hit_step_limit);
+  EXPECT_EQ(res.steps, 10u);
+  EXPECT_FALSE(res.stopped_by_observer);
+  EXPECT_FALSE(res.schedule_exhausted);
+  EXPECT_FALSE(res.no_enabled_process);
+}
+
+TEST(EdgeTest, NoEnabledProcessReported) {
+  std::vector<anon_consensus> machines;
+  machines.emplace_back(1, 4, 1);
+  simulator<anon_consensus> sim(1, naming_assignment::identity(1, 1),
+                                std::move(machines));
+  round_robin_schedule rr;
+  auto res = sim.run(rr, 1000, {});
+  EXPECT_TRUE(res.no_enabled_process);  // it decided; nothing can move
+  EXPECT_TRUE(sim.machine(0).done());
+}
+
+TEST(EdgeTest, PerProcessStepCountsAddUp) {
+  std::vector<anon_mutex> machines;
+  machines.emplace_back(1, 3);
+  machines.emplace_back(2, 3);
+  simulator<anon_mutex> sim(3, naming_assignment::identity(2, 3),
+                            std::move(machines));
+  random_schedule sched(4);
+  sim.run(sched, 777, {});
+  EXPECT_EQ(sim.steps_of(0) + sim.steps_of(1), sim.total_steps());
+  EXPECT_EQ(sim.total_steps(), 777u);
+}
+
+// ---------------------------------------------------------------------------
+// Explorer progress analysis on a machine built to get stuck.
+// ---------------------------------------------------------------------------
+
+/// Writes its id once; if it then reads back a DIFFERENT id, it halts
+/// forever in a "gave up" state (never reaches `happy`).
+struct give_up_machine {
+  using value_type = std::uint64_t;
+  std::uint64_t id = 0;
+  int phase = 0;  // 0: write, 1: read, 2: happy, 3: gave up (spins)
+
+  op_desc peek() const {
+    if (phase == 0) return {op_kind::write, 0};
+    if (phase == 1) return {op_kind::read, 0};
+    if (phase == 3) return {op_kind::internal, -1};  // spins forever
+    return {op_kind::none, -1};
+  }
+  template <class Mem>
+  void step(Mem& mem) {
+    if (phase == 0) {
+      mem.write(0, id);
+      phase = 1;
+    } else if (phase == 1) {
+      phase = mem.read(0) == id ? 2 : 3;
+    }
+    // phase 3: spin (state unchanged) — a self-loop in the state graph.
+  }
+  bool done() const { return phase == 2; }
+  friend bool operator==(const give_up_machine&,
+                         const give_up_machine&) = default;
+  std::size_t hash() const {
+    return static_cast<std::size_t>(id * 7 + static_cast<std::uint64_t>(phase));
+  }
+};
+
+TEST(EdgeTest, ExplorerFindsGenuinelyStuckStates) {
+  explorer<give_up_machine> e(1, naming_assignment::identity(2, 1),
+                              {give_up_machine{1, 0}, give_up_machine{2, 0}});
+  auto res = e.explore();
+  ASSERT_TRUE(res.complete);
+  e.check_progress(
+      res,
+      [](const global_state<give_up_machine>& s) {
+        return s.procs[0].phase != 2;  // premise: p0 not yet happy
+      },
+      [](const global_state<give_up_machine>& s) {
+        return s.procs[0].phase == 2;  // goal: p0 happy
+      });
+  // If p1 overwrites before p0's read, p0 gives up forever: stuck states
+  // must exist and come with a replayable schedule.
+  EXPECT_TRUE(res.progress_violated());
+  EXPECT_FALSE(res.stuck_schedule.empty());
+  ASSERT_TRUE(res.stuck_state.has_value());
+  // The first stuck state found may PRECEDE the give-up transition: once p1
+  // overwrote r0 and p0 is poised to read, happiness is already unreachable
+  // even though p0 is still in phase 1. All that is guaranteed is that p0
+  // is not (and can never become) happy.
+  EXPECT_NE(res.stuck_state->procs[0].phase, 2);
+  // Its register must already carry the other process's value.
+  EXPECT_EQ(res.stuck_state->regs[0], 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Renaming: all n participate concurrently, every name (incl. n) granted.
+// ---------------------------------------------------------------------------
+
+TEST(EdgeTest, FullHouseRenamingGrantsEveryName) {
+  const int n = 4;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    std::vector<anon_renaming> machines;
+    for (int i = 0; i < n; ++i)
+      machines.emplace_back(static_cast<process_id>(70 + 11 * i), n,
+                            choice_policy::random(seed + i));
+    const int regs = 2 * n - 1;
+    simulator<anon_renaming> sim(
+        regs, naming_assignment::random(n, regs, seed), std::move(machines));
+    bursty_schedule sched(seed, 60, 5 * regs * regs);
+    auto res = sim.run(sched, 5'000'000,
+                       [](const simulator<anon_renaming>& s,
+                          const trace_event&) {
+                         for (int p = 0; p < s.process_count(); ++p)
+                           if (!s.machine(p).done()) return true;
+                         return false;
+                       });
+    ASSERT_TRUE(res.stopped_by_observer) << "seed=" << seed;
+    std::set<std::uint32_t> names;
+    for (int p = 0; p < n; ++p) names.insert(*sim.machine(p).name());
+    std::set<std::uint32_t> expect;
+    for (int v = 1; v <= n; ++v) expect.insert(static_cast<std::uint32_t>(v));
+    EXPECT_EQ(names, expect) << "seed=" << seed;
+  }
+}
+
+}  // namespace
+}  // namespace anoncoord

@@ -1,0 +1,137 @@
+// Dedicated tests for the §4 election algorithm (obstruction-free leader
+// election = Fig. 2 consensus over identifiers), including crash scenarios
+// and the impossibility-side context (election is unsolvable with one crash
+// even with named registers — obstruction-freedom is the usable guarantee).
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "core/anon_election.hpp"
+#include "mem/naming.hpp"
+#include "runtime/schedule.hpp"
+#include "runtime/simulator.hpp"
+
+namespace anoncoord {
+namespace {
+
+simulator<anon_election> make_election(int n,
+                                       const std::vector<process_id>& ids,
+                                       const naming_assignment& naming,
+                                       std::uint64_t choice_seed = 0) {
+  std::vector<anon_election> machines;
+  for (process_id id : ids)
+    machines.emplace_back(id, n,
+                          choice_seed ? choice_policy::random(choice_seed)
+                                      : choice_policy::first());
+  return simulator<anon_election>(2 * n - 1, naming, std::move(machines));
+}
+
+TEST(ElectionTest, SoloRunnerElectsItselfForAnyN) {
+  for (int n : {1, 2, 4, 7}) {
+    std::vector<process_id> ids;
+    for (int i = 0; i < n; ++i)
+      ids.push_back(static_cast<process_id>(31 + 7 * i));
+    auto sim = make_election(n, ids,
+                             naming_assignment::identity(n, 2 * n - 1));
+    sim.run_solo(0, 100000, [](const anon_election& mc) { return mc.done(); });
+    ASSERT_TRUE(sim.machine(0).done()) << "n=" << n;
+    EXPECT_TRUE(sim.machine(0).elected());
+    EXPECT_EQ(*sim.machine(0).leader(), 31u);
+  }
+}
+
+TEST(ElectionTest, LateArriverRecognizesExistingLeader) {
+  auto sim = make_election(3, {10, 20, 30},
+                           naming_assignment::random(3, 5, 8));
+  sim.run_solo(1, 100000, [](const anon_election& mc) { return mc.done(); });
+  ASSERT_TRUE(sim.machine(1).elected());
+  for (int p : {0, 2}) {
+    sim.run_solo(p, 100000, [](const anon_election& mc) { return mc.done(); });
+    ASSERT_TRUE(sim.machine(p).done());
+    EXPECT_FALSE(sim.machine(p).elected());
+    EXPECT_EQ(*sim.machine(p).leader(), 20u);
+  }
+}
+
+TEST(ElectionTest, CandidateCrashMidRaceDoesNotForkLeadership) {
+  // Crash a contender after a random prefix; survivors must still agree.
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    auto sim = make_election(3, {100, 200, 300},
+                             naming_assignment::random(3, 5, seed), seed);
+    random_schedule warmup(seed);
+    sim.run(warmup, 29 * seed % 200, {});
+    sim.crash(0);
+    for (int p : {1, 2}) {
+      sim.run_solo(p, 200000,
+                   [](const anon_election& mc) { return mc.done(); });
+      ASSERT_TRUE(sim.machine(p).done()) << "seed=" << seed;
+    }
+    EXPECT_EQ(*sim.machine(1).leader(), *sim.machine(2).leader())
+        << "seed=" << seed;
+    // The crashed process may even be the agreed leader (it might have
+    // filled all registers before crashing) — that is allowed: election
+    // outputs an identifier, it does not monitor liveness.
+    const process_id leader = *sim.machine(1).leader();
+    EXPECT_TRUE(leader == 100u || leader == 200u || leader == 300u);
+  }
+}
+
+class ElectionSweep
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(ElectionSweep, UnanimousSingleLeader) {
+  const auto [n, seed] = GetParam();
+  std::vector<process_id> ids;
+  xoshiro256 rng(seed * 1337);
+  std::set<process_id> used;
+  while (static_cast<int>(ids.size()) < n) {
+    const process_id id = rng.below(100000) + 1;
+    if (used.insert(id).second) ids.push_back(id);
+  }
+  auto sim = make_election(n, ids,
+                           naming_assignment::random(n, 2 * n - 1, seed),
+                           seed + 17);
+  const int regs = 2 * n - 1;
+  bursty_schedule sched(seed, 50, 5 * regs * regs);
+  auto res = sim.run(sched, 3'000'000,
+                     [](const simulator<anon_election>& s,
+                        const trace_event&) {
+                       for (int p = 0; p < s.process_count(); ++p)
+                         if (!s.machine(p).done()) return true;
+                       return false;
+                     });
+  ASSERT_TRUE(res.stopped_by_observer) << "n=" << n << " seed=" << seed;
+  std::set<process_id> leaders;
+  int elected = 0;
+  for (int p = 0; p < n; ++p) {
+    leaders.insert(*sim.machine(p).leader());
+    elected += sim.machine(p).elected() ? 1 : 0;
+  }
+  EXPECT_EQ(leaders.size(), 1u);
+  EXPECT_EQ(elected, 1);
+  EXPECT_TRUE(used.count(*leaders.begin())) << "leader must be a participant";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    NxSeed, ElectionSweep,
+    ::testing::Combine(::testing::Values(2, 3, 5, 7),
+                       ::testing::Values(1u, 2u, 3u, 4u)),
+    [](const ::testing::TestParamInfo<ElectionSweep::ParamType>& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(ElectionTest, RenamedPreservesElectionState) {
+  auto sim = make_election(2, {44, 55}, naming_assignment::identity(2, 3));
+  sim.run_solo(0, 100000, [](const anon_election& mc) { return mc.done(); });
+  const auto& mc = sim.machine(0);
+  auto shifted = mc.renamed([](process_id id) { return id + 1000; });
+  EXPECT_TRUE(shifted.done());
+  EXPECT_EQ(*shifted.leader(), 1044u);
+  EXPECT_TRUE(shifted.elected());
+}
+
+}  // namespace
+}  // namespace anoncoord

@@ -1,0 +1,179 @@
+// Tests for the lower-bound machinery: the Theorem 3.4 lock-step engine and
+// the §6 covering-argument constructions.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "lowerbound/covering.hpp"
+#include "lowerbound/lockstep.hpp"
+#include "util/check.hpp"
+#include "util/math.hpp"
+
+namespace anoncoord {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lock-step engine (Theorem 3.4).
+// ---------------------------------------------------------------------------
+
+TEST(LockstepTest, RequiresDivisiblePlacement) {
+  EXPECT_THROW(run_lockstep_mutex(5, 2), precondition_error);
+  EXPECT_THROW(run_lockstep_mutex(7, 3), precondition_error);
+  EXPECT_THROW(run_lockstep_mutex(4, 1), precondition_error);
+}
+
+TEST(LockstepTest, TwoProcsEvenMLivelocks) {
+  for (int m : {2, 4, 6, 8, 10}) {
+    const auto res = run_lockstep_mutex(m, 2);
+    EXPECT_EQ(res.outcome, lockstep_outcome::livelock) << "m=" << m;
+    EXPECT_TRUE(res.symmetry_held) << "m=" << m;
+    EXPECT_EQ(res.stride, m / 2);
+  }
+}
+
+TEST(LockstepTest, ThreeProcsDivisibleMLivelocks) {
+  for (int m : {3, 6, 9, 12}) {
+    const auto res = run_lockstep_mutex(m, 3);
+    EXPECT_EQ(res.outcome, lockstep_outcome::livelock) << "m=" << m;
+    EXPECT_TRUE(res.symmetry_held) << "m=" << m;
+  }
+}
+
+TEST(LockstepTest, ManyProcsOnMatchingRing) {
+  // l = m: every process starts on its own register, stride 1.
+  for (int m : {4, 5, 6, 7}) {
+    const auto res = run_lockstep_mutex(m, m);
+    EXPECT_EQ(res.outcome, lockstep_outcome::livelock) << "m=" << m;
+    EXPECT_TRUE(res.symmetry_held);
+  }
+}
+
+TEST(LockstepTest, CycleIsReportedWithBoundedRounds) {
+  const auto res = run_lockstep_mutex(6, 2);
+  EXPECT_EQ(res.outcome, lockstep_outcome::livelock);
+  EXPECT_GT(res.rounds, 0u);
+  EXPECT_LT(res.rounds, 10000u);
+  EXPECT_LE(res.cycle_start, res.rounds);
+}
+
+TEST(LockstepTest, GridAgreesWithTheorem34Predicate) {
+  // Whenever gcd(m, l) > 1 for some l <= n, a divisor-aligned placement
+  // exists and livelocks; whenever m is admissible, no such placement
+  // exists at all. The grid cross-checks the executable construction
+  // against the arithmetic predicate.
+  for (int m = 2; m <= 12; ++m) {
+    for (int n = 2; n <= 6; ++n) {
+      const int witness = mutex_space_violation_witness(m, n);
+      if (witness != 0) {
+        // gcd(m, witness) > 1; the placement uses l = that common divisor.
+        const int l = static_cast<int>(std::gcd(m, witness));
+        ASSERT_GE(l, 2);
+        ASSERT_EQ(m % l, 0);
+        const auto res = run_lockstep_mutex(m, l);
+        EXPECT_EQ(res.outcome, lockstep_outcome::livelock)
+            << "m=" << m << " l=" << l;
+      } else {
+        for (int l = 2; l <= n; ++l) EXPECT_NE(m % l, 0) << m << " " << l;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Covering constructions (Theorems 6.2, 6.3, 6.5).
+// ---------------------------------------------------------------------------
+
+TEST(CoveringMutexTest, RequiresAtLeastThreeRegisters) {
+  EXPECT_THROW(run_covering_mutex(2), precondition_error);
+}
+
+TEST(CoveringMutexTest, ProducesMutualExclusionViolation) {
+  for (int m : {3, 5, 7, 9}) {
+    const auto res = run_covering_mutex(m);
+    EXPECT_TRUE(res.violation) << "m=" << m;
+    EXPECT_EQ(res.m, m);
+    EXPECT_NE(res.first_in_cs, res.second_in_cs);
+    EXPECT_EQ(res.narrative.size(), 5u);  // x, y, w, z, rho
+  }
+}
+
+TEST(CoveringMutexTest, WorksForEvenMToo) {
+  // Theorem 6.2 does not need m odd — the construction erases q's traces
+  // regardless of parity.
+  const auto res = run_covering_mutex(4);
+  EXPECT_TRUE(res.violation);
+}
+
+TEST(CoveringConsensusTest, ProducesAgreementViolation) {
+  for (int n : {2, 3, 4}) {
+    const auto res = run_covering_consensus(n, 1, 2);
+    EXPECT_TRUE(res.violation) << "n=" << n;
+    EXPECT_EQ(res.decision_q, 1u);
+    EXPECT_EQ(res.decision_p, 2u);
+    EXPECT_EQ(res.registers, 2 * n - 1);
+    EXPECT_EQ(res.total_processes, res.registers + 1);
+  }
+}
+
+TEST(CoveringConsensusTest, RejectsDegenerateInputs) {
+  EXPECT_THROW(run_covering_consensus(1, 1, 2), precondition_error);
+  EXPECT_THROW(run_covering_consensus(2, 0, 2), precondition_error);
+  EXPECT_THROW(run_covering_consensus(2, 3, 3), precondition_error);
+}
+
+TEST(CoveringChainTest, ProducesKPlus1DistinctDecisions) {
+  // §6.3 remark: for every k, a run of Fig. 2 with k+1 pairwise distinct
+  // decisions — so not even k-set consensus survives unknown process counts.
+  for (int levels : {1, 2, 3, 5}) {
+    const auto res = run_covering_chain(2, levels);
+    EXPECT_TRUE(res.violation) << "levels=" << levels;
+    ASSERT_EQ(res.decisions.size(), static_cast<std::size_t>(levels + 1));
+    std::set<std::uint64_t> distinct(res.decisions.begin(),
+                                     res.decisions.end());
+    EXPECT_EQ(distinct.size(), res.decisions.size());
+    EXPECT_EQ(res.total_processes, 1 + levels * res.registers);
+  }
+}
+
+TEST(CoveringChainTest, WorksForLargerConfiguredN) {
+  const auto res = run_covering_chain(4, 2);
+  EXPECT_TRUE(res.violation);
+  EXPECT_EQ(res.registers, 7);
+  EXPECT_EQ(res.decisions, (std::vector<std::uint64_t>{1, 2, 3}));
+}
+
+TEST(CoveringChainTest, RejectsDegenerateParameters) {
+  EXPECT_THROW(run_covering_chain(1, 2), precondition_error);
+  EXPECT_THROW(run_covering_chain(2, 0), precondition_error);
+}
+
+TEST(CoveringRenamingTest, ProducesDuplicateName1) {
+  for (int n : {2, 3, 4}) {
+    const auto res = run_covering_renaming(n);
+    EXPECT_TRUE(res.violation) << "n=" << n;
+    EXPECT_EQ(res.name_q, 1u);
+    EXPECT_EQ(res.name_p, 1u);
+  }
+}
+
+TEST(CoveringNarrativesExplainEachPhase, AllThreeConstructions) {
+  const auto m = run_covering_mutex(3);
+  const auto c = run_covering_consensus(2, 1, 2);
+  const auto r = run_covering_renaming(2);
+  // The mutex construction has an extra cleanup phase (z) between the block
+  // write and the final run.
+  ASSERT_EQ(m.narrative.size(), 5u);
+  EXPECT_EQ(m.narrative[3].substr(0, 2), "z:");
+  EXPECT_EQ(m.narrative[4].substr(0, 4), "rho:");
+  for (const auto& res : {c.narrative, r.narrative}) {
+    ASSERT_EQ(res.size(), 4u);
+    EXPECT_EQ(res[0].substr(0, 2), "x:");
+    EXPECT_EQ(res[1].substr(0, 2), "y:");
+    EXPECT_EQ(res[2].substr(0, 2), "w:");
+    EXPECT_EQ(res[3].substr(0, 4), "rho:");
+  }
+}
+
+}  // namespace
+}  // namespace anoncoord

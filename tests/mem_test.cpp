@@ -1,0 +1,284 @@
+// Unit tests for src/mem: payload types, register files (simulated and
+// thread-shared), and the naming (anonymity) layer.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "mem/naming.hpp"
+#include "mem/ordered_register_file.hpp"
+#include "mem/payloads.hpp"
+#include "mem/register_file.hpp"
+#include "mem/shared_register_file.hpp"
+#include "util/check.hpp"
+#include "util/padded.hpp"
+
+namespace anoncoord {
+namespace {
+
+// ---------------------------------------------------------------------------
+// payloads.hpp
+// ---------------------------------------------------------------------------
+
+TEST(PayloadTest, ConsensusRecordDefaultsToInitial) {
+  consensus_record r;
+  EXPECT_TRUE(is_initial(r));
+  EXPECT_FALSE(is_initial(consensus_record{1, 5}));
+  EXPECT_EQ((consensus_record{1, 5}), (consensus_record{1, 5}));
+  EXPECT_NE((consensus_record{1, 5}), (consensus_record{1, 6}));
+}
+
+TEST(PayloadTest, ConsensusRecordHashDistinguishes) {
+  EXPECT_NE(hash_value(consensus_record{1, 5}),
+            hash_value(consensus_record{5, 1}));
+  EXPECT_EQ(hash_value(consensus_record{1, 5}),
+            hash_value(consensus_record{1, 5}));
+}
+
+TEST(PayloadTest, ElectionHistoryIsCanonicalSet) {
+  election_history h;
+  EXPECT_TRUE(h.empty());
+  h.insert({5, 2});
+  h.insert({3, 1});
+  h.insert({5, 2});  // duplicate ignored
+  EXPECT_EQ(h.size(), 2u);
+  EXPECT_TRUE(h.contains_id(5));
+  EXPECT_FALSE(h.contains_id(4));
+  EXPECT_EQ(h.round_of(3), 1u);
+  EXPECT_EQ(h.round_of(5), 2u);
+  EXPECT_EQ(h.round_of(9), 0u);
+  // Canonical ordering: insertion order does not matter for equality.
+  election_history h2;
+  h2.insert({3, 1});
+  h2.insert({5, 2});
+  EXPECT_EQ(h, h2);
+}
+
+TEST(PayloadTest, RenamingRecordEqualityIncludesHistory) {
+  renaming_record a{7, 7, 1, {}};
+  renaming_record b{7, 7, 1, {}};
+  EXPECT_EQ(a, b);
+  b.history.insert({9, 1});
+  EXPECT_NE(a, b);
+  EXPECT_NE(hash_value(a), hash_value(b));
+  EXPECT_TRUE(is_initial(renaming_record{}));
+  EXPECT_FALSE(is_initial(a));
+}
+
+// ---------------------------------------------------------------------------
+// register_file.hpp (simulated)
+// ---------------------------------------------------------------------------
+
+TEST(SimRegisterFileTest, InitializesToZeroAndCounts) {
+  sim_register_file<std::uint64_t> f(4);
+  EXPECT_EQ(f.size(), 4);
+  for (int r = 0; r < 4; ++r) EXPECT_EQ(f.read(r), 0u);
+  f.write(2, 77);
+  EXPECT_EQ(f.read(2), 77u);
+  EXPECT_EQ(f.counters().reads, 5u);
+  EXPECT_EQ(f.counters().writes, 1u);
+  EXPECT_EQ(f.peek(2), 77u);       // peek is uncounted
+  EXPECT_EQ(f.counters().reads, 5u);
+}
+
+TEST(SimRegisterFileTest, ResetRestoresInitialState) {
+  sim_register_file<consensus_record> f(3);
+  f.write(0, {1, 9});
+  f.reset();
+  EXPECT_TRUE(is_initial(f.read(0)));
+  EXPECT_EQ(f.counters().writes, 0u);
+}
+
+TEST(SimRegisterFileTest, BoundsChecked) {
+  sim_register_file<std::uint64_t> f(2);
+  EXPECT_THROW(f.read(2), precondition_error);
+  EXPECT_THROW(f.write(-1, 0), precondition_error);
+  EXPECT_THROW(sim_register_file<std::uint64_t>(0), precondition_error);
+}
+
+// ---------------------------------------------------------------------------
+// shared_register_file.hpp (threaded)
+// ---------------------------------------------------------------------------
+
+TEST(SharedRegisterFileTest, WordPayloadIsLockFree) {
+  EXPECT_TRUE(shared_register_file<std::uint64_t>::is_lock_free());
+}
+
+TEST(SharedRegisterFileTest, RecordPayloadIsBoxed) {
+  EXPECT_FALSE(shared_register_file<renaming_record>::is_lock_free());
+}
+
+TEST(SharedRegisterFileTest, ReadsBackWrites) {
+  shared_register_file<std::uint64_t> f(3);
+  EXPECT_EQ(f.read(1), 0u);
+  f.write(1, 42);
+  EXPECT_EQ(f.read(1), 42u);
+}
+
+TEST(SharedRegisterFileTest, BoxedReadsBackComplexValues) {
+  shared_register_file<renaming_record> f(2);
+  EXPECT_TRUE(is_initial(f.read(0)));
+  renaming_record r{3, 4, 2, {}};
+  r.history.insert({9, 1});
+  f.write(0, r);
+  EXPECT_EQ(f.read(0), r);
+  EXPECT_TRUE(is_initial(f.read(1)));
+}
+
+TEST(SharedRegisterFileTest, ConcurrentReadersSeeWholeValues) {
+  // Writers alternate two distinct full records; readers must never observe
+  // a torn mixture (the register is linearizable).
+  shared_register_file<consensus_record> f(1);
+  const consensus_record a{1, 111}, b{2, 222};
+  std::atomic<bool> stop{false};
+  std::atomic<int> torn{0};
+
+  {
+    std::jthread writer([&] {
+      for (int i = 0; i < 20000 && !stop; ++i) f.write(0, i % 2 ? a : b);
+      stop = true;
+    });
+    std::jthread reader([&] {
+      while (!stop) {
+        const consensus_record r = f.read(0);
+        const bool ok = is_initial(r) || r == a || r == b;
+        if (!ok) torn.fetch_add(1);
+      }
+    });
+  }
+  EXPECT_EQ(torn.load(), 0);
+}
+
+TEST(SharedRegisterFileTest, BoundsChecked) {
+  shared_register_file<std::uint64_t> f(2);
+  EXPECT_THROW(f.read(5), precondition_error);
+  EXPECT_THROW(f.write(2, 1), precondition_error);
+}
+
+// ---------------------------------------------------------------------------
+// naming.hpp
+// ---------------------------------------------------------------------------
+
+TEST(NamingTest, IdentityAssignment) {
+  const auto a = naming_assignment::identity(3, 5);
+  EXPECT_EQ(a.processes(), 3);
+  EXPECT_EQ(a.registers(), 5);
+  for (int p = 0; p < 3; ++p) EXPECT_EQ(a.of(p), identity_permutation(5));
+}
+
+TEST(NamingTest, RotationAssignmentMatchesTheorem34Placement) {
+  // l = 2 processes on m = 6 registers at stride 3: neighbouring initial
+  // registers are exactly m/l apart.
+  const auto a = naming_assignment::rotations(2, 6, 3);
+  EXPECT_EQ(a.of(0)[0], 0);
+  EXPECT_EQ(a.of(1)[0], 3);
+  EXPECT_EQ(a.of(1), rotation_permutation(6, 3));
+}
+
+TEST(NamingTest, RandomAssignmentIsSeedStableAndValid) {
+  const auto a = naming_assignment::random(4, 6, 99);
+  const auto b = naming_assignment::random(4, 6, 99);
+  const auto c = naming_assignment::random(4, 6, 100);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  for (int p = 0; p < 4; ++p) EXPECT_TRUE(is_permutation_of_iota(a.of(p)));
+}
+
+TEST(NamingTest, MismatchedSizesRejected) {
+  EXPECT_THROW(
+      naming_assignment({identity_permutation(3), identity_permutation(4)}),
+      precondition_error);
+  EXPECT_THROW(naming_assignment({permutation{0, 0, 1}}), precondition_error);
+}
+
+TEST(NamingViewTest, AppliesPermutation) {
+  sim_register_file<std::uint64_t> f(4);
+  naming_view<sim_register_file<std::uint64_t>> v(f,
+                                                  rotation_permutation(4, 1));
+  v.write(0, 10);  // physical 1
+  v.write(3, 40);  // physical 0
+  EXPECT_EQ(f.peek(1), 10u);
+  EXPECT_EQ(f.peek(0), 40u);
+  EXPECT_EQ(v.read(0), 10u);
+  EXPECT_EQ(v.physical(0), 1);
+  EXPECT_EQ(v.physical(3), 0);
+}
+
+TEST(NamingViewTest, TwoViewsShareOneFile) {
+  // The same physical register is "register 0" for one process and
+  // "register 2" for another — the heart of anonymity.
+  sim_register_file<std::uint64_t> f(3);
+  naming_view<sim_register_file<std::uint64_t>> v0(f, identity_permutation(3));
+  naming_view<sim_register_file<std::uint64_t>> v1(f,
+                                                   rotation_permutation(3, 1));
+  v0.write(1, 5);
+  EXPECT_EQ(v1.read(0), 5u);
+  EXPECT_EQ(v1.physical(0), 1);
+}
+
+TEST(NamingViewTest, RejectsWrongSizeOrInvalidPermutation) {
+  sim_register_file<std::uint64_t> f(3);
+  using view = naming_view<sim_register_file<std::uint64_t>>;
+  EXPECT_THROW(view(f, identity_permutation(4)), precondition_error);
+  EXPECT_THROW(view(f, permutation{0, 0, 1}), precondition_error);
+  view v(f, identity_permutation(3));
+  EXPECT_THROW(v.physical(3), precondition_error);
+}
+
+TEST(NamingKindTest, ToString) {
+  EXPECT_EQ(to_string(naming_kind::identity), "identity");
+  EXPECT_EQ(to_string(naming_kind::rotation), "rotation");
+  EXPECT_EQ(to_string(naming_kind::random), "random");
+}
+
+// ---------------------------------------------------------------------------
+// ordered_register_file.hpp (the fence-ablation knob).
+// ---------------------------------------------------------------------------
+
+TEST(OrderedRegisterFileTest, AllDisciplinesReadBackWrites) {
+  ordered_register_file<std::uint64_t, memory_discipline::seq_cst> a(2);
+  ordered_register_file<std::uint64_t, memory_discipline::acq_rel> b(2);
+  ordered_register_file<std::uint64_t, memory_discipline::relaxed> c(2);
+  a.write(0, 1);
+  b.write(0, 2);
+  c.write(0, 3);
+  EXPECT_EQ(a.read(0), 1u);
+  EXPECT_EQ(b.read(0), 2u);
+  EXPECT_EQ(c.read(0), 3u);
+  EXPECT_EQ(a.read(1), 0u);
+}
+
+TEST(OrderedRegisterFileTest, DisciplineIsCompileTimeVisible) {
+  using seq = ordered_register_file<std::uint64_t, memory_discipline::seq_cst>;
+  using rlx = ordered_register_file<std::uint64_t, memory_discipline::relaxed>;
+  static_assert(seq::discipline() == memory_discipline::seq_cst);
+  static_assert(rlx::discipline() == memory_discipline::relaxed);
+  EXPECT_STREQ(to_string(memory_discipline::seq_cst), "seq_cst");
+  EXPECT_STREQ(to_string(memory_discipline::acq_rel), "acq_rel");
+  EXPECT_STREQ(to_string(memory_discipline::relaxed), "relaxed");
+}
+
+TEST(OrderedRegisterFileTest, BoundsChecked) {
+  ordered_register_file<std::uint64_t, memory_discipline::seq_cst> f(2);
+  EXPECT_THROW(f.read(2), precondition_error);
+  EXPECT_THROW(f.write(-1, 0), precondition_error);
+}
+
+// ---------------------------------------------------------------------------
+// padded.hpp.
+// ---------------------------------------------------------------------------
+
+TEST(PaddedTest, ValuesOccupyDistinctCacheLines) {
+  static_assert(alignof(padded<std::uint64_t>) == cacheline_size);
+  static_assert(sizeof(padded<std::uint64_t>) >= cacheline_size);
+  padded<std::uint64_t> two[2];
+  const auto a = reinterpret_cast<std::uintptr_t>(&two[0].value);
+  const auto b = reinterpret_cast<std::uintptr_t>(&two[1].value);
+  EXPECT_GE(b - a, cacheline_size);
+  padded<int> init(7);
+  EXPECT_EQ(init.value, 7);
+}
+
+}  // namespace
+}  // namespace anoncoord

@@ -1,0 +1,274 @@
+// Simulator-driven tests for the Fig. 1 memory-anonymous mutex: solo
+// behaviour, step-by-step conformance to the pseudocode, and safety under
+// large families of random schedules and namings (property-style sweeps).
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "core/anon_mutex.hpp"
+#include "mem/naming.hpp"
+#include "runtime/schedule.hpp"
+#include "runtime/simulator.hpp"
+
+namespace anoncoord {
+namespace {
+
+simulator<anon_mutex> make_two_proc(int m, const naming_assignment& naming) {
+  std::vector<anon_mutex> machines;
+  machines.emplace_back(101, m);
+  machines.emplace_back(202, m);
+  return simulator<anon_mutex>(m, naming, std::move(machines));
+}
+
+int procs_in_cs(const simulator<anon_mutex>& sim) {
+  int c = 0;
+  for (int p = 0; p < sim.process_count(); ++p)
+    if (sim.machine(p).in_critical_section()) ++c;
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// Construction and basic state.
+// ---------------------------------------------------------------------------
+
+TEST(AnonMutexTest, RejectsBadParameters) {
+  EXPECT_THROW(anon_mutex(0, 3), precondition_error);  // id 0 reserved
+  EXPECT_THROW(anon_mutex(1, 1), precondition_error);  // m >= 2
+  EXPECT_NO_THROW(anon_mutex(1, 2));  // even m allowed (for the lower bound)
+}
+
+TEST(AnonMutexTest, StartsInRemainder) {
+  anon_mutex mc(7, 3);
+  EXPECT_TRUE(mc.in_remainder());
+  EXPECT_FALSE(mc.in_entry());
+  EXPECT_FALSE(mc.in_critical_section());
+  EXPECT_EQ(mc.peek(), (op_desc{op_kind::internal, -1}));
+  EXPECT_FALSE(mc.done());
+}
+
+TEST(AnonMutexTest, SoloEntryWritesAllRegistersThenEntersCS) {
+  auto sim = make_two_proc(5, naming_assignment::identity(2, 5));
+  const auto steps = sim.run_solo(0, 1000, [](const anon_mutex& mc) {
+    return mc.in_critical_section();
+  });
+  EXPECT_TRUE(sim.machine(0).in_critical_section());
+  for (int r = 0; r < 5; ++r) EXPECT_EQ(sim.memory().peek(r), 101u);
+  // Solo cost: enter(1) + m reads + m writes + m view reads = 3m + 1.
+  EXPECT_EQ(steps, 3u * 5 + 1);
+}
+
+TEST(AnonMutexTest, SoloExitRestoresRegistersAndReturnsToRemainder) {
+  auto sim = make_two_proc(3, naming_assignment::identity(2, 3));
+  sim.run_solo(0, 1000, [](const anon_mutex& mc) {
+    return mc.in_critical_section();
+  });
+  sim.run_solo(0, 1000, [](const anon_mutex& mc) { return mc.in_remainder(); });
+  EXPECT_TRUE(sim.machine(0).in_remainder());
+  for (int r = 0; r < 3; ++r) EXPECT_EQ(sim.memory().peek(r), 0u);
+  EXPECT_EQ(sim.machine(0).cs_entries(), 1u);
+}
+
+TEST(AnonMutexTest, SoloReentryWorksRepeatedly) {
+  auto sim = make_two_proc(3, naming_assignment::identity(2, 3));
+  for (int round = 1; round <= 5; ++round) {
+    sim.run_solo(0, 1000, [](const anon_mutex& mc) {
+      return mc.in_critical_section();
+    });
+    sim.run_solo(0, 1000,
+                 [](const anon_mutex& mc) { return mc.in_remainder(); });
+    EXPECT_EQ(sim.machine(0).cs_entries(), static_cast<std::uint64_t>(round));
+  }
+}
+
+TEST(AnonMutexTest, PeekMatchesStepEffects) {
+  // The first few steps of a solo run, against the pseudocode.
+  auto sim = make_two_proc(3, naming_assignment::identity(2, 3));
+  EXPECT_EQ(sim.machine(0).peek().kind, op_kind::internal);  // remainder
+  sim.step_process(0);
+  EXPECT_EQ(sim.machine(0).peek(), (op_desc{op_kind::read, 0}));  // line 2
+  sim.step_process(0);
+  EXPECT_EQ(sim.machine(0).peek(), (op_desc{op_kind::write, 0}));
+  sim.step_process(0);
+  EXPECT_EQ(sim.memory().peek(0), 101u);
+  EXPECT_EQ(sim.machine(0).peek(), (op_desc{op_kind::read, 1}));
+}
+
+TEST(AnonMutexTest, RenamedMapsIdsEverywhere) {
+  anon_mutex mc(3, 3);
+  auto renamed = mc.renamed([](process_id id) { return id + 10; });
+  EXPECT_EQ(renamed.id(), 13u);
+  // Renaming twice round-trips equality (ignoring nothing else changed).
+  auto back = renamed.renamed([](process_id id) { return id - 10; });
+  EXPECT_TRUE(back == mc);
+}
+
+// ---------------------------------------------------------------------------
+// Two-process contention under deterministic adversaries.
+// ---------------------------------------------------------------------------
+
+TEST(AnonMutexTest, ContentionExactlyOneWinsOddM) {
+  // Under pure lock-step with distinct rotations on odd m, exactly one
+  // process must reach the CS (Theorem 3.3's argument: one of the two finds
+  // fewer than ceil(m/2) of its marks and backs off).
+  auto sim = make_two_proc(5, naming_assignment::rotations(2, 5, 2));
+  round_robin_schedule rr;
+  bool someone_entered = false;
+  auto res = sim.run(rr, 100000,
+                     [&](const simulator<anon_mutex>& s, const trace_event&) {
+                       EXPECT_LE(procs_in_cs(s), 1);
+                       if (procs_in_cs(s) == 1) someone_entered = true;
+                       return !someone_entered;
+                     });
+  EXPECT_TRUE(res.stopped_by_observer);
+  EXPECT_TRUE(someone_entered);
+}
+
+TEST(AnonMutexTest, LoserWaitsUntilWinnerExits) {
+  auto sim = make_two_proc(3, naming_assignment::rotations(2, 3, 1));
+  round_robin_schedule rr;
+  // Run until someone is in the CS.
+  sim.run(rr, 100000,
+          [&](const simulator<anon_mutex>& s, const trace_event&) {
+            return procs_in_cs(s) == 0;
+          });
+  int winner = sim.machine(0).in_critical_section() ? 0 : 1;
+  int loser = 1 - winner;
+  // Drive only the loser: it must stay out of the CS forever (bounded run).
+  sim.run_solo(loser, 5000, [](const anon_mutex&) { return false; });
+  EXPECT_FALSE(sim.machine(loser).in_critical_section());
+  // Let the winner exit; now the loser can get in alone.
+  sim.run_solo(winner, 5000,
+               [](const anon_mutex& mc) { return mc.in_remainder(); });
+  sim.run_solo(loser, 5000,
+               [](const anon_mutex& mc) { return mc.in_critical_section(); });
+  EXPECT_TRUE(sim.machine(loser).in_critical_section());
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep: no ME violation, and steady throughput, across odd m,
+// naming kinds and schedule seeds.
+// ---------------------------------------------------------------------------
+
+class MutexScheduleSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, std::uint64_t>> {};
+
+TEST_P(MutexScheduleSweep, RandomSchedulesPreserveExclusionAndProgress) {
+  const auto [m, naming_id, seed] = GetParam();
+  naming_assignment naming = naming_assignment::identity(2, m);
+  if (naming_id == 1) naming = naming_assignment::rotations(2, m, m / 2 + 1);
+  if (naming_id == 2) naming = naming_assignment::random(2, m, seed * 31 + 7);
+
+  auto sim = make_two_proc(m, naming);
+  random_schedule sched(seed);
+  std::uint64_t entries = 0;
+  auto res = sim.run(sched, 300000,
+                     [&](const simulator<anon_mutex>& s, const trace_event&) {
+                       const int in = procs_in_cs(s);
+                       EXPECT_LE(in, 1) << "mutual exclusion violated";
+                       if (in > 1) return false;
+                       entries = s.machine(0).cs_entries() +
+                                 s.machine(1).cs_entries();
+                       return entries < 50;  // stop after 50 sections
+                     });
+  EXPECT_TRUE(res.stopped_by_observer)
+      << "no progress: only " << entries << " CS entries in 300k steps";
+  EXPECT_GE(entries, 50u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OddMxNamingxSeed, MutexScheduleSweep,
+    ::testing::Combine(::testing::Values(3, 5, 7, 9),
+                       ::testing::Values(0, 1, 2),
+                       ::testing::Values(1u, 2u, 3u, 4u, 5u)),
+    [](const ::testing::TestParamInfo<MutexScheduleSweep::ParamType>& info) {
+      return "m" + std::to_string(std::get<0>(info.param)) + "_naming" +
+             std::to_string(std::get<1>(info.param)) + "_seed" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// The even-m pathology, seen through the simulator (the model checker
+// proves it; this shows the concrete livelock run).
+// ---------------------------------------------------------------------------
+
+TEST(AnonMutexTest, EvenMLockstepLivelocksAtHalfRotation) {
+  // m = 4, both processes on the ring at distance 2 (Theorem 3.1's "only if"
+  // direction): under lock steps each claims exactly m/2 = ceil(m/2)
+  // registers, so neither wins, neither gives up, and nobody ever enters.
+  auto sim = make_two_proc(4, naming_assignment::rotations(2, 4, 2));
+  round_robin_schedule rr;
+  auto res = sim.run(rr, 100000,
+                     [&](const simulator<anon_mutex>& s, const trace_event&) {
+                       return procs_in_cs(s) == 0;
+                     });
+  EXPECT_TRUE(res.hit_step_limit) << "unexpectedly made progress";
+  EXPECT_EQ(sim.machine(0).cs_entries() + sim.machine(1).cs_entries(), 0u);
+}
+
+TEST(AnonMutexTest, OddMLockstepAlwaysProgresses) {
+  for (int m : {3, 5, 7, 9, 11}) {
+    for (int shift = 1; shift < m; ++shift) {
+      auto sim = make_two_proc(m, naming_assignment::rotations(2, m, shift));
+      round_robin_schedule rr;
+      auto res =
+          sim.run(rr, 200000,
+                  [&](const simulator<anon_mutex>& s, const trace_event&) {
+                    return procs_in_cs(s) == 0;
+                  });
+      EXPECT_TRUE(res.stopped_by_observer)
+          << "livelock with odd m=" << m << " shift=" << shift;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Crash injection semantics (the simulator's, exercised via the mutex).
+// ---------------------------------------------------------------------------
+
+TEST(SimulatorTest, CrashedProcessIsNeverScheduled) {
+  auto sim = make_two_proc(3, naming_assignment::identity(2, 3));
+  sim.crash(1);
+  EXPECT_FALSE(sim.enabled(1));
+  EXPECT_THROW(sim.step_process(1), precondition_error);
+  round_robin_schedule rr;
+  sim.run(rr, 1000, [&](const simulator<anon_mutex>& s, const trace_event&) {
+    return !s.machine(0).in_critical_section();
+  });
+  EXPECT_TRUE(sim.machine(0).in_critical_section());
+  EXPECT_EQ(sim.steps_of(1), 0u);
+}
+
+TEST(SimulatorTest, TraceRecordsPhysicalRegisters) {
+  auto sim = make_two_proc(3, naming_assignment::rotations(2, 3, 1));
+  sim.enable_tracing();
+  sim.step_process(1);  // internal: remainder -> entry
+  sim.step_process(1);  // read logical 0 -> physical 1 (rotation by 1)
+  ASSERT_EQ(sim.trace().size(), 2u);
+  EXPECT_EQ(sim.trace()[0].op.kind, op_kind::internal);
+  EXPECT_EQ(sim.trace()[0].physical, -1);
+  EXPECT_EQ(sim.trace()[1].op, (op_desc{op_kind::read, 0}));
+  EXPECT_EQ(sim.trace()[1].physical, 1);
+  EXPECT_EQ(sim.trace()[1].process, 1);
+}
+
+TEST(SimulatorTest, ScriptedScheduleReplaysExactly) {
+  auto sim = make_two_proc(3, naming_assignment::identity(2, 3));
+  scripted_schedule script({0, 0, 1, 0, 1});
+  auto res = sim.run(script, 1000, {});
+  EXPECT_TRUE(res.schedule_exhausted);
+  EXPECT_EQ(res.steps, 5u);
+  EXPECT_EQ(sim.steps_of(0), 3u);
+  EXPECT_EQ(sim.steps_of(1), 2u);
+}
+
+TEST(SimulatorTest, MismatchedNamingRejected) {
+  std::vector<anon_mutex> machines;
+  machines.emplace_back(1, 3);
+  EXPECT_THROW(simulator<anon_mutex>(3, naming_assignment::identity(2, 3),
+                                     std::move(machines)),
+               precondition_error);
+}
+
+}  // namespace
+}  // namespace anoncoord

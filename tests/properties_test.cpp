@@ -1,0 +1,343 @@
+// Property tests for the MODEL-level guarantees the paper's §2 definitions
+// promise — checked mechanically against our implementations:
+//
+//   * symmetry-with-equality: behaviour is invariant under renaming the
+//     process identifiers (ids are only compared for equality, never
+//     inspected) — checked step-by-step on shared runs;
+//   * register anonymity: relabeling the physical registers underneath every
+//     process's numbering produces an isomorphic run;
+//   * solo behaviour is independent of the private numbering;
+//   * value-domain invariants (registers only ever hold written values);
+//   * the Fig. 2 decision-quorum invariant from Theorem 4.1's proof.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "core/anon_consensus.hpp"
+#include "core/anon_election.hpp"
+#include "core/anon_mutex.hpp"
+#include "core/anon_renaming.hpp"
+#include "mem/naming.hpp"
+#include "runtime/schedule.hpp"
+#include "runtime/simulator.hpp"
+
+namespace anoncoord {
+namespace {
+
+/// id renaming used throughout: a fixed injective map on the ids in play.
+process_id shift_id(process_id id) { return id == 0 ? 0 : id + 1'000'000; }
+
+// ---------------------------------------------------------------------------
+// Symmetry with equality: rename all ids, replay the same schedule, and the
+// two runs stay isomorphic step for step.
+// ---------------------------------------------------------------------------
+
+template <class Machine, class Rename>
+void expect_symmetric_run(std::vector<Machine> base,
+                          std::vector<Machine> renamed_machines,
+                          const naming_assignment& naming, int registers,
+                          Rename rename, std::uint64_t seed,
+                          std::uint64_t steps) {
+  simulator<Machine> a(registers, naming, std::move(base));
+  simulator<Machine> b(registers, naming, std::move(renamed_machines));
+  random_schedule sched_a(seed), sched_b(seed);
+  for (std::uint64_t t = 0; t < steps; ++t) {
+    std::vector<char> ea, eb;
+    for (int p = 0; p < a.process_count(); ++p) {
+      ea.push_back(a.enabled(p) ? 1 : 0);
+      eb.push_back(b.enabled(p) ? 1 : 0);
+    }
+    ASSERT_EQ(ea, eb) << "enabled sets diverged at step " << t;
+    bool any = false;
+    for (char e : ea) any = any || e;
+    if (!any) break;
+    const int pa = sched_a.pick(ea, t);
+    const int pb = sched_b.pick(eb, t);
+    ASSERT_EQ(pa, pb);
+    a.step_process(pa);
+    b.step_process(pb);
+    for (int p = 0; p < a.process_count(); ++p) {
+      ASSERT_TRUE(a.machine(p).renamed(rename) == b.machine(p))
+          << "machine " << p << " diverged at step " << t;
+    }
+  }
+}
+
+TEST(SymmetryTest, MutexRunsAreRenamingInvariant) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const int m = 5;
+    std::vector<anon_mutex> base, renamed;
+    for (process_id id : {7u, 13u}) {
+      base.emplace_back(id, m);
+      renamed.emplace_back(shift_id(id), m);
+    }
+    expect_symmetric_run(std::move(base), std::move(renamed),
+                         naming_assignment::random(2, m, seed), m, shift_id,
+                         seed, 4000);
+  }
+}
+
+TEST(SymmetryTest, ConsensusRunsAreRenamingInvariant) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const int n = 3;
+    std::vector<anon_consensus> base, renamed;
+    int i = 0;
+    for (process_id id : {4u, 9u, 21u}) {
+      // Values are NOT identifiers here; they stay fixed under renaming.
+      base.emplace_back(id, static_cast<std::uint64_t>(i + 1), n);
+      renamed.emplace_back(shift_id(id), static_cast<std::uint64_t>(i + 1), n);
+      ++i;
+    }
+    expect_symmetric_run(std::move(base), std::move(renamed),
+                         naming_assignment::random(n, 2 * n - 1, seed),
+                         2 * n - 1, shift_id, seed, 4000);
+  }
+}
+
+TEST(SymmetryTest, ElectionRunsAreRenamingInvariant) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const int n = 2;
+    std::vector<anon_election> base, renamed;
+    for (process_id id : {5u, 11u}) {
+      base.emplace_back(id, n);
+      renamed.emplace_back(shift_id(id), n);
+    }
+    expect_symmetric_run(std::move(base), std::move(renamed),
+                         naming_assignment::random(n, 2 * n - 1, seed),
+                         2 * n - 1, shift_id, seed, 4000);
+  }
+}
+
+TEST(SymmetryTest, RenamingRunsAreRenamingInvariant) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const int n = 3;
+    std::vector<anon_renaming> base, renamed;
+    for (process_id id : {6u, 15u, 30u}) {
+      base.emplace_back(id, n);
+      renamed.emplace_back(shift_id(id), n);
+    }
+    expect_symmetric_run(std::move(base), std::move(renamed),
+                         naming_assignment::random(n, 2 * n - 1, seed),
+                         2 * n - 1, shift_id, seed, 6000);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Register anonymity: composing every process's numbering with one global
+// register relabeling sigma yields an isomorphic run (registers permuted).
+// ---------------------------------------------------------------------------
+
+TEST(AnonymityTest, GlobalRegisterRelabelingIsInvisible) {
+  const int m = 5;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    xoshiro256 rng(seed * 71);
+    const permutation sigma = random_permutation(m, rng);
+
+    const auto base_naming = naming_assignment::random(2, m, seed);
+    std::vector<permutation> relabeled;
+    for (int p = 0; p < 2; ++p)
+      relabeled.push_back(
+          compose_permutations(sigma, base_naming.of(p)));
+
+    std::vector<anon_mutex> ma, mb;
+    for (process_id id : {3u, 8u}) {
+      ma.emplace_back(id, m);
+      mb.emplace_back(id, m);
+    }
+    simulator<anon_mutex> a(m, base_naming, std::move(ma));
+    simulator<anon_mutex> b(m, naming_assignment(relabeled), std::move(mb));
+
+    random_schedule sa(seed), sb(seed);
+    for (std::uint64_t t = 0; t < 3000; ++t) {
+      std::vector<char> enabled;
+      for (int p = 0; p < 2; ++p) enabled.push_back(a.enabled(p) ? 1 : 0);
+      const int pick = sa.pick(enabled, t);
+      ASSERT_EQ(pick, sb.pick(enabled, t));
+      a.step_process(pick);
+      b.step_process(pick);
+      // Local states identical (processes cannot see the relabeling)...
+      for (int p = 0; p < 2; ++p)
+        ASSERT_TRUE(a.machine(p) == b.machine(p)) << "t=" << t;
+      // ...and registers related exactly by sigma.
+      for (int r = 0; r < m; ++r)
+        ASSERT_EQ(a.memory().peek(r),
+                  b.memory().peek(sigma[static_cast<std::size_t>(r)]))
+            << "t=" << t;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Solo behaviour is numbering-independent.
+// ---------------------------------------------------------------------------
+
+TEST(AnonymityTest, SoloConsensusIdenticalUnderAnyNumbering) {
+  // Enumerate all numberings for n = 3 (5 registers, 120 permutations).
+  std::uint64_t reference_steps = 0;
+  bool first = true;
+  for (const auto& perm : all_permutations(5)) {
+    std::vector<anon_consensus> machines;
+    for (int i = 0; i < 3; ++i)
+      machines.emplace_back(static_cast<process_id>(i + 1), 9, 3);
+    std::vector<permutation> perms{perm, identity_permutation(5),
+                                   identity_permutation(5)};
+    simulator<anon_consensus> sim(5, naming_assignment(perms),
+                                  std::move(machines));
+    const auto steps = sim.run_solo(
+        0, 100000, [](const anon_consensus& mc) { return mc.done(); });
+    ASSERT_TRUE(sim.machine(0).done());
+    EXPECT_EQ(*sim.machine(0).decision(), 9u);
+    if (first) {
+      reference_steps = steps;
+      first = false;
+    } else {
+      EXPECT_EQ(steps, reference_steps)
+          << "solo cost must not depend on the private numbering";
+    }
+  }
+}
+
+TEST(AnonymityTest, SoloRenamingIdenticalUnderAnyNumbering) {
+  std::uint64_t reference_steps = 0;
+  bool first = true;
+  for (const auto& perm : all_rotations(5)) {
+    std::vector<anon_renaming> machines;
+    machines.emplace_back(42, 3);
+    simulator<anon_renaming> sim(5, naming_assignment({perm}),
+                                 std::move(machines));
+    const auto steps = sim.run_solo(
+        0, 100000, [](const anon_renaming& mc) { return mc.done(); });
+    ASSERT_TRUE(sim.machine(0).done());
+    EXPECT_EQ(*sim.machine(0).name(), 1u);
+    if (first) {
+      reference_steps = steps;
+      first = false;
+    } else {
+      EXPECT_EQ(steps, reference_steps);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Value-domain invariants under random schedules.
+// ---------------------------------------------------------------------------
+
+TEST(DomainInvariantTest, MutexRegistersOnlyHoldParticipantIdsOrZero) {
+  const std::set<process_id> legal{0, 7, 13};
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    std::vector<anon_mutex> machines;
+    machines.emplace_back(7, 5);
+    machines.emplace_back(13, 5);
+    simulator<anon_mutex> sim(5, naming_assignment::random(2, 5, seed),
+                              std::move(machines));
+    random_schedule sched(seed);
+    sim.run(sched, 30000,
+            [&](const simulator<anon_mutex>& s, const trace_event&) {
+              for (int r = 0; r < 5; ++r) {
+                EXPECT_TRUE(legal.count(s.memory().peek(r)))
+                    << "foreign value in register " << r;
+              }
+              return true;
+            });
+  }
+}
+
+TEST(DomainInvariantTest, ConsensusValsComeFromInputsIdsFromParticipants) {
+  const std::set<std::uint64_t> legal_vals{0, 3, 4, 5};
+  const std::set<process_id> legal_ids{0, 21, 22, 23};
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    std::vector<anon_consensus> machines;
+    machines.emplace_back(21, 3, 3);
+    machines.emplace_back(22, 4, 3);
+    machines.emplace_back(23, 5, 3);
+    simulator<anon_consensus> sim(5, naming_assignment::random(3, 5, seed),
+                                  std::move(machines));
+    random_schedule sched(seed);
+    sim.run(sched, 30000,
+            [&](const simulator<anon_consensus>& s, const trace_event&) {
+              for (int r = 0; r < 5; ++r) {
+                const auto& rec = s.memory().peek(r);
+                EXPECT_TRUE(legal_vals.count(rec.val));
+                EXPECT_TRUE(legal_ids.count(rec.id));
+              }
+              return true;
+            });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The Theorem 4.1 proof invariant: from the moment some process decides v,
+// at least n of the val fields hold v at all times.
+// ---------------------------------------------------------------------------
+
+TEST(QuorumInvariantTest, DecisionKeepsAQuorumOfItsValue) {
+  const int n = 3;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    std::vector<anon_consensus> machines;
+    for (int i = 0; i < n; ++i)
+      machines.emplace_back(static_cast<process_id>(50 + i),
+                            static_cast<std::uint64_t>(i + 1), n,
+                            choice_policy::random(seed));
+    simulator<anon_consensus> sim(
+        2 * n - 1, naming_assignment::random(n, 2 * n - 1, seed),
+        std::move(machines));
+    bursty_schedule sched(seed, 50, 150);
+    std::uint64_t decided_value = 0;
+    sim.run(sched, 500000,
+            [&](const simulator<anon_consensus>& s, const trace_event&) {
+              if (decided_value == 0) {
+                for (int p = 0; p < n; ++p)
+                  if (s.machine(p).done())
+                    decided_value = *s.machine(p).decision();
+              }
+              if (decided_value != 0) {
+                int quorum = 0;
+                for (int r = 0; r < 2 * n - 1; ++r)
+                  if (s.memory().peek(r).val == decided_value) ++quorum;
+                EXPECT_GE(quorum, n) << "seed=" << seed;
+              }
+              bool all = true;
+              for (int p = 0; p < n; ++p) all = all && s.machine(p).done();
+              return !all;
+            });
+    EXPECT_NE(decided_value, 0u) << "seed=" << seed;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: identical seeds produce identical traces.
+// ---------------------------------------------------------------------------
+
+TEST(DeterminismTest, SameSeedSameTrace) {
+  auto run_once = [](std::uint64_t seed) {
+    std::vector<anon_mutex> machines;
+    machines.emplace_back(1, 3);
+    machines.emplace_back(2, 3);
+    simulator<anon_mutex> sim(3, naming_assignment::random(2, 3, seed),
+                              std::move(machines));
+    sim.enable_tracing();
+    random_schedule sched(seed);
+    sim.run(sched, 2000, {});
+    return sim.trace();
+  };
+  const auto t1 = run_once(99);
+  const auto t2 = run_once(99);
+  ASSERT_EQ(t1.size(), t2.size());
+  for (std::size_t i = 0; i < t1.size(); ++i) {
+    EXPECT_EQ(t1[i].process, t2[i].process);
+    EXPECT_EQ(t1[i].op, t2[i].op);
+    EXPECT_EQ(t1[i].physical, t2[i].physical);
+  }
+  const auto t3 = run_once(100);
+  bool identical = t1.size() == t3.size();
+  if (identical) {
+    for (std::size_t i = 0; i < t1.size(); ++i)
+      identical = identical && t1[i].process == t3[i].process;
+  }
+  EXPECT_FALSE(identical) << "different seeds should explore differently";
+}
+
+}  // namespace
+}  // namespace anoncoord

@@ -1,0 +1,176 @@
+// Simulator-driven tests for Fig. 3 adaptive perfect renaming: solo
+// adaptivity, uniqueness/perfectness under schedule sweeps, round catch-up,
+// and the history short-circuit (lines 5-6).
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "core/anon_renaming.hpp"
+#include "mem/naming.hpp"
+#include "runtime/schedule.hpp"
+#include "runtime/simulator.hpp"
+
+namespace anoncoord {
+namespace {
+
+simulator<anon_renaming> make_renaming(
+    int n, int participants, const naming_assignment& naming,
+    choice_policy choice = choice_policy::first()) {
+  std::vector<anon_renaming> machines;
+  for (int i = 0; i < participants; ++i)
+    machines.emplace_back(static_cast<process_id>(1000 + i * 111), n, choice);
+  return simulator<anon_renaming>(2 * n - 1, naming, std::move(machines));
+}
+
+void expect_unique_names_in_range(const simulator<anon_renaming>& sim,
+                                  int upper) {
+  std::set<std::uint32_t> names;
+  for (int p = 0; p < sim.process_count(); ++p) {
+    ASSERT_TRUE(sim.machine(p).done()) << "process " << p << " unnamed";
+    const std::uint32_t v = *sim.machine(p).name();
+    EXPECT_GE(v, 1u);
+    EXPECT_LE(v, static_cast<std::uint32_t>(upper));
+    EXPECT_TRUE(names.insert(v).second) << "duplicate name " << v;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Construction and solo behaviour.
+// ---------------------------------------------------------------------------
+
+TEST(AnonRenamingTest, RejectsBadParameters) {
+  EXPECT_THROW(anon_renaming(0, 2), precondition_error);
+  EXPECT_THROW(anon_renaming(1, 0), precondition_error);
+}
+
+TEST(AnonRenamingTest, SoloParticipantGetsName1) {
+  // Adaptivity with k = 1: a lone participant must acquire the name 1,
+  // regardless of how large n is.
+  for (int n : {2, 3, 5, 8}) {
+    auto sim = make_renaming(n, /*participants=*/n,
+                             naming_assignment::identity(n, 2 * n - 1));
+    sim.run_solo(0, 1'000'000,
+                 [](const anon_renaming& mc) { return mc.done(); });
+    ASSERT_TRUE(sim.machine(0).done()) << "n=" << n;
+    EXPECT_EQ(*sim.machine(0).name(), 1u) << "n=" << n;
+  }
+}
+
+TEST(AnonRenamingTest, SequentialParticipantsGetSequentialNames) {
+  // k processes arriving strictly one after another acquire 1, 2, .., k —
+  // the cleanest reading of adaptivity (Theorem 5.3).
+  const int n = 4;
+  auto sim = make_renaming(n, n, naming_assignment::random(n, 2 * n - 1, 3));
+  for (int p = 0; p < n; ++p) {
+    sim.run_solo(p, 1'000'000,
+                 [](const anon_renaming& mc) { return mc.done(); });
+    ASSERT_TRUE(sim.machine(p).done()) << "p=" << p;
+    EXPECT_EQ(*sim.machine(p).name(), static_cast<std::uint32_t>(p + 1));
+  }
+}
+
+TEST(AnonRenamingTest, NameFromHistoryShortCircuit) {
+  // Process 0 wins round 1; process 1 then runs alone, records (p0, 1) in
+  // its history while electing itself in round 2, so the round-2 records it
+  // writes carry the entry (p0, 1). (With n = 2 the second process would
+  // terminate through line 21 without writing round-2 records, so use
+  // n = 3.) This is the write half of the lines 5-6 short-circuit.
+  const int n = 3;
+  auto sim = make_renaming(n, 2, naming_assignment::identity(2, 5));
+  sim.run_solo(0, 100000, [](const anon_renaming& mc) { return mc.done(); });
+  ASSERT_EQ(*sim.machine(0).name(), 1u);
+  sim.run_solo(1, 100000, [](const anon_renaming& mc) { return mc.done(); });
+  ASSERT_TRUE(sim.machine(1).done());
+  EXPECT_EQ(*sim.machine(1).name(), 2u);
+  // Process 1 went through round 1, observed p0's win, recorded it.
+  bool history_mentions_p0 = false;
+  for (int r = 0; r < 5; ++r) {
+    if (sim.memory().peek(r).history.contains_id(sim.machine(0).id()))
+      history_mentions_p0 = true;
+  }
+  EXPECT_TRUE(history_mentions_p0);
+}
+
+TEST(AnonRenamingTest, LastProcessTakesNameN) {
+  // With all n participating sequentially, the last one is elected in round
+  // n-1... unless it loses every round, in which case it takes n (line 22).
+  // Sequential arrival gives names 1..n, so the final name equals n.
+  const int n = 3;
+  auto sim = make_renaming(n, n, naming_assignment::identity(n, 5));
+  for (int p = 0; p < n; ++p)
+    sim.run_solo(p, 1'000'000,
+                 [](const anon_renaming& mc) { return mc.done(); });
+  EXPECT_EQ(*sim.machine(n - 1).name(), static_cast<std::uint32_t>(n));
+}
+
+// ---------------------------------------------------------------------------
+// Adaptivity: k < n participants use only names {1..k}.
+// ---------------------------------------------------------------------------
+
+class RenamingAdaptivitySweep
+    : public ::testing::TestWithParam<std::tuple<int, int, std::uint64_t>> {};
+
+TEST_P(RenamingAdaptivitySweep, KParticipantsGetNames1ToK) {
+  const auto [n, k, seed] = GetParam();
+  if (k > n) GTEST_SKIP();
+  const int regs = 2 * n - 1;
+  auto sim = make_renaming(n, k, naming_assignment::random(k, regs, seed),
+                           choice_policy::random(seed ^ 0xabc));
+  bursty_schedule sched(seed, 60, 5 * regs * regs);
+  auto res = sim.run(sched, 3'000'000,
+                     [](const simulator<anon_renaming>& s,
+                        const trace_event&) {
+                       for (int p = 0; p < s.process_count(); ++p)
+                         if (!s.machine(p).done()) return true;
+                       return false;
+                     });
+  ASSERT_TRUE(res.stopped_by_observer)
+      << "not all " << k << " participants acquired names";
+  expect_unique_names_in_range(sim, k);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    NxKxSeed, RenamingAdaptivitySweep,
+    ::testing::Combine(::testing::Values(2, 3, 4, 5),
+                       ::testing::Values(1, 2, 3, 4),
+                       ::testing::Values(1u, 2u, 3u)),
+    [](const ::testing::TestParamInfo<RenamingAdaptivitySweep::ParamType>&
+           info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "_k" +
+             std::to_string(std::get<1>(info.param)) + "_seed" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// Crash tolerance in the obstruction-free sense: a crashed process can
+// freeze a round for itself, but cannot make survivors grab its name twice.
+// ---------------------------------------------------------------------------
+
+TEST(AnonRenamingTest, CrashMidProtocolPreservesUniqueness) {
+  const int n = 3;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    auto sim = make_renaming(n, n, naming_assignment::random(n, 5, seed));
+    // Let everyone take a prefix of random steps, then crash process 2.
+    random_schedule warmup(seed);
+    sim.run(warmup, 37 * seed, {});
+    sim.crash(2);
+    // Survivors finish one after the other.
+    for (int p = 0; p < 2; ++p)
+      sim.run_solo(p, 1'000'000,
+                   [](const anon_renaming& mc) { return mc.done(); });
+    std::set<std::uint32_t> names;
+    for (int p = 0; p < 2; ++p) {
+      ASSERT_TRUE(sim.machine(p).done()) << "seed=" << seed;
+      const auto v = *sim.machine(p).name();
+      EXPECT_GE(v, 1u);
+      EXPECT_LE(v, 3u);
+      EXPECT_TRUE(names.insert(v).second)
+          << "duplicate name " << v << " seed=" << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace anoncoord

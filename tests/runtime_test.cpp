@@ -1,0 +1,247 @@
+// Unit tests for the runtime substrate: schedules, livelock detection,
+// trace serialization/replay, backoff, the offset-memory window, and the
+// step-machine protocol types.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "baselines/trivial_renaming.hpp"  // offset_memory
+#include "core/anon_mutex.hpp"
+#include "mem/naming.hpp"
+#include "runtime/livelock.hpp"
+#include "runtime/schedule.hpp"
+#include "runtime/simulator.hpp"
+#include "runtime/step_machine.hpp"
+#include "runtime/threaded.hpp"
+#include "runtime/trace_io.hpp"
+
+namespace anoncoord {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Schedules.
+// ---------------------------------------------------------------------------
+
+TEST(ScheduleTest, RoundRobinRotatesThroughEnabled) {
+  round_robin_schedule rr;
+  const std::vector<char> all{1, 1, 1};
+  EXPECT_EQ(rr.pick(all, 0), 0);
+  EXPECT_EQ(rr.pick(all, 1), 1);
+  EXPECT_EQ(rr.pick(all, 2), 2);
+  EXPECT_EQ(rr.pick(all, 3), 0);
+}
+
+TEST(ScheduleTest, RoundRobinSkipsDisabled) {
+  round_robin_schedule rr;
+  const std::vector<char> some{1, 0, 1};
+  EXPECT_EQ(rr.pick(some, 0), 0);
+  EXPECT_EQ(rr.pick(some, 1), 2);
+  EXPECT_EQ(rr.pick(some, 2), 0);
+}
+
+TEST(ScheduleTest, RoundRobinThrowsOnAllDisabled) {
+  round_robin_schedule rr;
+  EXPECT_THROW(rr.pick({0, 0}, 0), precondition_error);
+}
+
+TEST(ScheduleTest, RandomScheduleOnlyPicksEnabled) {
+  random_schedule rs(5);
+  const std::vector<char> some{0, 1, 0, 1};
+  for (int i = 0; i < 200; ++i) {
+    const int p = rs.pick(some, static_cast<std::uint64_t>(i));
+    EXPECT_TRUE(p == 1 || p == 3);
+  }
+}
+
+TEST(ScheduleTest, RandomScheduleIsSeedDeterministic) {
+  random_schedule a(7), b(7);
+  const std::vector<char> all{1, 1, 1, 1};
+  for (int i = 0; i < 100; ++i)
+    EXPECT_EQ(a.pick(all, static_cast<std::uint64_t>(i)),
+              b.pick(all, static_cast<std::uint64_t>(i)));
+}
+
+TEST(ScheduleTest, ScriptedValidatesAndExhausts) {
+  scripted_schedule s({1, 0});
+  const std::vector<char> all{1, 1};
+  EXPECT_EQ(s.pick(all, 0), 1);
+  EXPECT_EQ(s.pick(all, 1), 0);
+  EXPECT_EQ(s.pick(all, 2), -1);  // exhausted
+  scripted_schedule bad({5});
+  EXPECT_THROW(bad.pick(all, 0), precondition_error);
+  scripted_schedule disabled({0});
+  EXPECT_THROW(disabled.pick({0, 1}, 0), precondition_error);
+}
+
+TEST(ScheduleTest, SoloStopsWhenTargetDisabled) {
+  solo_schedule s(1);
+  EXPECT_EQ(s.pick({1, 1}, 0), 1);
+  EXPECT_EQ(s.pick({1, 0}, 1), -1);
+}
+
+TEST(ScheduleTest, BurstyGrantsBursts) {
+  bursty_schedule s(3, /*burst_every=*/10, /*burst_length=*/4);
+  const std::vector<char> all{1, 1, 1};
+  // At step 10, a burst begins: the next 4 picks hit the same process.
+  (void)s.pick(all, 9);
+  const int target = s.pick(all, 10);
+  for (std::uint64_t t = 11; t < 14; ++t) EXPECT_EQ(s.pick(all, t), target);
+}
+
+// ---------------------------------------------------------------------------
+// Livelock detection.
+// ---------------------------------------------------------------------------
+
+TEST(LivelockTest, EvenMMutexProvenLivelocked) {
+  std::vector<anon_mutex> machines;
+  machines.emplace_back(1, 4);
+  machines.emplace_back(2, 4);
+  simulator<anon_mutex> sim(4, naming_assignment::rotations(2, 4, 2),
+                            std::move(machines));
+  const auto report = detect_livelock_round_robin<anon_mutex>(
+      sim, [](const simulator<anon_mutex>& s) {
+        for (int p = 0; p < s.process_count(); ++p)
+          if (s.machine(p).in_critical_section()) return true;
+        return false;
+      });
+  EXPECT_TRUE(report.livelock);
+  EXPECT_FALSE(report.goal_reached);
+  EXPECT_LT(report.rounds, 1000u);
+}
+
+TEST(LivelockTest, OddMMutexReachesGoal) {
+  std::vector<anon_mutex> machines;
+  machines.emplace_back(1, 5);
+  machines.emplace_back(2, 5);
+  simulator<anon_mutex> sim(5, naming_assignment::rotations(2, 5, 2),
+                            std::move(machines));
+  const auto report = detect_livelock_round_robin<anon_mutex>(
+      sim, [](const simulator<anon_mutex>& s) {
+        for (int p = 0; p < s.process_count(); ++p)
+          if (s.machine(p).in_critical_section()) return true;
+        return false;
+      });
+  EXPECT_TRUE(report.goal_reached);
+  EXPECT_FALSE(report.livelock);
+}
+
+// ---------------------------------------------------------------------------
+// Trace serialization and replay.
+// ---------------------------------------------------------------------------
+
+TEST(TraceIoTest, RoundTripsExactly) {
+  std::vector<anon_mutex> machines;
+  machines.emplace_back(1, 3);
+  machines.emplace_back(2, 3);
+  simulator<anon_mutex> sim(3, naming_assignment::rotations(2, 3, 1),
+                            std::move(machines));
+  sim.enable_tracing();
+  random_schedule sched(17);
+  sim.run(sched, 200, {});
+
+  const std::string text = trace_to_string(sim.trace());
+  const auto parsed = trace_from_string(text);
+  ASSERT_EQ(parsed.size(), sim.trace().size());
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    EXPECT_EQ(parsed[i].step, sim.trace()[i].step);
+    EXPECT_EQ(parsed[i].process, sim.trace()[i].process);
+    EXPECT_EQ(parsed[i].op, sim.trace()[i].op);
+    EXPECT_EQ(parsed[i].physical, sim.trace()[i].physical);
+  }
+}
+
+TEST(TraceIoTest, ScheduleOfReplaysIdenticalRun) {
+  auto build = [] {
+    std::vector<anon_mutex> machines;
+    machines.emplace_back(1, 3);
+    machines.emplace_back(2, 3);
+    return simulator<anon_mutex>(3, naming_assignment::rotations(2, 3, 1),
+                                 std::move(machines));
+  };
+  auto original = build();
+  original.enable_tracing();
+  random_schedule sched(23);
+  original.run(sched, 500, {});
+
+  auto replay = build();
+  replay.enable_tracing();
+  scripted_schedule script(schedule_of(original.trace()));
+  replay.run(script, 10'000, {});
+
+  ASSERT_EQ(replay.trace().size(), original.trace().size());
+  for (std::size_t i = 0; i < replay.trace().size(); ++i) {
+    EXPECT_EQ(replay.trace()[i].op, original.trace()[i].op);
+    EXPECT_EQ(replay.trace()[i].physical, original.trace()[i].physical);
+  }
+  for (int p = 0; p < 2; ++p)
+    EXPECT_TRUE(replay.machine(p) == original.machine(p));
+}
+
+TEST(TraceIoTest, MalformedInputRejectedWithLineNumber) {
+  std::istringstream bad("0 0 r 1 1\nnot a line\n");
+  try {
+    read_trace(bad);
+    FAIL() << "should have thrown";
+  } catch (const precondition_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+  std::istringstream badcode("0 0 x 1 1\n");
+  EXPECT_THROW(read_trace(badcode), precondition_error);
+}
+
+TEST(TraceIoTest, EmptyLinesIgnored) {
+  std::istringstream is("\n0 1 w 2 0\n\n");
+  const auto trace = read_trace(is);
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_EQ(trace[0].process, 1);
+  EXPECT_EQ(trace[0].op, (op_desc{op_kind::write, 2}));
+}
+
+// ---------------------------------------------------------------------------
+// offset_memory (register-file windows).
+// ---------------------------------------------------------------------------
+
+TEST(OffsetMemoryTest, WindowsTranslateIndices) {
+  sim_register_file<ca_record> file(8);
+  offset_memory<sim_register_file<ca_record>> window(file, 4, 4);
+  EXPECT_EQ(window.size(), 4);
+  window.write(0, ca_record{1, 7, false});
+  EXPECT_EQ(file.peek(4), (ca_record{1, 7, false}));
+  EXPECT_EQ(window.read(0), (ca_record{1, 7, false}));
+  EXPECT_TRUE(is_initial(window.read(3)));
+}
+
+// ---------------------------------------------------------------------------
+// op_desc / phase stream output (debugging surface).
+// ---------------------------------------------------------------------------
+
+TEST(OpDescTest, Printing) {
+  std::ostringstream os;
+  os << op_desc{op_kind::read, 3} << " " << op_desc{op_kind::write, 1} << " "
+     << op_desc{op_kind::internal, -1} << " " << op_desc{op_kind::none, -1};
+  EXPECT_EQ(os.str(), "read(3) write(1) internal none");
+}
+
+TEST(OpDescTest, MutexPhasePrinting) {
+  std::ostringstream os;
+  os << mutex_phase::try_read << "/" << mutex_phase::critical;
+  EXPECT_EQ(os.str(), "try_read/critical");
+}
+
+// ---------------------------------------------------------------------------
+// Backoff.
+// ---------------------------------------------------------------------------
+
+TEST(BackoffTest, LoseAndWinCycle) {
+  contention_backoff backoff(1, /*max_exponent=*/2);
+  // Just exercise the paths; timing is not asserted (sleeps are tiny).
+  backoff.lose();
+  backoff.lose();
+  backoff.lose();  // capped exponent
+  backoff.win();
+  backoff.lose();
+}
+
+}  // namespace
+}  // namespace anoncoord

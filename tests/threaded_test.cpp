@@ -1,0 +1,169 @@
+// Real-thread integration tests: the algorithms running over genuine
+// std::atomic registers with preemptive scheduling. (This host may be
+// single-core; preemption still interleaves the threads, and the seqlock-free
+// boxed registers still face concurrent access.)
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "baselines/ca_consensus.hpp"
+#include "baselines/peterson_mutex.hpp"
+#include "core/anon_consensus.hpp"
+#include "core/anon_mutex.hpp"
+#include "core/anon_renaming.hpp"
+#include "mem/naming.hpp"
+#include "runtime/threaded.hpp"
+
+namespace anoncoord {
+namespace {
+
+// ---------------------------------------------------------------------------
+// drive helpers.
+// ---------------------------------------------------------------------------
+
+TEST(DriveTest, AcquireReleaseAgainstSharedRegisters) {
+  shared_register_file<process_id> mem(3);
+  naming_view<shared_register_file<process_id>> view(
+      mem, identity_permutation(3));
+  anon_mutex mc(5, 3);
+  acquire(mc, view);
+  EXPECT_TRUE(mc.in_critical_section());
+  release(mc, view);
+  EXPECT_TRUE(mc.in_remainder());
+  for (int r = 0; r < 3; ++r) EXPECT_EQ(mem.read(r), 0u);
+}
+
+TEST(DriveTest, ReleaseOutsideCsThrows) {
+  shared_register_file<process_id> mem(3);
+  naming_view<shared_register_file<process_id>> view(
+      mem, identity_permutation(3));
+  anon_mutex mc(5, 3);
+  EXPECT_THROW(release(mc, view), precondition_error);
+}
+
+TEST(DriveTest, DriveUntilRespectsBudget) {
+  shared_register_file<process_id> mem(3);
+  naming_view<shared_register_file<process_id>> view(
+      mem, identity_permutation(3));
+  anon_mutex mc(5, 3);
+  const auto steps =
+      drive_until(mc, view, 2, [](const anon_mutex&) { return false; });
+  EXPECT_EQ(steps, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 1 under real threads.
+// ---------------------------------------------------------------------------
+
+TEST(ThreadedMutexTest, TwoThreadsNoViolationOddM) {
+  for (int m : {3, 5}) {
+    std::vector<anon_mutex> machines;
+    machines.emplace_back(11, m);
+    machines.emplace_back(22, m);
+    const auto res = run_mutex_stress(std::move(machines), m,
+                                      naming_assignment::random(2, m, 7),
+                                      /*iterations=*/300);
+    EXPECT_EQ(res.violations, 0u) << "m=" << m;
+    EXPECT_EQ(res.canary, res.total_entries) << "m=" << m;
+    EXPECT_EQ(res.total_entries, 600u);
+    EXPECT_GT(res.total_steps, 0u);
+  }
+}
+
+TEST(ThreadedMutexTest, RotatedNamingAlsoSafe) {
+  std::vector<anon_mutex> machines;
+  machines.emplace_back(1, 5);
+  machines.emplace_back(2, 5);
+  const auto res = run_mutex_stress(std::move(machines), 5,
+                                    naming_assignment::rotations(2, 5, 2),
+                                    /*iterations=*/300);
+  EXPECT_EQ(res.violations, 0u);
+  EXPECT_EQ(res.canary, res.total_entries);
+}
+
+TEST(ThreadedMutexTest, PetersonBaselineSafe) {
+  std::vector<peterson_mutex> machines{peterson_mutex(0), peterson_mutex(1)};
+  const auto res = run_mutex_stress(std::move(machines), 3,
+                                    naming_assignment::identity(2, 3),
+                                    /*iterations=*/2000);
+  EXPECT_EQ(res.violations, 0u);
+  EXPECT_EQ(res.canary, res.total_entries);
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 2 / commit-adopt under real threads (boxed registers for records).
+// ---------------------------------------------------------------------------
+
+TEST(ThreadedConsensusTest, AgreementAcrossThreads) {
+  const int n = 3;
+  std::vector<anon_consensus> machines;
+  for (int i = 0; i < n; ++i)
+    machines.emplace_back(static_cast<process_id>(i + 1),
+                          static_cast<std::uint64_t>(i + 10), n,
+                          choice_policy::random(31 * i + 1));
+  auto res = run_oneshot_threads(machines, 2 * n - 1,
+                                 naming_assignment::random(n, 2 * n - 1, 3),
+                                 /*max_steps_per_thread=*/50'000'000);
+  ASSERT_TRUE(res.all_done);
+  std::set<std::uint64_t> decisions;
+  for (const auto& mc : machines) decisions.insert(*mc.decision());
+  EXPECT_EQ(decisions.size(), 1u);
+  EXPECT_GE(*decisions.begin(), 10u);
+  EXPECT_LE(*decisions.begin(), 12u);
+}
+
+TEST(ThreadedConsensusTest, CaBaselineAgreementAcrossThreads) {
+  const int n = 3;
+  std::vector<ca_consensus> machines;
+  for (int i = 0; i < n; ++i)
+    machines.emplace_back(i, n, static_cast<std::uint64_t>(i + 5));
+  auto res = run_oneshot_threads(
+      machines, ca_consensus::register_count(n),
+      naming_assignment::identity(n, ca_consensus::register_count(n)),
+      /*max_steps_per_thread=*/50'000'000);
+  ASSERT_TRUE(res.all_done);
+  std::set<std::uint64_t> decisions;
+  for (const auto& mc : machines) decisions.insert(*mc.decision());
+  EXPECT_EQ(decisions.size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 3 under real threads.
+// ---------------------------------------------------------------------------
+
+TEST(ThreadedRenamingTest, UniquePerfectNamesAcrossThreads) {
+  const int n = 3;
+  std::vector<anon_renaming> machines;
+  for (int i = 0; i < n; ++i)
+    machines.emplace_back(static_cast<process_id>(100 + i), n,
+                          choice_policy::random(17 * i + 3));
+  auto res = run_oneshot_threads(machines, 2 * n - 1,
+                                 naming_assignment::random(n, 2 * n - 1, 9),
+                                 /*max_steps_per_thread=*/50'000'000);
+  ASSERT_TRUE(res.all_done);
+  std::set<std::uint32_t> names;
+  for (const auto& mc : machines) {
+    const auto v = *mc.name();
+    EXPECT_GE(v, 1u);
+    EXPECT_LE(v, static_cast<std::uint32_t>(n));
+    EXPECT_TRUE(names.insert(v).second) << "duplicate name " << v;
+  }
+}
+
+TEST(ThreadedRenamingTest, TwoParticipantsOfLargerN) {
+  // Adaptivity under threads: 2 of n=4 participate, names must be {1, 2}.
+  const int n = 4;
+  std::vector<anon_renaming> machines;
+  machines.emplace_back(901, n);
+  machines.emplace_back(902, n);
+  auto res = run_oneshot_threads(machines, 2 * n - 1,
+                                 naming_assignment::random(2, 2 * n - 1, 21),
+                                 /*max_steps_per_thread=*/50'000'000);
+  ASSERT_TRUE(res.all_done);
+  std::set<std::uint32_t> names{*machines[0].name(), *machines[1].name()};
+  EXPECT_EQ(names, (std::set<std::uint32_t>{1u, 2u}));
+}
+
+}  // namespace
+}  // namespace anoncoord
