@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_consensus"
+  "../bench/bench_consensus.pdb"
+  "CMakeFiles/bench_consensus.dir/bench_consensus.cpp.o"
+  "CMakeFiles/bench_consensus.dir/bench_consensus.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_consensus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

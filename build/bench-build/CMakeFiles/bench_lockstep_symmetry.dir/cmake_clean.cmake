@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_lockstep_symmetry"
+  "../bench/bench_lockstep_symmetry.pdb"
+  "CMakeFiles/bench_lockstep_symmetry.dir/bench_lockstep_symmetry.cpp.o"
+  "CMakeFiles/bench_lockstep_symmetry.dir/bench_lockstep_symmetry.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lockstep_symmetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_mutex_parity"
+  "../bench/bench_mutex_parity.pdb"
+  "CMakeFiles/bench_mutex_parity.dir/bench_mutex_parity.cpp.o"
+  "CMakeFiles/bench_mutex_parity.dir/bench_mutex_parity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mutex_parity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

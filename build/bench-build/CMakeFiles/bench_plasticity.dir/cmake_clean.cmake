@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_plasticity"
+  "../bench/bench_plasticity.pdb"
+  "CMakeFiles/bench_plasticity.dir/bench_plasticity.cpp.o"
+  "CMakeFiles/bench_plasticity.dir/bench_plasticity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_plasticity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

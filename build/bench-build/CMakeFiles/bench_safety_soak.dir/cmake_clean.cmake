@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_safety_soak"
+  "../bench/bench_safety_soak.pdb"
+  "CMakeFiles/bench_safety_soak.dir/bench_safety_soak.cpp.o"
+  "CMakeFiles/bench_safety_soak.dir/bench_safety_soak.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_safety_soak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_space_bounds.
+# This may be replaced when dependencies are built.

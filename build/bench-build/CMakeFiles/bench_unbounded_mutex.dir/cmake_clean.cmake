@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_unbounded_mutex"
+  "../bench/bench_unbounded_mutex.pdb"
+  "CMakeFiles/bench_unbounded_mutex.dir/bench_unbounded_mutex.cpp.o"
+  "CMakeFiles/bench_unbounded_mutex.dir/bench_unbounded_mutex.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_unbounded_mutex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compact_renaming.dir/compact_renaming.cpp.o"
+  "CMakeFiles/compact_renaming.dir/compact_renaming.cpp.o.d"
+  "compact_renaming"
+  "compact_renaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compact_renaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

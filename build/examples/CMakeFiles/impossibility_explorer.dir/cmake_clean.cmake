@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/impossibility_explorer.dir/impossibility_explorer.cpp.o"
+  "CMakeFiles/impossibility_explorer.dir/impossibility_explorer.cpp.o.d"
+  "impossibility_explorer"
+  "impossibility_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/impossibility_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

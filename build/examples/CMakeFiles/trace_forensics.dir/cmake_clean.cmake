@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_forensics.dir/trace_forensics.cpp.o"
+  "CMakeFiles/trace_forensics.dir/trace_forensics.cpp.o.d"
+  "trace_forensics"
+  "trace_forensics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_forensics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lowerbound/covering.cpp" "src/CMakeFiles/anoncoord.dir/lowerbound/covering.cpp.o" "gcc" "src/CMakeFiles/anoncoord.dir/lowerbound/covering.cpp.o.d"
+  "/root/repo/src/lowerbound/lockstep.cpp" "src/CMakeFiles/anoncoord.dir/lowerbound/lockstep.cpp.o" "gcc" "src/CMakeFiles/anoncoord.dir/lowerbound/lockstep.cpp.o.d"
+  "/root/repo/src/mem/linearizability.cpp" "src/CMakeFiles/anoncoord.dir/mem/linearizability.cpp.o" "gcc" "src/CMakeFiles/anoncoord.dir/mem/linearizability.cpp.o.d"
+  "/root/repo/src/mem/naming.cpp" "src/CMakeFiles/anoncoord.dir/mem/naming.cpp.o" "gcc" "src/CMakeFiles/anoncoord.dir/mem/naming.cpp.o.d"
+  "/root/repo/src/runtime/schedule.cpp" "src/CMakeFiles/anoncoord.dir/runtime/schedule.cpp.o" "gcc" "src/CMakeFiles/anoncoord.dir/runtime/schedule.cpp.o.d"
+  "/root/repo/src/runtime/trace_io.cpp" "src/CMakeFiles/anoncoord.dir/runtime/trace_io.cpp.o" "gcc" "src/CMakeFiles/anoncoord.dir/runtime/trace_io.cpp.o.d"
+  "/root/repo/src/runtime/trace_render.cpp" "src/CMakeFiles/anoncoord.dir/runtime/trace_render.cpp.o" "gcc" "src/CMakeFiles/anoncoord.dir/runtime/trace_render.cpp.o.d"
+  "/root/repo/src/util/cli.cpp" "src/CMakeFiles/anoncoord.dir/util/cli.cpp.o" "gcc" "src/CMakeFiles/anoncoord.dir/util/cli.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/anoncoord.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/anoncoord.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/anoncoord.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/anoncoord.dir/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

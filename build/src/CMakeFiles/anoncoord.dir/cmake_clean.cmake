@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anoncoord.dir/lowerbound/covering.cpp.o"
+  "CMakeFiles/anoncoord.dir/lowerbound/covering.cpp.o.d"
+  "CMakeFiles/anoncoord.dir/lowerbound/lockstep.cpp.o"
+  "CMakeFiles/anoncoord.dir/lowerbound/lockstep.cpp.o.d"
+  "CMakeFiles/anoncoord.dir/mem/linearizability.cpp.o"
+  "CMakeFiles/anoncoord.dir/mem/linearizability.cpp.o.d"
+  "CMakeFiles/anoncoord.dir/mem/naming.cpp.o"
+  "CMakeFiles/anoncoord.dir/mem/naming.cpp.o.d"
+  "CMakeFiles/anoncoord.dir/runtime/schedule.cpp.o"
+  "CMakeFiles/anoncoord.dir/runtime/schedule.cpp.o.d"
+  "CMakeFiles/anoncoord.dir/runtime/trace_io.cpp.o"
+  "CMakeFiles/anoncoord.dir/runtime/trace_io.cpp.o.d"
+  "CMakeFiles/anoncoord.dir/runtime/trace_render.cpp.o"
+  "CMakeFiles/anoncoord.dir/runtime/trace_render.cpp.o.d"
+  "CMakeFiles/anoncoord.dir/util/cli.cpp.o"
+  "CMakeFiles/anoncoord.dir/util/cli.cpp.o.d"
+  "CMakeFiles/anoncoord.dir/util/stats.cpp.o"
+  "CMakeFiles/anoncoord.dir/util/stats.cpp.o.d"
+  "CMakeFiles/anoncoord.dir/util/table.cpp.o"
+  "CMakeFiles/anoncoord.dir/util/table.cpp.o.d"
+  "libanoncoord.a"
+  "libanoncoord.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anoncoord.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baselines_test.cpp" "tests/CMakeFiles/anoncoord_tests.dir/baselines_test.cpp.o" "gcc" "tests/CMakeFiles/anoncoord_tests.dir/baselines_test.cpp.o.d"
+  "/root/repo/tests/conformance_test.cpp" "tests/CMakeFiles/anoncoord_tests.dir/conformance_test.cpp.o" "gcc" "tests/CMakeFiles/anoncoord_tests.dir/conformance_test.cpp.o.d"
+  "/root/repo/tests/consensus_sim_test.cpp" "tests/CMakeFiles/anoncoord_tests.dir/consensus_sim_test.cpp.o" "gcc" "tests/CMakeFiles/anoncoord_tests.dir/consensus_sim_test.cpp.o.d"
+  "/root/repo/tests/edge_test.cpp" "tests/CMakeFiles/anoncoord_tests.dir/edge_test.cpp.o" "gcc" "tests/CMakeFiles/anoncoord_tests.dir/edge_test.cpp.o.d"
+  "/root/repo/tests/election_test.cpp" "tests/CMakeFiles/anoncoord_tests.dir/election_test.cpp.o" "gcc" "tests/CMakeFiles/anoncoord_tests.dir/election_test.cpp.o.d"
+  "/root/repo/tests/hybrid_test.cpp" "tests/CMakeFiles/anoncoord_tests.dir/hybrid_test.cpp.o" "gcc" "tests/CMakeFiles/anoncoord_tests.dir/hybrid_test.cpp.o.d"
+  "/root/repo/tests/linearizability_test.cpp" "tests/CMakeFiles/anoncoord_tests.dir/linearizability_test.cpp.o" "gcc" "tests/CMakeFiles/anoncoord_tests.dir/linearizability_test.cpp.o.d"
+  "/root/repo/tests/lowerbound_test.cpp" "tests/CMakeFiles/anoncoord_tests.dir/lowerbound_test.cpp.o" "gcc" "tests/CMakeFiles/anoncoord_tests.dir/lowerbound_test.cpp.o.d"
+  "/root/repo/tests/mem_test.cpp" "tests/CMakeFiles/anoncoord_tests.dir/mem_test.cpp.o" "gcc" "tests/CMakeFiles/anoncoord_tests.dir/mem_test.cpp.o.d"
+  "/root/repo/tests/modelcheck_test.cpp" "tests/CMakeFiles/anoncoord_tests.dir/modelcheck_test.cpp.o" "gcc" "tests/CMakeFiles/anoncoord_tests.dir/modelcheck_test.cpp.o.d"
+  "/root/repo/tests/mutex_sim_test.cpp" "tests/CMakeFiles/anoncoord_tests.dir/mutex_sim_test.cpp.o" "gcc" "tests/CMakeFiles/anoncoord_tests.dir/mutex_sim_test.cpp.o.d"
+  "/root/repo/tests/properties_test.cpp" "tests/CMakeFiles/anoncoord_tests.dir/properties_test.cpp.o" "gcc" "tests/CMakeFiles/anoncoord_tests.dir/properties_test.cpp.o.d"
+  "/root/repo/tests/renaming_sim_test.cpp" "tests/CMakeFiles/anoncoord_tests.dir/renaming_sim_test.cpp.o" "gcc" "tests/CMakeFiles/anoncoord_tests.dir/renaming_sim_test.cpp.o.d"
+  "/root/repo/tests/runtime_test.cpp" "tests/CMakeFiles/anoncoord_tests.dir/runtime_test.cpp.o" "gcc" "tests/CMakeFiles/anoncoord_tests.dir/runtime_test.cpp.o.d"
+  "/root/repo/tests/systematic_test.cpp" "tests/CMakeFiles/anoncoord_tests.dir/systematic_test.cpp.o" "gcc" "tests/CMakeFiles/anoncoord_tests.dir/systematic_test.cpp.o.d"
+  "/root/repo/tests/threaded_test.cpp" "tests/CMakeFiles/anoncoord_tests.dir/threaded_test.cpp.o" "gcc" "tests/CMakeFiles/anoncoord_tests.dir/threaded_test.cpp.o.d"
+  "/root/repo/tests/util_test.cpp" "tests/CMakeFiles/anoncoord_tests.dir/util_test.cpp.o" "gcc" "tests/CMakeFiles/anoncoord_tests.dir/util_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/anoncoord.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
