@@ -1,0 +1,191 @@
+// Verification-throughput scaling: the parallel reduction-aware engines
+// against the sequential baselines, on the fixed reference configuration
+// from ISSUE/docs (Fig. 1 mutex, n = 2, m = 5, process 1 rotated by 2).
+//
+// Part 1 — state-space exploration: the sequential BFS explorer vs the
+// parallel explorer at 1/2/4/8 workers (full verification: ME safety +
+// EF-progress), with states, dedup hits and wall time per run. Verdicts and
+// state counts are bit-identical by construction; the table shows it.
+//
+// Part 2 — schedule enumeration: the CHESS-style systematic tester with and
+// without sleep-set partial-order reduction at the same depth bound, with
+// the schedule/step reduction ratios.
+//
+//   ./bench_modelcheck_scaling [--m=5] [--stride=2] [--depth=21] [--reps=3]
+#include <algorithm>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/anon_mutex.hpp"
+#include "mem/naming.hpp"
+#include "modelcheck/mutex_check.hpp"
+#include "modelcheck/verify.hpp"
+#include "util/cli.hpp"
+#include "util/permutation.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+using namespace anoncoord;
+
+namespace {
+
+double best_of(int reps, const std::function<double()>& run_once) {
+  double best = 0;
+  for (int r = 0; r < reps; ++r) {
+    const double t = run_once();
+    if (r == 0 || t < best) best = t;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cli_args args;
+  args.define("m", "5", "registers in the reference config (Fig. 1, n = 2)");
+  args.define("stride", "2", "rotation offset of process 1's numbering");
+  args.define("depth", "21", "systematic tester depth bound");
+  args.define("reps", "3", "timing repetitions (best-of)");
+  if (!args.parse(argc, argv)) {
+    std::cout << args.help("bench_modelcheck_scaling");
+    return 0;
+  }
+  const int m = static_cast<int>(args.get_int("m"));
+  const int stride = static_cast<int>(args.get_int("stride"));
+  const int depth = static_cast<int>(args.get_int("depth"));
+  const int reps = std::max(1, static_cast<int>(args.get_int("reps")));
+
+  naming_assignment naming(
+      {identity_permutation(m), rotation_permutation(m, stride)});
+
+  std::cout << "Model-checking throughput — Fig. 1 mutex, n = 2, m = " << m
+            << ", stride " << stride << "\n\n";
+
+  // -------------------------------------------------------------------
+  // Part 1: BFS exploration, sequential vs parallel worker sweep.
+  // Repetitions are interleaved across the engines (seq, then each worker
+  // count, then the next rep) so a noisy scheduling window hits all of
+  // them alike instead of biasing whichever engine it happened to cover;
+  // each engine reports its best rep.
+  // -------------------------------------------------------------------
+  const std::vector<int> worker_counts{1, 2, 4, 8};
+  mutex_check_result seq_res;
+  std::vector<mutex_check_result> par_res(worker_counts.size());
+  double seq_time = 0;
+  std::vector<double> par_time(worker_counts.size(), 0);
+  for (int rep = 0; rep < reps; ++rep) {
+    {
+      stopwatch t;
+      seq_res = check_anon_mutex(m, naming, {1, 2}, 8'000'000);
+      const double s = t.elapsed_seconds();
+      if (rep == 0 || s < seq_time) seq_time = s;
+    }
+    for (std::size_t w = 0; w < worker_counts.size(); ++w) {
+      stopwatch t;
+      par_res[w] = check_anon_mutex_parallel(m, naming, {1, 2},
+                                             worker_counts[w], 8'000'000);
+      const double s = t.elapsed_seconds();
+      if (rep == 0 || s < par_time[w]) par_time[w] = s;
+    }
+  }
+
+  ascii_table bfs_table({"engine", "workers", "states", "dedup-hits",
+                         "verdict", "ms", "speedup"});
+  bfs_table.add("bfs (seed)", 1, seq_res.num_states, std::uint64_t{0} /*n/a*/,
+                seq_res.verdict(), seq_time * 1e3, 1.0);
+
+  bool identical = true;
+  double speedup_at_8 = 0;
+  for (std::size_t w = 0; w < worker_counts.size(); ++w) {
+    const int workers = worker_counts[w];
+    const mutex_check_result& res = par_res[w];
+    const double t = par_time[w];
+    identical = identical && res.num_states == seq_res.num_states &&
+                res.verdict() == seq_res.verdict() &&
+                res.counterexample == seq_res.counterexample;
+    const double speedup = seq_time / t;
+    if (workers == 8) speedup_at_8 = speedup;
+    // dedup hits: recompute via a safety-only verify_config run for stats.
+    std::vector<anon_mutex> machines;
+    machines.emplace_back(1, m);
+    machines.emplace_back(2, m);
+    model_config<anon_mutex> cfg{m, naming, machines};
+    verify_options vopt;
+    vopt.engine = verify_engine::parallel_bfs;
+    vopt.workers = workers;
+    vopt.max_states = 8'000'000;
+    const auto stats = verify_config<anon_mutex>(
+        cfg,
+        [](const std::vector<process_id>&, const std::vector<anon_mutex>& ps) {
+          int c = 0;
+          for (const auto& p : ps)
+            if (p.in_critical_section()) ++c;
+          return c >= 2;
+        },
+        vopt);
+    bfs_table.add("parallel", workers, res.num_states, stats.dedup_hits,
+                  res.verdict(), t * 1e3, speedup);
+  }
+  std::cout << bfs_table.render() << "\n";
+  std::cout << "verdicts/states/counterexamples bit-identical to sequential: "
+            << (identical ? "yes" : "NO — BUG") << "\n\n";
+
+  // -------------------------------------------------------------------
+  // Part 2: systematic schedule enumeration, unreduced vs sleep sets.
+  // The exhaustive-equivalence regime (preemptions >= depth) is where the
+  // reduction is sound and the schedule explosion is worst.
+  // -------------------------------------------------------------------
+  std::vector<anon_mutex> machines;
+  machines.emplace_back(1, m);
+  machines.emplace_back(2, m);
+  model_config<anon_mutex> cfg{m, naming, machines};
+  const config_predicate<anon_mutex> two_in_cs =
+      [](const std::vector<process_id>&, const std::vector<anon_mutex>& ps) {
+        int c = 0;
+        for (const auto& p : ps)
+          if (p.in_critical_section()) ++c;
+        return c >= 2;
+      };
+
+  ascii_table sys_table({"tester", "depth", "schedules", "steps", "pruned",
+                         "verdict", "ms", "reduction"});
+  verify_report plain, sleep;
+  for (bool use_sleep : {false, true}) {
+    verify_options vopt;
+    vopt.engine = use_sleep ? verify_engine::systematic_sleep
+                            : verify_engine::systematic;
+    vopt.max_steps = depth;
+    vopt.max_preemptions = depth;  // exhaustive-equivalence regime
+    verify_report rep;
+    const double t = best_of(reps, [&] {
+      rep = verify_config(cfg, two_in_cs, vopt);
+      return rep.wall_seconds;
+    });
+    rep.wall_seconds = t;
+    (use_sleep ? sleep : plain) = rep;
+    const double reduction =
+        use_sleep && rep.schedules
+            ? static_cast<double>(plain.schedules) /
+                  static_cast<double>(rep.schedules)
+            : 1.0;
+    sys_table.add(use_sleep ? "sleep-set" : "unreduced", depth, rep.schedules,
+                  rep.states, rep.sleep_pruned,
+                  rep.violated ? "VIOLATED" : "no violation", t * 1e3,
+                  reduction);
+  }
+  std::cout << sys_table.render() << "\n";
+
+  const double schedule_reduction =
+      sleep.schedules ? static_cast<double>(plain.schedules) /
+                            static_cast<double>(sleep.schedules)
+                      : 0.0;
+  const bool verdicts_match = plain.violated == sleep.violated;
+
+  std::cout << "ACCEPTANCE parallel-speedup@8workers=" << speedup_at_8
+            << "x (target >= 2x)  sleep-set-schedule-reduction="
+            << schedule_reduction << "x (target >= 3x)  verdicts-match="
+            << (verdicts_match && identical ? "yes" : "NO") << "\n";
+  return identical && verdicts_match ? 0 : 1;
+}

@@ -85,6 +85,7 @@ class explorer {
     bool complete = false;        ///< full reachable set explored
     std::uint64_t num_states = 0;
     std::uint64_t num_edges = 0;
+    std::uint64_t dedup_hits = 0;  ///< successors that were already known
 
     /// First reachable state violating the safety predicate, if any,
     /// together with the schedule (process indices) leading to it.
@@ -147,6 +148,7 @@ class explorer {
             raw, naming_.of(p));
         machine.step(view);
         const auto [idx, fresh] = intern(std::move(next), s, p);
+        if (!fresh) ++res.dedup_hits;
         edges_.emplace_back(static_cast<std::uint32_t>(s),
                             static_cast<std::uint32_t>(idx));
         if (fresh && is_bad && is_bad(states_[static_cast<std::size_t>(idx)])) {

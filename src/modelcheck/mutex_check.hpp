@@ -19,6 +19,7 @@
 #include "core/anon_mutex.hpp"
 #include "mem/naming.hpp"
 #include "modelcheck/explorer.hpp"
+#include "modelcheck/parallel_explorer.hpp"
 
 namespace anoncoord {
 
@@ -39,31 +40,29 @@ struct mutex_check_result {
   }
 };
 
-/// Model-check Fig. 1 with the given per-process numberings. `ids` supplies
-/// the (distinct, positive) process identifiers.
-inline mutex_check_result check_anon_mutex(
-    int m, const naming_assignment& naming, std::vector<process_id> ids,
-    std::uint64_t max_states = 2'000'000) {
-  ANONCOORD_REQUIRE(static_cast<int>(ids.size()) == naming.processes(),
-                    "one id per process required");
-  std::vector<anon_mutex> machines;
-  machines.reserve(ids.size());
-  for (process_id id : ids) machines.emplace_back(id, m);
+/// How many processes are inside the critical section.
+inline int mutex_cs_count(const global_state<anon_mutex>& s) {
+  int c = 0;
+  for (const auto& p : s.procs)
+    if (p.in_critical_section()) ++c;
+  return c;
+}
 
-  using ex = explorer<anon_mutex>;
-  typename ex::options opt;
-  opt.max_states = max_states;
-  ex e(m, naming, std::move(machines), opt);
+/// Some process is inside its entry code (the progress premise).
+inline bool mutex_someone_trying(const global_state<anon_mutex>& s) {
+  for (const auto& p : s.procs)
+    if (p.in_entry()) return true;
+  return false;
+}
 
-  const auto in_cs_count = [](const global_state<anon_mutex>& s) {
-    int c = 0;
-    for (const auto& p : s.procs)
-      if (p.in_critical_section()) ++c;
-    return c;
-  };
+namespace detail {
 
+/// Shared harness: works with explorer<anon_mutex> and
+/// parallel_explorer<anon_mutex> (identical explore/check_progress shape).
+template <class Explorer>
+mutex_check_result run_mutex_check(Explorer& e) {
   auto res = e.explore(
-      [&](const global_state<anon_mutex>& s) { return in_cs_count(s) >= 2; });
+      [](const global_state<anon_mutex>& s) { return mutex_cs_count(s) >= 2; });
 
   mutex_check_result out;
   out.complete = res.complete;
@@ -77,17 +76,51 @@ inline mutex_check_result check_anon_mutex(
   if (!res.complete) return out;
 
   e.check_progress(
-      res,
-      [](const global_state<anon_mutex>& s) {
-        for (const auto& p : s.procs)
-          if (p.in_entry()) return true;
-        return false;
-      },
-      [&](const global_state<anon_mutex>& s) { return in_cs_count(s) >= 1; });
+      res, mutex_someone_trying,
+      [](const global_state<anon_mutex>& s) { return mutex_cs_count(s) >= 1; });
   out.stuck_states = res.stuck_states;
   out.progress = !res.progress_violated();
   if (res.progress_violated()) out.counterexample = res.stuck_schedule;
   return out;
+}
+
+inline std::vector<anon_mutex> mutex_machines(
+    int m, const naming_assignment& naming,
+    const std::vector<process_id>& ids) {
+  ANONCOORD_REQUIRE(static_cast<int>(ids.size()) == naming.processes(),
+                    "one id per process required");
+  std::vector<anon_mutex> machines;
+  machines.reserve(ids.size());
+  for (process_id id : ids) machines.emplace_back(id, m);
+  return machines;
+}
+
+}  // namespace detail
+
+/// Model-check Fig. 1 with the given per-process numberings. `ids` supplies
+/// the (distinct, positive) process identifiers.
+inline mutex_check_result check_anon_mutex(
+    int m, const naming_assignment& naming, std::vector<process_id> ids,
+    std::uint64_t max_states = 2'000'000) {
+  using ex = explorer<anon_mutex>;
+  typename ex::options opt;
+  opt.max_states = max_states;
+  ex e(m, naming, detail::mutex_machines(m, naming, ids), opt);
+  return detail::run_mutex_check(e);
+}
+
+/// The same check through the parallel reduction-aware engine. Verdicts,
+/// state counts and counterexample schedules are bit-identical to
+/// check_anon_mutex for every worker count.
+inline mutex_check_result check_anon_mutex_parallel(
+    int m, const naming_assignment& naming, std::vector<process_id> ids,
+    int workers, std::uint64_t max_states = 2'000'000) {
+  using ex = parallel_explorer<anon_mutex>;
+  typename ex::options opt;
+  opt.workers = workers;
+  opt.max_states = max_states;
+  ex e(m, naming, detail::mutex_machines(m, naming, ids), opt);
+  return detail::run_mutex_check(e);
 }
 
 /// Check one two-process configuration where process 0 numbers the registers

@@ -1,0 +1,628 @@
+// Parallel explicit-state exploration with deterministic merge.
+//
+// Level-synchronous BFS over the same global states as explorer.hpp, sharded
+// across a fork-join worker pool:
+//
+//   * the frontier (one BFS level) is split into chunks claimed from an
+//     atomic cursor, so load-balancing is dynamic;
+//   * discovered states are deduplicated in a STRIPED seen-table — one
+//     mutex + flat hash index per stripe, the stripe being a pure function
+//     of the state hash (util/striping.hpp) — so writers rarely contend;
+//   * at the end of each level the fresh states are merged DETERMINISTICALLY:
+//     sorted by (parent index, stepped process), which is exactly the order
+//     sequential BFS discovers them, then assigned global indices. If a
+//     state is reached twice within one level, the lexicographically
+//     smallest (parent, process) discoverer wins — again matching the
+//     sequential scan order. Verdicts, state counts, parent chains and
+//     counterexample schedules are therefore bit-identical to
+//     explorer<Machine> for every worker count; the differential and
+//     determinism tests pin this down.
+//
+// Storage is arena-based, which is what makes the engine fast AND race-free:
+//
+//   * merged states live flattened in two global arenas (registers, machine
+//     objects) indexed by global id. The arenas grow only during the
+//     single-threaded merge; during expansion they are strictly read-only,
+//     so workers load parents and compare duplicates without synchronizing.
+//   * states discovered mid-level sit in per-stripe pending arenas written
+//     and read only under that stripe's mutex.
+//   * per successor the engine allocates nothing: a worker-local scratch
+//     state is copy-assigned in place (capacity reused), stepped by mutating
+//     one machine and at most one register, hashed, probed, and undone.
+//     Fresh states append to the pending arenas, also amortized.
+//   * the register view references the process's permutation instead of
+//     copying + revalidating it per step (naming is validated once up
+//     front).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "mem/naming.hpp"
+#include "modelcheck/explorer.hpp"  // global_state
+#include "runtime/step_machine.hpp"
+#include "util/check.hpp"
+#include "util/padded.hpp"
+#include "util/stopwatch.hpp"
+#include "util/striping.hpp"
+#include "util/thread_pool.hpp"
+
+namespace anoncoord {
+
+/// Register view over a plain vector that *references* the permutation —
+/// naming_view copies and revalidates it per construction, which is per
+/// successor here. Validation happens once in the explorer constructor.
+template <class V>
+class permuted_vector_memory {
+ public:
+  using value_type = V;
+
+  permuted_vector_memory(std::vector<V>& regs, const permutation& perm)
+      : regs_(&regs), perm_(&perm) {}
+
+  int size() const { return static_cast<int>(perm_->size()); }
+  V read(int logical) const {
+    return (*regs_)[static_cast<std::size_t>(physical(logical))];
+  }
+  void write(int logical, V v) {
+    (*regs_)[static_cast<std::size_t>(physical(logical))] = std::move(v);
+  }
+  int physical(int logical) const {
+    return (*perm_)[static_cast<std::size_t>(logical)];
+  }
+
+ private:
+  std::vector<V>* regs_;
+  const permutation* perm_;
+};
+
+template <class Machine>
+class parallel_explorer {
+ public:
+  using state_type = global_state<Machine>;
+  using state_predicate = std::function<bool(const state_type&)>;
+  using value_type = typename state_type::value_type;
+
+  struct options {
+    int workers = 1;
+    /// Exploration cap, checked at level boundaries (so results stay
+    /// deterministic for every worker count); result.complete reports
+    /// whether the reachable set fit.
+    std::uint64_t max_states = 2'000'000;
+    /// Successor edges are only needed for check_progress(); safety-only
+    /// runs can skip recording them.
+    bool record_edges = true;
+  };
+
+  struct result {
+    bool complete = false;
+    std::uint64_t num_states = 0;
+    std::uint64_t num_edges = 0;
+    std::uint64_t dedup_hits = 0;  ///< successors that were already known
+    std::uint64_t levels = 0;      ///< BFS depth of the explored region
+    int workers = 1;
+    double wall_seconds = 0.0;
+
+    std::optional<state_type> bad_state;
+    std::vector<int> bad_schedule;
+
+    std::uint64_t stuck_states = 0;
+    std::optional<state_type> stuck_state;
+    std::vector<int> stuck_schedule;
+
+    bool safety_violated() const { return bad_state.has_value(); }
+    bool progress_violated() const { return stuck_states > 0; }
+  };
+
+  parallel_explorer(int registers, naming_assignment naming,
+                    std::vector<Machine> initial_machines, options opt = {})
+      : registers_(registers), naming_(std::move(naming)),
+        initial_machines_(std::move(initial_machines)), opt_(opt) {
+    ANONCOORD_REQUIRE(opt_.workers >= 1, "need at least one worker");
+    ANONCOORD_REQUIRE(
+        naming_.processes() == static_cast<int>(initial_machines_.size()),
+        "naming assignment and machine count disagree");
+    ANONCOORD_REQUIRE(naming_.registers() == registers,
+                      "naming assignment built for a different register file");
+    // naming_view validates per construction; we validate once here instead.
+    for (int p = 0; p < naming_.processes(); ++p)
+      ANONCOORD_REQUIRE(is_permutation_of_iota(naming_.of(p)),
+                        "naming must be a permutation of register indices");
+  }
+
+  result explore(const state_predicate& is_bad = {}) {
+    stopwatch timer;
+    reset();
+    result res;
+    res.workers = opt_.workers;
+
+    state_type init;
+    init.regs.assign(static_cast<std::size_t>(registers_), value_type{});
+    init.procs = initial_machines_;
+    intern_initial(init);
+    if (is_bad && is_bad(init)) {
+      res.bad_state = std::move(init);
+      finish(res, timer);
+      return res;
+    }
+
+    thread_pool pool(opt_.workers);
+    workers_.clear();
+    workers_.resize(static_cast<std::size_t>(opt_.workers));
+
+    std::uint64_t level_begin = 0;
+    std::uint64_t level_end = 1;
+    while (level_begin < level_end) {
+      if (num_merged() >= opt_.max_states) {
+        finish(res, timer);
+        return res;  // incomplete
+      }
+      // Fork: expand this level's states into the striped seen-table.
+      const std::uint64_t span = level_end - level_begin;
+      const std::uint64_t chunk = std::clamp<std::uint64_t>(
+          span / (static_cast<std::uint64_t>(opt_.workers) * 8), 1, 256);
+      chunk_cursor cursor(level_begin, level_end, chunk);
+      pool.run([&](int w) {
+        std::uint64_t lo = 0, hi = 0;
+        while (cursor.claim(lo, hi))
+          for (std::uint64_t g = lo; g < hi; ++g)
+            expand(g, workers_[static_cast<std::size_t>(w)].value, is_bad);
+      });
+      // Join: deterministic merge, identical to sequential discovery order.
+      if (merge_level(res)) {
+        finish(res, timer);
+        return res;  // safety violation
+      }
+      level_begin = level_end;
+      level_end = num_merged();
+      ++res.levels;
+    }
+    res.complete = true;
+    finish(res, timer);
+    return res;
+  }
+
+  /// After a *complete* explore(): verify that from every reachable state
+  /// satisfying `premise`, some state satisfying `goal` is reachable.
+  /// Identical semantics (and results) to explorer::check_progress.
+  void check_progress(result& res, const state_predicate& premise,
+                      const state_predicate& goal) const {
+    ANONCOORD_REQUIRE(res.complete,
+                      "progress analysis needs a complete state space");
+    ANONCOORD_REQUIRE(opt_.record_edges,
+                      "progress analysis needs recorded edges");
+    const std::size_t n = num_merged();
+    std::vector<char> reaches_goal(n, 0);
+    // Reverse adjacency in CSR form — two passes over the edge records
+    // instead of one heap-allocated bucket per state.
+    std::size_t nedges = 0;
+    for (const auto& wd : workers_) nedges += wd.value.edges.size();
+    std::vector<std::uint32_t> tos;
+    tos.reserve(nedges);
+    std::vector<std::uint32_t> offsets(n + 1, 0);
+    for (const auto& wd : workers_)
+      for (const auto& e : wd.value.edges) {
+        const auto to = static_cast<std::uint32_t>(
+            stripes_[e.stripe]->entries[e.local].global);
+        tos.push_back(to);
+        ++offsets[to + 1];
+      }
+    for (std::size_t i = 0; i < n; ++i) offsets[i + 1] += offsets[i];
+    std::vector<std::uint32_t> sources(nedges);
+    {
+      std::vector<std::uint32_t> cursor(offsets.begin(), offsets.end() - 1);
+      std::size_t k = 0;
+      for (const auto& wd : workers_)
+        for (const auto& e : wd.value.edges)
+          sources[cursor[tos[k++]]++] = static_cast<std::uint32_t>(e.from);
+    }
+    std::vector<std::uint32_t> queue;
+    queue.reserve(n);
+    state_type scratch;
+    for (std::size_t i = 0; i < n; ++i) {
+      load_state(static_cast<std::uint64_t>(i), scratch);
+      if (goal(scratch)) {
+        reaches_goal[i] = 1;
+        queue.push_back(static_cast<std::uint32_t>(i));
+      }
+    }
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const auto v = queue[head];
+      for (std::uint32_t k = offsets[v]; k < offsets[v + 1]; ++k) {
+        const auto u = sources[k];
+        if (!reaches_goal[u]) {
+          reaches_goal[u] = 1;
+          queue.push_back(u);
+        }
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (reaches_goal[i]) continue;
+      load_state(static_cast<std::uint64_t>(i), scratch);
+      if (premise(scratch)) {
+        ++res.stuck_states;
+        if (!res.stuck_state) {
+          res.stuck_state = scratch;
+          res.stuck_schedule = schedule_to(static_cast<std::int64_t>(i));
+        }
+      }
+    }
+  }
+
+  /// Reachable states in deterministic (sequential-BFS) discovery order.
+  std::uint64_t num_states() const { return num_merged(); }
+  state_type state(std::uint64_t global) const {
+    state_type s;
+    load_state(global, s);
+    return s;
+  }
+
+ private:
+  /// Seen-table record. While a state waits for the level merge its content
+  /// sits in the owning stripe's pending arenas at index `pending` and
+  /// `global` is -1; the merge moves it into the global arenas.
+  struct entry {
+    std::int64_t global;
+    std::int64_t parent;    ///< global index of the discovering state
+    std::int32_t via;       ///< process stepped to reach this state
+    std::uint32_t pending;  ///< pending-arena index while global < 0
+  };
+
+  /// Open-addressed linear-probe index from state hash to stripe-local
+  /// entry. Cells pack a 32-bit hash fragment with the entry index into 8
+  /// bytes (8 cells per cache line), so a probe usually costs one cache
+  /// line and touches no state memory unless the fragments match; equality
+  /// is always confirmed on the state itself, so fragment collisions only
+  /// cost an extra compare. Roughly halves the exploration hot path
+  /// relative to a node-based unordered_multimap, whose allocation and
+  /// bucket chasing dominated the profile.
+  struct flat_index {
+    static constexpr std::uint32_t npos = 0xffffffffu;
+
+    /// cell = fragment << 32 | (local + 1); 0 means empty.
+    std::vector<std::uint64_t> cells;
+    std::size_t mask = 0;
+    std::size_t used = 0;
+
+    flat_index() { grow(64); }
+
+    static std::uint32_t fragment(std::size_t h) {
+      return static_cast<std::uint32_t>(mix64(h) >> 32);
+    }
+    /// Probe start as a pure function of the fragment, so grow() can
+    /// re-place cells without the original hash.
+    std::size_t start(std::uint32_t frag) const {
+      return static_cast<std::size_t>(
+                 (frag * std::uint64_t{0x9e3779b97f4a7c15}) >> 32) &
+             mask;
+    }
+
+    /// Find the entry for hash `h` that satisfies `eq`, or npos.
+    template <class Eq>
+    std::uint32_t find(std::size_t h, const Eq& eq) const {
+      const std::uint32_t frag = fragment(h);
+      for (std::size_t i = start(frag);; i = (i + 1) & mask) {
+        const std::uint64_t cell = cells[i];
+        if (cell == 0) return npos;
+        if (static_cast<std::uint32_t>(cell >> 32) == frag) {
+          const auto local = static_cast<std::uint32_t>(cell) - 1;
+          if (eq(local)) return local;
+        }
+      }
+    }
+
+    void insert(std::size_t h, std::uint32_t local) {
+      if ((used + 1) * 10 >= cells.size() * 7) grow(cells.size() * 2);
+      place(fragment(h), local);
+      ++used;
+    }
+
+   private:
+    void grow(std::size_t capacity) {  // capacity: power of two
+      std::vector<std::uint64_t> old = std::move(cells);
+      cells.assign(capacity, 0);
+      mask = capacity - 1;
+      for (const std::uint64_t cell : old)
+        if (cell != 0)
+          place(static_cast<std::uint32_t>(cell >> 32),
+                static_cast<std::uint32_t>(cell) - 1);
+    }
+
+    void place(std::uint32_t frag, std::uint32_t local) {
+      std::size_t i = start(frag);
+      while (cells[i] != 0) i = (i + 1) & mask;
+      cells[i] = (std::uint64_t{frag} << 32) | (local + 1);
+    }
+  };
+
+  struct stripe {
+    std::mutex mu;
+    flat_index index;
+    std::vector<entry> entries;
+    /// Mid-level staging for fresh states, flattened like the global arenas.
+    /// Written and read only under `mu`; cleared (capacity kept) per level.
+    std::vector<value_type> pending_regs;
+    std::vector<Machine> pending_procs;
+    std::vector<std::uint32_t> fresh;  ///< entries discovered this level
+  };
+
+  struct edge_rec {
+    std::uint64_t from;     ///< global index (assigned: parents only)
+    std::uint32_t stripe;   ///< target state's stripe
+    std::uint32_t local;    ///< target state's entry within the stripe
+  };
+
+  struct worker_data {
+    std::vector<edge_rec> edges;
+    std::uint64_t dedup_hits = 0;
+    state_type scratch;  ///< reused across expansions: no per-parent allocs
+    /// Per-process undo slots for the machine mutated by step(); persistent
+    /// so the save/restore round-trip copy-assigns instead of allocating.
+    std::vector<Machine> saved;
+    /// Fresh states this worker found bad, as (stripe, entry) — the safety
+    /// predicate runs here, where the successor is already in cache, not in
+    /// a second pass over the merged level.
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> bad;
+  };
+
+  std::size_t num_merged() const { return parents_.size(); }
+
+  void reset() {
+    // Stripes exist to keep OS threads off each other's mutexes; logical
+    // workers beyond the hardware width never run concurrently (thread_pool
+    // multiplexes them), so sizing by them would only bloat the table
+    // working set. Determinism is unaffected: merge order never depends on
+    // the stripe partition.
+    const int hw = std::max(
+        1, static_cast<int>(std::thread::hardware_concurrency()));
+    nstripes_ = stripe_count_for(std::min(opt_.workers, hw));
+    stripes_.clear();
+    for (int s = 0; s < nstripes_; ++s)
+      stripes_.push_back(std::make_unique<stripe>());
+    arena_regs_.clear();
+    arena_procs_.clear();
+    parents_.clear();
+    vias_.clear();
+    workers_.clear();
+  }
+
+  /// Copy merged state `global` from the arenas into `out`, reusing its
+  /// capacity. The arenas only mutate during the single-threaded merge, so
+  /// concurrent loads during expansion need no synchronization.
+  void load_state(std::uint64_t global, state_type& out) const {
+    const std::size_t m = static_cast<std::size_t>(registers_);
+    const std::size_t n = initial_machines_.size();
+    const auto rfirst = arena_regs_.begin() +
+                        static_cast<std::ptrdiff_t>(global * m);
+    const auto pfirst = arena_procs_.begin() +
+                        static_cast<std::ptrdiff_t>(global * n);
+    out.regs.assign(rfirst, rfirst + static_cast<std::ptrdiff_t>(m));
+    out.procs.assign(pfirst, pfirst + static_cast<std::ptrdiff_t>(n));
+  }
+
+  bool arena_equals(std::int64_t global, const state_type& s) const {
+    const std::size_t m = static_cast<std::size_t>(registers_);
+    const std::size_t n = initial_machines_.size();
+    const auto g = static_cast<std::size_t>(global);
+    return std::equal(s.regs.begin(), s.regs.end(),
+                      arena_regs_.begin() + static_cast<std::ptrdiff_t>(g * m)) &&
+           std::equal(s.procs.begin(), s.procs.end(),
+                      arena_procs_.begin() + static_cast<std::ptrdiff_t>(g * n));
+  }
+
+  bool pending_equals(const stripe& st, std::uint32_t pending,
+                      const state_type& s) const {
+    const std::size_t m = static_cast<std::size_t>(registers_);
+    const std::size_t n = initial_machines_.size();
+    return std::equal(s.regs.begin(), s.regs.end(),
+                      st.pending_regs.begin() +
+                          static_cast<std::ptrdiff_t>(pending * m)) &&
+           std::equal(s.procs.begin(), s.procs.end(),
+                      st.pending_procs.begin() +
+                          static_cast<std::ptrdiff_t>(pending * n));
+  }
+
+  void intern_initial(const state_type& init) {
+    const std::size_t h = init.hash();
+    stripe& st = *stripes_[stripe_of(h, nstripes_)];
+    st.entries.push_back(entry{0, -1, -1, 0});
+    st.index.insert(h, 0);
+    arena_regs_.insert(arena_regs_.end(), init.regs.begin(), init.regs.end());
+    arena_procs_.insert(arena_procs_.end(), init.procs.begin(),
+                        init.procs.end());
+    parents_.push_back(-1);
+    vias_.push_back(-1);
+  }
+
+  /// Expand one state: step-in-place each enabled process on a scratch copy,
+  /// probe the striped table, stage only on a miss, then undo.
+  void expand(std::uint64_t g, worker_data& wd, const state_predicate& is_bad) {
+    state_type& scratch = wd.scratch;
+    load_state(g, scratch);
+    if (wd.saved.size() != scratch.procs.size()) wd.saved = scratch.procs;
+    const int nprocs = static_cast<int>(scratch.procs.size());
+    for (int p = 0; p < nprocs; ++p) {
+      Machine& machine = scratch.procs[static_cast<std::size_t>(p)];
+      const op_desc op = machine.peek();
+      if (op.kind == op_kind::none) continue;
+      const permutation& perm = naming_.of(p);
+      // Undo log: the machine that moves, and the one register a write hits.
+      wd.saved[static_cast<std::size_t>(p)] = machine;
+      int written = -1;
+      value_type old_value{};
+      if (op.kind == op_kind::write) {
+        written = perm[static_cast<std::size_t>(op.index)];
+        old_value = scratch.regs[static_cast<std::size_t>(written)];
+      }
+      permuted_vector_memory<value_type> view(scratch.regs, perm);
+      machine.step(view);
+
+      const std::size_t h = scratch.hash();
+      const unsigned sidx = stripe_of(h, nstripes_);
+      stripe& st = *stripes_[sidx];
+      bool inserted = false;
+      std::uint32_t local;
+      {
+        std::lock_guard lk(st.mu);
+        local = st.index.find(h, [&](std::uint32_t l) {
+          const entry& e = st.entries[l];
+          return e.global >= 0 ? arena_equals(e.global, scratch)
+                               : pending_equals(st, e.pending, scratch);
+        });
+        if (local != flat_index::npos) {
+          ++wd.dedup_hits;
+          entry& known = st.entries[local];
+          // A same-level duplicate keeps its lexicographically smallest
+          // (parent, via) discoverer — sequential BFS's first discoverer.
+          if (known.global < 0 &&
+              (static_cast<std::int64_t>(g) < known.parent ||
+               (static_cast<std::int64_t>(g) == known.parent &&
+                p < known.via))) {
+            known.parent = static_cast<std::int64_t>(g);
+            known.via = p;
+          }
+        } else {
+          inserted = true;
+          local = static_cast<std::uint32_t>(st.entries.size());
+          const auto pending = static_cast<std::uint32_t>(st.fresh.size());
+          const std::size_t pbase =
+              static_cast<std::size_t>(pending) * scratch.procs.size();
+          st.pending_regs.insert(st.pending_regs.end(), scratch.regs.begin(),
+                                 scratch.regs.end());
+          // The machine staging area only ever grows (a machine may own
+          // heap state, so destroying slots each level would make every
+          // re-stage allocate); dead slots past this level's fresh count
+          // are simply overwritten next level.
+          if (st.pending_procs.size() < pbase + scratch.procs.size()) {
+            st.pending_procs.insert(st.pending_procs.end(),
+                                    scratch.procs.begin(),
+                                    scratch.procs.end());
+          } else {
+            std::copy(scratch.procs.begin(), scratch.procs.end(),
+                      st.pending_procs.begin() +
+                          static_cast<std::ptrdiff_t>(pbase));
+          }
+          st.entries.push_back(
+              entry{-1, static_cast<std::int64_t>(g), p, pending});
+          st.index.insert(h, local);
+          st.fresh.push_back(local);
+        }
+        if (opt_.record_edges) wd.edges.push_back(edge_rec{g, sidx, local});
+      }
+      if (inserted && is_bad && is_bad(scratch)) wd.bad.push_back({sidx, local});
+      // Undo: restore the moved machine and the overwritten register.
+      machine = wd.saved[static_cast<std::size_t>(p)];
+      if (written >= 0)
+        scratch.regs[static_cast<std::size_t>(written)] = std::move(old_value);
+    }
+  }
+
+  /// Sort this level's fresh states into sequential discovery order, move
+  /// them from the pending arenas into the global ones, and surface the
+  /// first bad state in that order. Returns true iff a violation was found.
+  bool merge_level(result& res) {
+    struct fresh_ref {
+      std::int64_t parent;
+      std::int32_t via;
+      std::uint32_t stripe;
+      std::uint32_t local;
+    };
+    std::vector<fresh_ref> fresh;
+    for (int s = 0; s < nstripes_; ++s) {
+      stripe& st = *stripes_[static_cast<std::size_t>(s)];
+      for (std::uint32_t local : st.fresh) {
+        const entry& e = st.entries[local];
+        fresh.push_back(fresh_ref{e.parent, e.via,
+                                  static_cast<std::uint32_t>(s), local});
+      }
+    }
+    // (parent, via) pairs are unique — each parent/process combination has
+    // exactly one successor — so this order is total and deterministic.
+    std::sort(fresh.begin(), fresh.end(),
+              [](const fresh_ref& a, const fresh_ref& b) {
+                return a.parent != b.parent ? a.parent < b.parent
+                                            : a.via < b.via;
+              });
+    const std::size_t m = static_cast<std::size_t>(registers_);
+    const std::size_t n = initial_machines_.size();
+    for (const fresh_ref& f : fresh) {
+      stripe& st = *stripes_[f.stripe];
+      entry& e = st.entries[f.local];
+      e.global = static_cast<std::int64_t>(num_merged());
+      const auto rfirst = st.pending_regs.begin() +
+                          static_cast<std::ptrdiff_t>(e.pending * m);
+      const auto pfirst = st.pending_procs.begin() +
+                          static_cast<std::ptrdiff_t>(e.pending * n);
+      arena_regs_.insert(arena_regs_.end(), rfirst,
+                         rfirst + static_cast<std::ptrdiff_t>(m));
+      arena_procs_.insert(arena_procs_.end(), pfirst,
+                          pfirst + static_cast<std::ptrdiff_t>(n));
+      parents_.push_back(e.parent);
+      vias_.push_back(e.via);
+    }
+    for (int s = 0; s < nstripes_; ++s) {
+      stripe& st = *stripes_[static_cast<std::size_t>(s)];
+      st.fresh.clear();          // clear() keeps capacity: no churn
+      st.pending_regs.clear();
+      // pending_procs is a high-water pool: its slots are reused, not freed.
+    }
+    // The safety predicate already ran in expand(); the violation reported
+    // is the smallest merged index — the first one sequential BFS meets.
+    std::int64_t first_bad = -1;
+    for (auto& wd : workers_) {
+      for (const auto& [sidx, local] : wd.value.bad) {
+        const std::int64_t g = stripes_[sidx]->entries[local].global;
+        if (first_bad < 0 || g < first_bad) first_bad = g;
+      }
+      wd.value.bad.clear();
+    }
+    if (first_bad < 0) return false;
+    res.bad_state = state(static_cast<std::uint64_t>(first_bad));
+    res.bad_schedule = schedule_to(first_bad);
+    return true;
+  }
+
+  std::vector<int> schedule_to(std::int64_t idx) const {
+    std::vector<int> sched;
+    for (std::int64_t g = idx;
+         g >= 0 && parents_[static_cast<std::size_t>(g)] >= 0;
+         g = parents_[static_cast<std::size_t>(g)]) {
+      sched.push_back(vias_[static_cast<std::size_t>(g)]);
+    }
+    std::reverse(sched.begin(), sched.end());
+    return sched;
+  }
+
+  void finish(result& res, const stopwatch& timer) const {
+    res.num_states = num_merged();
+    for (const auto& wd : workers_) {
+      res.num_edges += wd.value.edges.size();
+      res.dedup_hits += wd.value.dedup_hits;
+    }
+    res.wall_seconds = timer.elapsed_seconds();
+  }
+
+  int registers_;
+  naming_assignment naming_;
+  std::vector<Machine> initial_machines_;
+  options opt_;
+
+  int nstripes_ = 1;
+  std::vector<std::unique_ptr<stripe>> stripes_;
+  /// Merged states, flattened: state g occupies arena_regs_[g*m .. g*m+m)
+  /// and arena_procs_[g*n .. g*n+n); parents_/vias_ record the BFS tree.
+  std::vector<value_type> arena_regs_;
+  std::vector<Machine> arena_procs_;
+  std::vector<std::int64_t> parents_;
+  std::vector<std::int32_t> vias_;
+  std::vector<padded<worker_data>> workers_;
+};
+
+}  // namespace anoncoord

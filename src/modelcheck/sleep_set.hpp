@@ -1,0 +1,59 @@
+// Sleep-set partial-order reduction (Godefroid) for step-machine systems.
+//
+// Two pending steps of different processes *commute* when executing them in
+// either order reaches the same global state. A process's step is chosen by
+// its local state alone (peek() never reads shared memory), so in the
+// anonymous-register model commutation is decidable from the two op_descs
+// and the processes' private numberings:
+//
+//   * an internal transition touches no register — commutes with anything;
+//   * two reads commute even on the same register (neither changes it);
+//   * otherwise the steps commute iff they touch distinct PHYSICAL registers.
+//     The physical target is perm[logical]: two processes naming the same
+//     register differently still collide on it, and two processes using the
+//     same logical index may be touching different registers. Anonymity
+//     changes *which* pairs conflict, not the analysis.
+//
+// A sleep set carries, along a DFS branch, the processes whose next step is
+// already covered by a sibling branch: scheduling a sleeping process would
+// re-explore a permutation of an already-explored interleaving. The
+// reduction preserves the set of reachable states at every depth (commuting
+// swaps preserve schedule length), hence every safety verdict within a depth
+// bound. See docs/modelcheck.md for how this composes with the preemption
+// bound.
+#pragma once
+
+#include <cstdint>
+
+#include "mem/naming.hpp"
+#include "runtime/step_machine.hpp"
+#include "util/check.hpp"
+
+namespace anoncoord {
+
+/// One bit per process; the systematic tester supports up to 32 processes,
+/// far beyond what schedule enumeration can visit anyway.
+using sleep_mask = std::uint32_t;
+inline constexpr int max_sleep_processes = 32;
+
+/// The physical register a pending operation will touch under the process's
+/// private numbering, or -1 for internal/none.
+inline int physical_target(const op_desc& op, const permutation& perm) {
+  if (op.kind != op_kind::read && op.kind != op_kind::write) return -1;
+  ANONCOORD_ASSERT(op.index >= 0 &&
+                       op.index < static_cast<int>(perm.size()),
+                   "pending op addresses a register outside the file");
+  return perm[static_cast<std::size_t>(op.index)];
+}
+
+/// Do the two pending steps commute in every state?
+inline bool steps_independent(const op_desc& a, const permutation& perm_a,
+                              const op_desc& b, const permutation& perm_b) {
+  if (a.kind == op_kind::internal || a.kind == op_kind::none ||
+      b.kind == op_kind::internal || b.kind == op_kind::none)
+    return true;
+  if (a.kind == op_kind::read && b.kind == op_kind::read) return true;
+  return physical_target(a, perm_a) != physical_target(b, perm_b);
+}
+
+}  // namespace anoncoord

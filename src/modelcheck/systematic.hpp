@@ -13,6 +13,18 @@
 //
 // Machines are value types, so branching is plain state copying; no replay
 // machinery is needed.
+//
+// With options.sleep_sets the enumeration additionally applies sleep-set
+// partial-order reduction (modelcheck/sleep_set.hpp): once a branch for
+// process p has been fully explored at a node, sibling branches carry p in
+// their sleep set until a DEPENDENT step (one touching the same physical
+// register, with a write involved) is executed — scheduling a sleeping
+// process would only re-interleave commuting steps into an already-covered
+// run. The reduction preserves the set of states reachable within the depth
+// bound, hence every safety verdict; it composes with the preemption bound
+// only heuristically (a pruned run's representative may spend more
+// preemptions), so exhaustive-equivalence claims should use
+// max_preemptions >= max_steps. See docs/modelcheck.md.
 #pragma once
 
 #include <cstdint>
@@ -22,6 +34,7 @@
 
 #include "mem/naming.hpp"
 #include "modelcheck/explorer.hpp"  // vector_memory
+#include "modelcheck/sleep_set.hpp"
 #include "runtime/step_machine.hpp"
 #include "util/check.hpp"
 
@@ -36,6 +49,7 @@ class systematic_tester {
     int max_steps = 40;          ///< schedule-depth bound
     int max_preemptions = 2;     ///< context-switch bound
     std::uint64_t max_runs = 50'000'000;  ///< hard cap on explored schedules
+    bool sleep_sets = false;     ///< sleep-set partial-order reduction
   };
 
   /// Invariant over a global state; return true if the state is BAD.
@@ -46,6 +60,7 @@ class systematic_tester {
   struct result {
     std::uint64_t runs = 0;           ///< maximal schedules explored
     std::uint64_t states_visited = 0; ///< total steps taken across all runs
+    std::uint64_t sleep_pruned = 0;   ///< scheduling choices cut by sleep sets
     bool complete = false;            ///< finished within max_runs
     bool violated = false;
     std::vector<int> violating_schedule;  ///< process indices, replayable
@@ -64,6 +79,10 @@ class systematic_tester {
 
   result run(const state_predicate& is_bad, options opt = {}) {
     ANONCOORD_REQUIRE(opt.max_steps > 0, "need a positive depth bound");
+    ANONCOORD_REQUIRE(!opt.sleep_sets ||
+                          static_cast<int>(initial_.size()) <=
+                              max_sleep_processes,
+                      "sleep sets support at most 32 processes");
     result res;
     std::vector<value_type> regs(static_cast<std::size_t>(registers_));
     std::vector<Machine> procs = initial_;
@@ -74,7 +93,7 @@ class systematic_tester {
       return res;
     }
     explore(regs, procs, schedule, /*last=*/-1, /*preemptions_left=*/
-            opt.max_preemptions, opt, is_bad, res);
+            opt.max_preemptions, /*sleep=*/0, opt, is_bad, res);
     res.complete = !res.violated && res.runs < opt.max_runs;
     if (res.violated) res.complete = false;
     return res;
@@ -84,18 +103,25 @@ class systematic_tester {
   // Returns true to abort the search (violation found or run cap hit).
   bool explore(std::vector<value_type>& regs, std::vector<Machine>& procs,
                std::vector<int>& schedule, int last, int preemptions_left,
-               const options& opt, const state_predicate& is_bad,
-               result& res) {
+               sleep_mask sleep, const options& opt,
+               const state_predicate& is_bad, result& res) {
     if (static_cast<int>(schedule.size()) >= opt.max_steps) {
       ++res.runs;
       return res.runs >= opt.max_runs;
     }
     bool any_enabled = false;
+    sleep_mask explored = 0;  // processes whose branch is fully covered here
     const int n = static_cast<int>(procs.size());
     for (int p = 0; p < n; ++p) {
-      if (procs[static_cast<std::size_t>(p)].peek().kind == op_kind::none)
-        continue;
+      const op_desc op_p = procs[static_cast<std::size_t>(p)].peek();
+      if (op_p.kind == op_kind::none) continue;
       any_enabled = true;
+      if (opt.sleep_sets && (sleep >> p) & 1u) {
+        // Every run through p here is a commuting permutation of a run some
+        // sibling branch explores; skipping it loses no reachable state.
+        ++res.sleep_pruned;
+        continue;
+      }
       // Preemption accounting: continuing `last` is free; switching away
       // while `last` is still enabled costs one preemption.
       int next_budget = preemptions_left;
@@ -104,6 +130,18 @@ class systematic_tester {
               op_kind::none) {
         if (preemptions_left == 0) continue;
         next_budget = preemptions_left - 1;
+      }
+      // The child inherits the sleepers (and the already-explored siblings)
+      // whose pending steps commute with p's; a dependent step wakes them.
+      sleep_mask child_sleep = 0;
+      if (opt.sleep_sets) {
+        const sleep_mask carry = (sleep | explored) & ~(1u << p);
+        for (int q = 0; q < n; ++q) {
+          if (!((carry >> q) & 1u)) continue;
+          const op_desc op_q = procs[static_cast<std::size_t>(q)].peek();
+          if (steps_independent(op_q, naming_.of(q), op_p, naming_.of(p)))
+            child_sleep |= 1u << q;
+        }
       }
       // Branch: copy, step, recurse.
       std::vector<value_type> regs_copy = regs;
@@ -121,10 +159,11 @@ class systematic_tester {
         return true;
       }
       const bool abort_search =
-          explore(regs_copy, procs_copy, schedule, p, next_budget, opt,
-                  is_bad, res);
+          explore(regs_copy, procs_copy, schedule, p, next_budget,
+                  child_sleep, opt, is_bad, res);
       schedule.pop_back();
       if (abort_search) return true;
+      explored |= 1u << p;
     }
     if (!any_enabled) {
       ++res.runs;  // all processes finished: a complete maximal schedule

@@ -1,0 +1,148 @@
+// verify_config(): one entry point over every verification engine.
+//
+// The repo now has three mechanical provers — the sequential BFS explorer,
+// the parallel reduction-aware explorer, and the CHESS-style systematic
+// tester (with optional sleep-set reduction). They take the same inputs (a
+// register count, a naming assignment, initial machines, a bad-state
+// predicate) but grew distinct result types. verify_config() runs any of
+// them on a uniform model_config and returns uniform per-run stats (states,
+// dedup hits, schedules, reduction counters, wall time), which is what the
+// scaling bench and the differential tests consume.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "mem/naming.hpp"
+#include "modelcheck/explorer.hpp"
+#include "modelcheck/parallel_explorer.hpp"
+#include "modelcheck/systematic.hpp"
+#include "util/stopwatch.hpp"
+
+namespace anoncoord {
+
+enum class verify_engine {
+  bfs,               ///< sequential explorer (explorer.hpp)
+  parallel_bfs,      ///< sharded explorer (parallel_explorer.hpp)
+  systematic,        ///< bounded schedule enumeration (systematic.hpp)
+  systematic_sleep,  ///< + sleep-set partial-order reduction
+};
+
+inline std::string to_string(verify_engine e) {
+  switch (e) {
+    case verify_engine::bfs: return "bfs";
+    case verify_engine::parallel_bfs: return "parallel-bfs";
+    case verify_engine::systematic: return "systematic";
+    case verify_engine::systematic_sleep: return "systematic+sleep";
+  }
+  return "?";
+}
+
+struct verify_options {
+  verify_engine engine = verify_engine::bfs;
+  int workers = 1;                         ///< parallel_bfs only
+  std::uint64_t max_states = 2'000'000;    ///< BFS engines
+  int max_steps = 40;                      ///< systematic engines
+  int max_preemptions = 2;                 ///< systematic engines
+  std::uint64_t max_runs = 50'000'000;     ///< systematic engines
+};
+
+/// Uniform per-run statistics. For BFS engines `states` counts distinct
+/// global states; for systematic engines it counts executed steps and
+/// `schedules` counts enumerated maximal schedules.
+struct verify_report {
+  verify_engine engine{};
+  bool complete = false;
+  bool violated = false;
+  std::uint64_t states = 0;
+  std::uint64_t edges = 0;
+  std::uint64_t dedup_hits = 0;
+  std::uint64_t schedules = 0;
+  std::uint64_t sleep_pruned = 0;
+  double wall_seconds = 0.0;
+  std::vector<int> violating_schedule;
+
+  bool ok() const { return complete && !violated; }
+};
+
+/// A model configuration: what every engine needs to start.
+template <class Machine>
+struct model_config {
+  int registers = 0;
+  naming_assignment naming;
+  std::vector<Machine> initial;
+};
+
+/// Bad-state predicate over (registers, machines) — the systematic tester's
+/// native shape; BFS engines adapt it to global_state.
+template <class Machine>
+using config_predicate =
+    std::function<bool(const std::vector<typename Machine::value_type>&,
+                       const std::vector<Machine>&)>;
+
+template <class Machine>
+verify_report verify_config(const model_config<Machine>& cfg,
+                            const config_predicate<Machine>& is_bad,
+                            const verify_options& opt = {}) {
+  verify_report out;
+  out.engine = opt.engine;
+  const auto as_state_pred = [&](const global_state<Machine>& s) {
+    return is_bad(s.regs, s.procs);
+  };
+  stopwatch timer;
+  switch (opt.engine) {
+    case verify_engine::bfs: {
+      typename explorer<Machine>::options eopt;
+      eopt.max_states = opt.max_states;
+      explorer<Machine> e(cfg.registers, cfg.naming, cfg.initial, eopt);
+      const auto res = e.explore(as_state_pred);
+      out.complete = res.complete;
+      out.violated = res.safety_violated();
+      out.states = res.num_states;
+      out.edges = res.num_edges;
+      out.dedup_hits = res.dedup_hits;
+      out.violating_schedule = res.bad_schedule;
+      break;
+    }
+    case verify_engine::parallel_bfs: {
+      typename parallel_explorer<Machine>::options popt;
+      popt.workers = opt.workers;
+      popt.max_states = opt.max_states;
+      popt.record_edges = false;  // safety-only entry point
+      parallel_explorer<Machine> e(cfg.registers, cfg.naming, cfg.initial,
+                                   popt);
+      const auto res = e.explore(as_state_pred);
+      out.complete = res.complete;
+      out.violated = res.safety_violated();
+      out.states = res.num_states;
+      out.edges = res.num_edges;
+      out.dedup_hits = res.dedup_hits;
+      out.violating_schedule = res.bad_schedule;
+      break;
+    }
+    case verify_engine::systematic:
+    case verify_engine::systematic_sleep: {
+      systematic_tester<Machine> tester(cfg.registers, cfg.naming,
+                                        cfg.initial);
+      typename systematic_tester<Machine>::options topt;
+      topt.max_steps = opt.max_steps;
+      topt.max_preemptions = opt.max_preemptions;
+      topt.max_runs = opt.max_runs;
+      topt.sleep_sets = opt.engine == verify_engine::systematic_sleep;
+      const auto res = tester.run(is_bad, topt);
+      out.complete = res.complete;
+      out.violated = res.violated;
+      out.states = res.states_visited;
+      out.schedules = res.runs;
+      out.sleep_pruned = res.sleep_pruned;
+      out.violating_schedule = res.violating_schedule;
+      break;
+    }
+  }
+  out.wall_seconds = timer.elapsed_seconds();
+  return out;
+}
+
+}  // namespace anoncoord

@@ -1,5 +1,6 @@
 #include "runtime/trace_io.hpp"
 
+#include <fstream>
 #include <istream>
 #include <ostream>
 #include <sstream>
@@ -79,6 +80,49 @@ std::string trace_to_string(const std::vector<trace_event>& trace) {
 std::vector<trace_event> trace_from_string(const std::string& text) {
   std::istringstream is(text);
   return read_trace(is);
+}
+
+std::size_t write_schedule(std::ostream& os, const std::vector<int>& schedule,
+                           const std::string& header) {
+  if (!header.empty()) {
+    std::istringstream lines(header);
+    std::string line;
+    while (std::getline(lines, line)) os << "# " << line << '\n';
+  }
+  for (int p : schedule) os << p << '\n';
+  return schedule.size();
+}
+
+std::vector<int> read_schedule(std::istream& is) {
+  std::vector<int> schedule;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    int p = -1;
+    fields >> p;
+    ANONCOORD_REQUIRE(static_cast<bool>(fields) && p >= 0,
+                      "malformed schedule line " + std::to_string(lineno));
+    schedule.push_back(p);
+  }
+  return schedule;
+}
+
+void save_schedule_file(const std::string& path,
+                        const std::vector<int>& schedule,
+                        const std::string& header) {
+  std::ofstream os(path);
+  ANONCOORD_REQUIRE(os.good(), "cannot write schedule file " + path);
+  write_schedule(os, schedule, header);
+  ANONCOORD_REQUIRE(os.good(), "error writing schedule file " + path);
+}
+
+std::vector<int> load_schedule_file(const std::string& path) {
+  std::ifstream is(path);
+  ANONCOORD_REQUIRE(is.good(), "cannot read schedule file " + path);
+  return read_schedule(is);
 }
 
 }  // namespace anoncoord

@@ -34,4 +34,28 @@ std::vector<int> schedule_of(const std::vector<trace_event>& trace);
 std::string trace_to_string(const std::vector<trace_event>& trace);
 std::vector<trace_event> trace_from_string(const std::string& text);
 
+// ---------------------------------------------------------------------------
+// Bare schedules (golden-filed counterexamples).
+//
+// A model-checker counterexample is just a process-index sequence; the file
+// format is one index per line, with '#'-prefixed comment lines and blank
+// lines ignored, so goldens can carry a provenance header.
+// ---------------------------------------------------------------------------
+
+/// Write one process index per line, preceded by `header` as '#' comments
+/// (may be empty or multi-line).
+std::size_t write_schedule(std::ostream& os, const std::vector<int>& schedule,
+                           const std::string& header = "");
+
+/// Parse a schedule written by write_schedule. Throws precondition_error on
+/// malformed input.
+std::vector<int> read_schedule(std::istream& is);
+
+/// File convenience wrappers. save_schedule_file throws precondition_error
+/// if the path is not writable; load_schedule_file if it is not readable.
+void save_schedule_file(const std::string& path,
+                        const std::vector<int>& schedule,
+                        const std::string& header = "");
+std::vector<int> load_schedule_file(const std::string& path);
+
 }  // namespace anoncoord

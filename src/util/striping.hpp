@@ -1,0 +1,41 @@
+// Hash striping: deterministic routing of state hashes to lock stripes.
+//
+// The parallel model checker shards its seen-state table into stripes, each
+// guarded by its own mutex. A state's stripe is a pure function of its hash,
+// so the partition of the reachable set across stripes — and with it every
+// merged result — is identical for any worker count. The stripe selector
+// remixes the hash and keeps the HIGH bits, staying independent of the
+// per-stripe hash-table bucket choice (which consumes the low bits);
+// without the remix, stripes would see correlated bucket distributions.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/hash.hpp"
+
+namespace anoncoord {
+
+/// Smallest power of two >= n (n >= 1).
+constexpr int ceil_pow2(int n) noexcept {
+  int p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+/// Stripe count for a worker count: ~8 stripes per worker keeps the
+/// probability that two workers contend on one mutex low, capped so tiny
+/// state spaces don't pay for hundreds of empty tables.
+constexpr int stripe_count_for(int workers) noexcept {
+  const int want = ceil_pow2(workers * 8);
+  return want < 8 ? 8 : (want > 256 ? 256 : want);
+}
+
+/// Which stripe owns a hash. `stripes` must be a power of two.
+constexpr unsigned stripe_of(std::size_t hash, int stripes) noexcept {
+  return static_cast<unsigned>(
+      (mix64(static_cast<std::uint64_t>(hash)) >> 32) &
+      static_cast<std::uint64_t>(stripes - 1));
+}
+
+}  // namespace anoncoord

@@ -1,0 +1,151 @@
+// Minimal fork-join worker pool for level-synchronous parallel algorithms.
+//
+// The parallel model checker expands one BFS level at a time: every level is
+// a fork (all workers chew frontier chunks) followed by a join (a sequential
+// deterministic merge). Spawning threads per level would dominate small
+// levels, so the pool keeps its threads parked on a condition variable
+// between rounds. The caller participates as a worker, which keeps a
+// 1-worker pool free of any cross-thread handoff.
+//
+// Logical workers are decoupled from OS threads: the pool runs `workers`
+// logical worker indices on at most hardware_concurrency() OS threads.
+// Oversubscribing a core with more runnable threads than it can schedule
+// buys nothing except context-switch latency and lock-holder preemption, so
+// surplus logical workers are multiplexed onto the available threads
+// instead. Each index is still invoked exactly once per run(), so callers
+// can keep per-worker state regardless of the mapping.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace anoncoord {
+
+class thread_pool {
+ public:
+  /// `workers` >= 1 logical workers; the calling thread counts as one OS
+  /// thread, so min(workers, hardware_concurrency) - 1 threads spawn.
+  explicit thread_pool(int workers) : workers_(workers) {
+    ANONCOORD_REQUIRE(workers >= 1, "a pool needs at least one worker");
+    const int hw = std::max(1, static_cast<int>(
+                                   std::thread::hardware_concurrency()));
+    const int os_threads = std::min(workers, hw);
+    threads_.reserve(static_cast<std::size_t>(os_threads - 1));
+    for (int t = 1; t < os_threads; ++t)
+      threads_.emplace_back([this] { thread_loop(); });
+  }
+
+  ~thread_pool() {
+    {
+      std::lock_guard lk(mu_);
+      stop_ = true;
+    }
+    wake_.notify_all();
+  }  // jthreads join
+
+  thread_pool(const thread_pool&) = delete;
+  thread_pool& operator=(const thread_pool&) = delete;
+
+  int workers() const { return workers_; }
+
+  /// Run job(worker_index) once for every index in 0 .. workers-1 and block
+  /// until all return. The first exception thrown is rethrown here.
+  void run(const std::function<void(int)>& job) {
+    {
+      std::lock_guard lk(mu_);
+      job_ = &job;
+      next_worker_.store(0, std::memory_order_relaxed);
+      remaining_ = static_cast<int>(threads_.size());
+      ++generation_;
+    }
+    wake_.notify_all();
+    drain(job);
+    std::unique_lock lk(mu_);
+    done_.wait(lk, [&] { return remaining_ == 0; });
+    job_ = nullptr;
+    if (error_) {
+      std::exception_ptr e = error_;
+      error_ = nullptr;
+      std::rethrow_exception(e);
+    }
+  }
+
+ private:
+  /// Claim and run logical worker indices until none are left.
+  void drain(const std::function<void(int)>& job) {
+    for (;;) {
+      const int w = next_worker_.fetch_add(1, std::memory_order_relaxed);
+      if (w >= workers_) return;
+      try {
+        job(w);
+      } catch (...) {
+        std::lock_guard lk(mu_);
+        if (!error_) error_ = std::current_exception();
+      }
+    }
+  }
+
+  void thread_loop() {
+    std::uint64_t seen = 0;
+    for (;;) {
+      const std::function<void(int)>* job = nullptr;
+      {
+        std::unique_lock lk(mu_);
+        wake_.wait(lk, [&] { return stop_ || generation_ != seen; });
+        if (stop_) return;
+        seen = generation_;
+        job = job_;
+      }
+      drain(*job);
+      {
+        std::lock_guard lk(mu_);
+        if (--remaining_ == 0) done_.notify_all();
+      }
+    }
+  }
+
+  int workers_;
+  std::mutex mu_;
+  std::condition_variable wake_;
+  std::condition_variable done_;
+  const std::function<void(int)>* job_ = nullptr;
+  std::atomic<int> next_worker_{0};
+  std::uint64_t generation_ = 0;
+  int remaining_ = 0;
+  bool stop_ = false;
+  std::exception_ptr error_;
+  std::vector<std::jthread> threads_;
+};
+
+/// An atomic chunked cursor over [begin, end): workers claim disjoint
+/// half-open chunks until the range is exhausted.
+class chunk_cursor {
+ public:
+  chunk_cursor(std::uint64_t begin, std::uint64_t end, std::uint64_t chunk)
+      : next_(begin), end_(end), chunk_(chunk ? chunk : 1) {}
+
+  /// Claim the next chunk; returns false when the range is drained.
+  bool claim(std::uint64_t& lo, std::uint64_t& hi) {
+    const std::uint64_t got = next_.fetch_add(chunk_, std::memory_order_relaxed);
+    if (got >= end_) return false;
+    lo = got;
+    hi = got + chunk_ < end_ ? got + chunk_ : end_;
+    return true;
+  }
+
+ private:
+  std::atomic<std::uint64_t> next_;
+  std::uint64_t end_;
+  std::uint64_t chunk_;
+};
+
+}  // namespace anoncoord
