@@ -26,6 +26,8 @@
 #include "util/stopwatch.hpp"
 #include "util/table.hpp"
 
+#include "bench_json.hpp"
+
 using namespace anoncoord;
 
 namespace {
@@ -34,7 +36,7 @@ namespace {
 // A) choice policy.
 // --------------------------------------------------------------------------
 
-void ablate_choice_policy(int runs) {
+void ablate_choice_policy(int runs, benchjson::bench_reporter& report) {
   std::cout << "A) arbitrary-choice policy in Fig. 2 (n = 3, bursty "
                "adversary, "
             << runs << " runs per cell)\n\n";
@@ -69,6 +71,9 @@ void ablate_choice_policy(int runs) {
         if (d != first) ++violations;
       }
       steps.add(static_cast<double>(sim.total_steps()));
+      report.sample(std::string("consensus_steps/") +
+                        (randomized ? "random" : "first-match"),
+                    static_cast<double>(sim.total_steps()), "steps");
     }
     table.add(randomized ? "random(seeded)" : "first-match", steps.mean(),
               steps.percentile(99), steps.max(), violations);
@@ -107,7 +112,8 @@ double scan_pattern_ns_per_op(int m, int passes) {
   return timer.elapsed_seconds() * 1e9 / static_cast<double>(ops);
 }
 
-void ablate_memory_ordering(int passes) {
+void ablate_memory_ordering(int passes,
+                            benchjson::bench_reporter& report) {
   std::cout << "B) memory-ordering discipline on the Fig. 1 scan pattern "
                "(m = 32, "
             << passes << " passes; lower = cheaper fences)\n\n";
@@ -116,11 +122,16 @@ void ablate_memory_ordering(int passes) {
   using seq = ordered_register_file<std::uint64_t, memory_discipline::seq_cst>;
   using rel = ordered_register_file<std::uint64_t, memory_discipline::acq_rel>;
   using rlx = ordered_register_file<std::uint64_t, memory_discipline::relaxed>;
-  table.add("seq_cst", scan_pattern_ns_per_op<seq>(m, passes),
-            "yes (atomic-register model)");
-  table.add("acq_rel", scan_pattern_ns_per_op<rel>(m, passes),
+  const double seq_ns = scan_pattern_ns_per_op<seq>(m, passes);
+  const double rel_ns = scan_pattern_ns_per_op<rel>(m, passes);
+  const double rlx_ns = scan_pattern_ns_per_op<rlx>(m, passes);
+  report.sample("scan_ns_per_op/seq_cst", seq_ns, "ns");
+  report.sample("scan_ns_per_op/acq_rel", rel_ns, "ns");
+  report.sample("scan_ns_per_op/relaxed", rlx_ns, "ns");
+  table.add("seq_cst", seq_ns, "yes (atomic-register model)");
+  table.add("acq_rel", rel_ns,
             "no single total order across registers");
-  table.add("relaxed", scan_pattern_ns_per_op<rlx>(m, passes),
+  table.add("relaxed", rlx_ns,
             "coherence only — measurement baseline");
   std::cout << table.render() << "\n";
 }
@@ -129,7 +140,7 @@ void ablate_memory_ordering(int passes) {
 // C) fairness of Fig. 1.
 // --------------------------------------------------------------------------
 
-void ablate_fairness(int runs) {
+void ablate_fairness(int runs, benchjson::bench_reporter& report) {
   std::cout << "C) fairness of Fig. 1 under unbiased random scheduling "
                "(m = 5, 100 CS entries per run, "
             << runs << " runs)\n"
@@ -164,6 +175,9 @@ void ablate_fairness(int runs) {
     const auto e0 = sim.machine(0).cs_entries();
     const auto e1 = sim.machine(1).cs_entries();
     share.add(static_cast<double>(e0) / static_cast<double>(e0 + e1));
+    report.sample("cs_share_p0",
+                  static_cast<double>(e0) / static_cast<double>(e0 + e1));
+    report.sample("longest_streak", static_cast<double>(max_streak));
     losses.add(static_cast<double>(sim.machine(0).losses() +
                                    sim.machine(1).losses()));
     longest_streak.add(static_cast<double>(max_streak));
@@ -194,8 +208,12 @@ int main(int argc, char** argv) {
   const int runs = static_cast<int>(args.get_int("runs"));
   const int passes = static_cast<int>(args.get_int("passes"));
 
-  ablate_choice_policy(runs);
-  ablate_memory_ordering(passes);
-  ablate_fairness(runs);
+  benchjson::bench_reporter report("bench_ablation");
+  report.config("runs", runs);
+  report.config("passes", passes);
+  ablate_choice_policy(runs, report);
+  ablate_memory_ordering(passes, report);
+  ablate_fairness(runs, report);
+  report.write();
   return 0;
 }

@@ -152,4 +152,8 @@ BENCHMARK(BM_anon_election_contended)->Arg(2)->Arg(4)->Arg(8);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+#include "bench_json_gbench.hpp"
+
+int main(int argc, char** argv) {
+  return anoncoord::benchjson::gbench_main(argc, argv, "bench_consensus");
+}

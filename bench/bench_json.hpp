@@ -1,0 +1,148 @@
+// Shared machine-readable bench reporter: every bench_* binary emits a
+// BENCH_<name>.json alongside its human-readable output, so the perf
+// trajectory accumulates run over run and regressions become diffable.
+//
+// Schema "anoncoord-bench-v1" (validated by tools/check_bench_json.py; spec
+// in docs/OBSERVABILITY.md):
+//
+//   {
+//     "schema": "anoncoord-bench-v1",
+//     "name": "bench_mutex_parity",
+//     "obs_enabled": false,
+//     "config": { "<flag>": <value>, ... },
+//     "repetitions": 3,
+//     "results": [
+//       { "name": "...", "unit": "...", "count": 3,
+//         "min": ..., "max": ..., "mean": ..., "median": ..., "p99": ... },
+//       ...
+//     ],
+//     "metrics": { "counters": {...}, "histograms": {...} }
+//   }
+//
+// "metrics" is the obs::metrics_registry snapshot at write() time — empty
+// maps unless the bench ran with ANONCOORD_OBS=1. The output directory is
+// $ANONCOORD_BENCH_DIR (default: the working directory).
+#pragma once
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "util/stats.hpp"
+
+namespace anoncoord::benchjson {
+
+inline constexpr const char* bench_schema_id = "anoncoord-bench-v1";
+
+class bench_reporter {
+ public:
+  /// `name` is the binary name ("bench_mutex_parity"); the report file is
+  /// BENCH_<name>.json.
+  explicit bench_reporter(std::string name) : name_(std::move(name)) {
+    config_ = obs::json_value::make_object();
+  }
+
+  /// Record a config key (CLI flag, build parameter, ...).
+  void config(const std::string& key, obs::json_value value) {
+    config_.set(key, std::move(value));
+  }
+
+  /// Add one sample to a named result series. Series appear in the
+  /// "results" array with min/max/mean/median/p99 over their samples.
+  void sample(const std::string& series, double value,
+              const std::string& unit = "") {
+    auto [it, fresh] = series_.try_emplace(series);
+    if (fresh) order_.push_back(series);
+    if (!unit.empty()) it->second.unit = unit;
+    it->second.stats.add(value);
+  }
+
+  /// Record an explicit named metric (merged into the registry snapshot's
+  /// counters; explicit values win on name collision).
+  void metric(const std::string& name, std::uint64_t value) {
+    metrics_[name] = value;
+  }
+
+  /// Output path: $ANONCOORD_BENCH_DIR (default ".") / BENCH_<name>.json.
+  std::string path() const {
+    const char* dir = std::getenv("ANONCOORD_BENCH_DIR");
+    std::string base = dir && *dir ? dir : ".";
+    if (base.back() != '/') base += '/';
+    return base + "BENCH_" + name_ + ".json";
+  }
+
+  obs::json_value to_json() const {
+    obs::json_value out = obs::json_value::make_object();
+    out.set("schema", bench_schema_id);
+    out.set("name", name_);
+    out.set("obs_enabled", obs::enabled());
+    out.set("config", config_);
+    std::size_t repetitions = 1;
+    for (const auto& [k, s] : series_)
+      if (s.stats.count() > repetitions) repetitions = s.stats.count();
+    out.set("repetitions", static_cast<std::int64_t>(repetitions));
+
+    obs::json_value results = obs::json_value::make_array();
+    for (const auto& key : order_) {
+      const series& s = series_.at(key);
+      if (s.stats.empty()) continue;
+      obs::json_value r = obs::json_value::make_object();
+      r.set("name", key);
+      r.set("unit", s.unit);
+      r.set("count", static_cast<std::int64_t>(s.stats.count()));
+      r.set("min", s.stats.min());
+      r.set("max", s.stats.max());
+      r.set("mean", s.stats.mean());
+      r.set("median", s.stats.median());
+      r.set("p99", s.stats.percentile(99.0));
+      results.push_back(std::move(r));
+    }
+    out.set("results", std::move(results));
+
+    obs::json_value metrics =
+        obs::metrics_registry::global().snapshot().to_json();
+    for (const auto& [name, value] : metrics_) {
+      obs::json_value counters = metrics.at("counters");
+      counters.set(name, value);
+      metrics.set("counters", std::move(counters));
+    }
+    out.set("metrics", std::move(metrics));
+    return out;
+  }
+
+  /// Write the report. Returns false (and warns on stderr) on I/O failure —
+  /// benches should not fail their run because a report directory is
+  /// missing.
+  bool write() const {
+    const std::string file = path();
+    std::ofstream os(file);
+    if (os.good()) os << to_json().dump(2) << '\n';
+    if (!os.good()) {
+      std::cerr << "[bench_json] could not write " << file << "\n";
+      return false;
+    }
+    std::cerr << "[bench_json] wrote " << file << "\n";
+    return true;
+  }
+
+ private:
+  struct series {
+    std::string unit;
+    summary_stats stats;
+  };
+
+  std::string name_;
+  obs::json_value config_;
+  std::map<std::string, series> series_;
+  std::vector<std::string> order_;  ///< first-use order of series keys
+  std::map<std::string, std::uint64_t> metrics_;
+};
+
+}  // namespace anoncoord::benchjson

@@ -1,0 +1,57 @@
+// Adapter from google-benchmark to the BENCH_<name>.json reporter: a
+// console reporter that also captures every run (adjusted real time plus
+// user counters) into a bench_reporter, and a drop-in main() replacement.
+//
+// Usage (instead of BENCHMARK_MAIN()):
+//
+//   int main(int argc, char** argv) {
+//     return anoncoord::benchjson::gbench_main(argc, argv, "bench_consensus");
+//   }
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "bench_json.hpp"
+
+namespace anoncoord::benchjson {
+
+/// Forwards to the standard console output and mirrors every iteration run
+/// into the JSON reporter: series "<benchmark>" holds the adjusted real
+/// time, series "<benchmark>/<counter>" each user counter.
+class capture_reporter : public benchmark::ConsoleReporter {
+ public:
+  explicit capture_reporter(bench_reporter& out) : out_(&out) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      const std::string name = run.benchmark_name();
+      out_->sample(name, run.GetAdjustedRealTime(),
+                   benchmark::GetTimeUnitString(run.time_unit));
+      for (const auto& [counter_name, counter] : run.counters)
+        out_->sample(name + "/" + counter_name,
+                     static_cast<double>(counter.value));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  bench_reporter* out_;
+};
+
+/// Run all registered benchmarks and write BENCH_<name>.json.
+inline int gbench_main(int argc, char** argv, const std::string& name) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  bench_reporter report(name);
+  capture_reporter display(report);
+  benchmark::RunSpecifiedBenchmarks(&display);
+  benchmark::Shutdown();
+  report.write();
+  return 0;
+}
+
+}  // namespace anoncoord::benchjson

@@ -19,6 +19,8 @@
 #include "util/math.hpp"
 #include "util/table.hpp"
 
+#include "bench_json.hpp"
+
 using namespace anoncoord;
 
 int main(int argc, char** argv) {
@@ -31,6 +33,9 @@ int main(int argc, char** argv) {
   }
   const int max_m = static_cast<int>(args.get_int("max-m"));
   const int max_l = static_cast<int>(args.get_int("max-l"));
+  benchjson::bench_reporter report("bench_lockstep_symmetry");
+  report.config("max-m", max_m);
+  report.config("max-l", max_l);
 
   std::cout << "E2 / Theorem 3.4 — lock-step ring construction against "
                "Fig. 1\n"
@@ -50,6 +55,8 @@ int main(int argc, char** argv) {
         continue;
       }
       const auto res = run_lockstep_mutex(m, l);
+      report.sample("rounds_to_outcome", static_cast<double>(res.rounds),
+                    "rounds");
       std::string cell = to_string(res.outcome) + " r=" +
                          std::to_string(res.rounds);
       if (!res.symmetry_held) cell += " SYM-BROKEN";
@@ -87,5 +94,7 @@ int main(int argc, char** argv) {
                       "verified at every round"
                     : "DOES NOT MATCH")
             << "\n";
+  report.metric("all_as_predicted", all_as_predicted ? 1 : 0);
+  report.write();
   return all_as_predicted ? 0 : 1;
 }

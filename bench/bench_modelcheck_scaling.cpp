@@ -27,6 +27,8 @@
 #include "util/stopwatch.hpp"
 #include "util/table.hpp"
 
+#include "bench_json.hpp"
+
 using namespace anoncoord;
 
 namespace {
@@ -56,6 +58,11 @@ int main(int argc, char** argv) {
   const int stride = static_cast<int>(args.get_int("stride"));
   const int depth = static_cast<int>(args.get_int("depth"));
   const int reps = std::max(1, static_cast<int>(args.get_int("reps")));
+  benchjson::bench_reporter report("bench_modelcheck_scaling");
+  report.config("m", m);
+  report.config("stride", stride);
+  report.config("depth", depth);
+  report.config("reps", reps);
 
   naming_assignment naming(
       {identity_permutation(m), rotation_permutation(m, stride)});
@@ -91,6 +98,8 @@ int main(int argc, char** argv) {
     }
   }
 
+  report.sample("bfs_seconds", seq_time, "s");
+  report.sample("bfs_states", static_cast<double>(seq_res.num_states));
   ascii_table bfs_table({"engine", "workers", "states", "dedup-hits",
                          "verdict", "ms", "speedup"});
   bfs_table.add("bfs (seed)", 1, seq_res.num_states, std::uint64_t{0} /*n/a*/,
@@ -107,6 +116,8 @@ int main(int argc, char** argv) {
                 res.counterexample == seq_res.counterexample;
     const double speedup = seq_time / t;
     if (workers == 8) speedup_at_8 = speedup;
+    report.sample("parallel_bfs_seconds/workers=" + std::to_string(workers),
+                  t, "s");
     // dedup hits: recompute via a safety-only verify_config run for stats.
     std::vector<anon_mutex> machines;
     machines.emplace_back(1, m);
@@ -165,6 +176,12 @@ int main(int argc, char** argv) {
     });
     rep.wall_seconds = t;
     (use_sleep ? sleep : plain) = rep;
+    report.sample(use_sleep ? "systematic_sleep_seconds"
+                            : "systematic_seconds",
+                  t, "s");
+    report.sample(use_sleep ? "systematic_sleep_schedules"
+                            : "systematic_schedules",
+                  static_cast<double>(rep.schedules));
     const double reduction =
         use_sleep && rep.schedules
             ? static_cast<double>(plain.schedules) /
@@ -187,5 +204,9 @@ int main(int argc, char** argv) {
             << "x (target >= 2x)  sleep-set-schedule-reduction="
             << schedule_reduction << "x (target >= 3x)  verdicts-match="
             << (verdicts_match && identical ? "yes" : "NO") << "\n";
+  report.sample("parallel_speedup_at_8", speedup_at_8, "x");
+  report.sample("sleep_set_reduction", schedule_reduction, "x");
+  report.metric("verdicts_match", verdicts_match && identical ? 1 : 0);
+  report.write();
   return identical && verdicts_match ? 0 : 1;
 }

@@ -17,6 +17,8 @@
 #include "util/stopwatch.hpp"
 #include "util/table.hpp"
 
+#include "bench_json.hpp"
+
 using namespace anoncoord;
 
 int main(int argc, char** argv) {
@@ -30,6 +32,9 @@ int main(int argc, char** argv) {
   }
   const int max_m = static_cast<int>(args.get_int("max-m"));
   const int full_up_to = static_cast<int>(args.get_int("full-perms-up-to"));
+  benchjson::bench_reporter report("bench_mutex_parity");
+  report.config("max-m", max_m);
+  report.config("full-perms-up-to", full_up_to);
 
   std::cout << "E1 / Theorem 3.1 — two-process Fig. 1, exhaustive model "
                "check per numbering pair\n"
@@ -60,13 +65,16 @@ int main(int argc, char** argv) {
     const bool match = complete && me_ok &&
                        observed_possible == theorem_says_possible;
     all_match = all_match && match;
+    const double sec = timer.elapsed_seconds();
+    report.sample("check_seconds", sec, "s");
+    report.sample("states_max", static_cast<double>(worst_states));
     table.add(m, m % 2 ? "odd" : "even",
               theorem_says_possible ? "algorithm exists" : "impossible",
               static_cast<int>(perms.size()), worst_states, stuck_configs,
               match ? (theorem_says_possible ? "OK (all correct)"
                                              : "OK (deadlock found)")
                     : "MISMATCH",
-              timer.elapsed_seconds());
+              sec);
   }
 
   std::cout << table.render() << "\n";
@@ -74,5 +82,7 @@ int main(int argc, char** argv) {
                "for even m (Thm 3.1)\n"
             << "reproduction: " << (all_match ? "MATCHES" : "DOES NOT MATCH")
             << " the theorem for every m checked\n";
+  report.metric("all_match", all_match ? 1 : 0);
+  report.write();
   return all_match ? 0 : 1;
 }

@@ -242,4 +242,8 @@ BENCHMARK(BM_peterson_threads)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+#include "bench_json_gbench.hpp"
+
+int main(int argc, char** argv) {
+  return anoncoord::benchjson::gbench_main(argc, argv, "bench_mutex_throughput");
+}

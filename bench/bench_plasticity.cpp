@@ -29,6 +29,8 @@
 #include "util/stopwatch.hpp"
 #include "util/table.hpp"
 
+#include "bench_json.hpp"
+
 using namespace anoncoord;
 
 namespace {
@@ -112,6 +114,11 @@ int main(int argc, char** argv) {
   const int registers = static_cast<int>(args.get_int("registers"));
   const int rounds = static_cast<int>(args.get_int("rounds"));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  benchjson::bench_reporter report("bench_plasticity");
+  report.config("threads", threads);
+  report.config("registers", registers);
+  report.config("rounds", rounds);
+  report.config("seed", static_cast<std::int64_t>(seed));
 
   std::cout << "E9 / §1 plasticity — " << threads << " threads, " << registers
             << " padded registers, " << rounds << " scan passes each\n"
@@ -133,6 +140,10 @@ int main(int argc, char** argv) {
   for (const auto& policy : policies) {
     const auto res = run_policy(policy.naming, registers, rounds);
     const double attempts = static_cast<double>(res.claims + res.blocked);
+    const std::string tag = policy.name;
+    report.sample("seconds/" + tag, res.seconds, "s");
+    report.sample("overwrites/" + tag, static_cast<double>(res.overwrites));
+    report.sample("blocked/" + tag, static_cast<double>(res.blocked));
     table.add(policy.name, res.seconds, res.claims, res.blocked,
               res.overwrites,
               attempts > 0
@@ -148,5 +159,6 @@ int main(int argc, char** argv) {
          "collides; rotated/random orderings start threads apart and cut "
          "overwrites by an order of magnitude — the paper's §1 plasticity "
          "claim, measured.\n";
+  report.write();
   return 0;
 }

@@ -119,4 +119,8 @@ BENCHMARK(BM_anon_renaming_adaptive)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+#include "bench_json_gbench.hpp"
+
+int main(int argc, char** argv) {
+  return anoncoord::benchjson::gbench_main(argc, argv, "bench_renaming");
+}

@@ -26,6 +26,8 @@
 #include "util/stopwatch.hpp"
 #include "util/table.hpp"
 
+#include "bench_json.hpp"
+
 using namespace anoncoord;
 
 namespace {
@@ -119,6 +121,9 @@ int main(int argc, char** argv) {
   }
   const int runs = static_cast<int>(args.get_int("runs-per-cell"));
   const auto base = static_cast<std::uint64_t>(args.get_int("base-seed"));
+  benchjson::bench_reporter report("bench_safety_soak");
+  report.config("runs-per-cell", runs);
+  report.config("base-seed", static_cast<std::int64_t>(base));
 
   std::cout << "safety soak — " << runs
             << " seeded random runs per algorithm cell\n\n";
@@ -316,14 +321,24 @@ int main(int argc, char** argv) {
   ascii_table table({"algorithm", "runs", "safety violations",
                      "liveness misses", "total steps"});
   bool clean = true;
+  std::uint64_t campaign_violations = 0, campaign_misses = 0;
   for (const auto& row : rows) {
     table.add(row.name, row.runs, row.safety_violations, row.liveness_misses,
               row.steps);
     clean = clean && row.safety_violations == 0 && row.liveness_misses == 0;
+    campaign_violations += row.safety_violations;
+    campaign_misses += row.liveness_misses;
+    report.sample("steps/" + row.name, static_cast<double>(row.steps),
+                  "steps");
   }
   std::cout << table.render() << "\n";
   std::cout << (clean ? "CLEAN — zero violations across the campaign"
                       : "VIOLATIONS FOUND — see table")
             << " (" << total.elapsed_seconds() << "s)\n";
+  report.sample("campaign_seconds", total.elapsed_seconds(), "s");
+  report.metric("safety_violations", campaign_violations);
+  report.metric("liveness_misses", campaign_misses);
+  report.metric("clean", clean ? 1 : 0);
+  report.write();
   return clean ? 0 : 1;
 }

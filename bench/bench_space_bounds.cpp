@@ -14,6 +14,8 @@
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
+#include "bench_json.hpp"
+
 using namespace anoncoord;
 
 int main(int argc, char** argv) {
@@ -26,6 +28,8 @@ int main(int argc, char** argv) {
   }
   const int max_n = static_cast<int>(args.get_int("max-n"));
   const bool narrate = args.get_bool("narrate");
+  benchjson::bench_reporter report("bench_space_bounds");
+  report.config("max-n", max_n);
   bool all_violations = true;
 
   std::cout << "E6 / Theorem 6.3(2) — covering adversary vs Fig. 2 "
@@ -35,6 +39,8 @@ int main(int argc, char** argv) {
   for (int n = 2; n <= max_n; ++n) {
     const auto res = run_covering_consensus(n, 1, 2);
     all_violations = all_violations && res.violation;
+    report.sample("consensus_adversary_steps",
+                  static_cast<double>(res.total_steps), "steps");
     ctable.add(res.configured_n, res.registers, res.total_processes,
                res.decision_q, res.decision_p,
                res.violation ? "VIOLATED" : "held", res.total_steps);
@@ -52,6 +58,8 @@ int main(int argc, char** argv) {
   for (int n = 2; n <= max_n; ++n) {
     const auto res = run_covering_renaming(n);
     all_violations = all_violations && res.violation;
+    report.sample("renaming_adversary_steps",
+                  static_cast<double>(res.total_steps), "steps");
     rtable.add(res.configured_n, res.registers, res.total_processes,
                res.name_q, res.name_p, res.violation ? "VIOLATED" : "held",
                res.total_steps);
@@ -69,6 +77,8 @@ int main(int argc, char** argv) {
   for (int levels = 1; levels <= 4; ++levels) {
     const auto res = run_covering_chain(2, levels);
     all_violations = all_violations && res.violation;
+    report.sample("chain_adversary_steps",
+                  static_cast<double>(res.total_steps), "steps");
     std::string decisions;
     for (std::size_t i = 0; i < res.decisions.size(); ++i)
       decisions += (i ? "," : "") + std::to_string(res.decisions[i]);
@@ -84,5 +94,7 @@ int main(int argc, char** argv) {
                     ? "MATCHES — rho realized on every configuration"
                     : "DOES NOT MATCH")
             << "\n";
+  report.metric("all_violations", all_violations ? 1 : 0);
+  report.write();
   return all_violations ? 0 : 1;
 }

@@ -14,6 +14,8 @@
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
+#include "bench_json.hpp"
+
 using namespace anoncoord;
 
 int main(int argc, char** argv) {
@@ -26,6 +28,8 @@ int main(int argc, char** argv) {
   }
   const int max_m = static_cast<int>(args.get_int("max-m"));
   const bool narrate = args.get_bool("narrate");
+  benchjson::bench_reporter report("bench_unbounded_mutex");
+  report.config("max-m", max_m);
 
   std::cout << "E8 / Theorem 6.2 — covering adversary vs Fig. 1 with m+1 "
                "processes on m registers\n\n";
@@ -36,6 +40,8 @@ int main(int argc, char** argv) {
   for (int m = 3; m <= max_m; ++m) {
     const auto res = run_covering_mutex(m);
     all_violations = all_violations && res.violation;
+    report.sample("adversary_steps", static_cast<double>(res.total_steps),
+                  "steps");
     table.add(m, m + 1,
               std::to_string(res.first_in_cs) + " & " +
                   std::to_string(res.second_in_cs),
@@ -54,5 +60,7 @@ int main(int argc, char** argv) {
             << (all_violations ? "MATCHES — two processes in the CS for every m"
                                : "DOES NOT MATCH")
             << "\n";
+  report.metric("all_violations", all_violations ? 1 : 0);
+  report.write();
   return all_violations ? 0 : 1;
 }

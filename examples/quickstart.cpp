@@ -6,6 +6,10 @@
 // physical register the other calls "register 0" — and exclusion still
 // holds, because m = 5 is odd (Theorem 3.1).
 //
+// Run with ANONCOORD_OBS=1 to additionally print the run's shared-memory
+// footprint from the metrics registry (docs/OBSERVABILITY.md): per-register
+// read/write counts and the doorway-retry total.
+//
 //   ./quickstart [--iterations=20000]
 #include <iostream>
 #include <thread>
@@ -14,6 +18,8 @@
 #include "core/anon_mutex.hpp"
 #include "mem/naming.hpp"
 #include "mem/shared_register_file.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
 #include "runtime/threaded.hpp"
 #include "util/cli.hpp"
 
@@ -65,5 +71,20 @@ int main(int argc, char** argv) {
   }
   std::cout << "no lost updates: Fig. 1 excluded both threads without any "
                "agreement on register names\n";
+
+  if (obs::enabled()) {
+    const auto& cells = registers.per_register_counters();
+    std::cout << "\nobservability (ANONCOORD_OBS=1) — physical register "
+                 "footprint:\n";
+    for (int r = 0; r < m; ++r)
+      std::cout << "  register " << r << ": "
+                << cells[static_cast<std::size_t>(r)].reads << " reads, "
+                << cells[static_cast<std::size_t>(r)].writes << " writes\n";
+    const auto snap = obs::metrics_registry::global().snapshot();
+    if (auto it = snap.counters.find("mutex.doorway_retries");
+        it != snap.counters.end())
+      std::cout << "  doorway retries (Fig. 1 line 4 losses): " << it->second
+                << "\n";
+  }
   return 0;
 }

@@ -58,6 +58,11 @@ class anon_consensus {
   bool done() const { return decision_.has_value(); }
   std::optional<std::uint64_t> decision() const { return decision_; }
 
+  /// Number of completed read-all scans (iterations of the lines 2-8 loop).
+  /// Theorem 4.1 bounds a solo run by 2n-1 of them; the observability layer
+  /// exports this as the algorithm's round count.
+  std::uint64_t scans() const { return scans_; }
+
   op_desc peek() const {
     if (decision_) return {op_kind::none, -1};
     if (writing_) return {op_kind::write, write_target_};
@@ -105,6 +110,8 @@ class anon_consensus {
   }
 
   friend bool operator==(const anon_consensus& a, const anon_consensus& b) {
+    // scans_ is an observational statistic and excluded on purpose (the
+    // model checker must identify states that behave identically).
     return a.id_ == b.id_ && a.n_ == b.n_ && a.pref_ == b.pref_ &&
            a.j_ == b.j_ && a.writing_ == b.writing_ &&
            a.write_target_ == b.write_target_ && a.view_ == b.view_ &&
@@ -129,6 +136,7 @@ class anon_consensus {
   // Lines 4-8, evaluated when the scan completes.
   void post_scan() {
     j_ = 0;
+    ++scans_;
     // Line 4: a value present in at least n of the val fields is adopted.
     // (Two distinct such values cannot exist: 2n > 2n-1.)
     if (auto v = value_with_quorum(); v != 0) pref_ = v;
@@ -168,6 +176,7 @@ class anon_consensus {
   std::vector<consensus_record> view_;
   std::optional<std::uint64_t> decision_;
   choice_policy choice_;
+  std::uint64_t scans_ = 0;
 };
 
 }  // namespace anoncoord

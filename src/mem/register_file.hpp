@@ -16,6 +16,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 
 namespace anoncoord {
@@ -24,6 +26,8 @@ namespace anoncoord {
 struct mem_counters {
   std::uint64_t reads = 0;
   std::uint64_t writes = 0;
+
+  friend bool operator==(const mem_counters&, const mem_counters&) = default;
 };
 
 /// Plain-value register file for single-threaded (scheduled) execution.
@@ -33,7 +37,8 @@ class sim_register_file {
   using value_type = V;
 
   explicit sim_register_file(int size)
-      : regs_(static_cast<std::size_t>(size)) {
+      : regs_(static_cast<std::size_t>(size)),
+        per_cell_(static_cast<std::size_t>(size)) {
     ANONCOORD_REQUIRE(size > 0, "register file needs at least one register");
   }
 
@@ -42,12 +47,20 @@ class sim_register_file {
   V read(int physical) const {
     check_index(physical);
     ++counters_.reads;
+    if (obs::enabled()) {
+      ++per_cell_[static_cast<std::size_t>(physical)].reads;
+      ANONCOORD_OBS_COUNT("mem.sim.reads", 1);
+    }
     return regs_[static_cast<std::size_t>(physical)];
   }
 
   void write(int physical, V v) {
     check_index(physical);
     ++counters_.writes;
+    if (obs::enabled()) {
+      ++per_cell_[static_cast<std::size_t>(physical)].writes;
+      ANONCOORD_OBS_COUNT("mem.sim.writes", 1);
+    }
     regs_[static_cast<std::size_t>(physical)] = std::move(v);
   }
 
@@ -61,10 +74,19 @@ class sim_register_file {
   void reset() {
     for (auto& r : regs_) r = V{};
     counters_ = {};
+    for (auto& c : per_cell_) c = {};
   }
 
   const std::vector<V>& snapshot() const { return regs_; }
   const mem_counters& counters() const { return counters_; }
+
+  /// Per-physical-register counters. Populated only while observability is
+  /// on (obs::enabled()); all-zero otherwise. The §6 covering arguments and
+  /// the related anonymous-register papers reason in exactly these per-cell
+  /// write/covering counts.
+  const std::vector<mem_counters>& per_register_counters() const {
+    return per_cell_;
+  }
 
  private:
   void check_index(int physical) const {
@@ -74,6 +96,7 @@ class sim_register_file {
 
   std::vector<V> regs_;
   mutable mem_counters counters_;
+  mutable std::vector<mem_counters> per_cell_;
 };
 
 }  // namespace anoncoord

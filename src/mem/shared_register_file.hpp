@@ -19,6 +19,9 @@
 #include <type_traits>
 #include <vector>
 
+#include "mem/register_file.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 #include "util/padded.hpp"
 
@@ -82,7 +85,8 @@ class shared_register_file {
   using value_type = V;
 
   explicit shared_register_file(int size)
-      : regs_(static_cast<std::size_t>(size)) {
+      : regs_(static_cast<std::size_t>(size)),
+        per_cell_(static_cast<std::size_t>(size)) {
     ANONCOORD_REQUIRE(size > 0, "register file needs at least one register");
   }
 
@@ -90,11 +94,21 @@ class shared_register_file {
 
   V read(int physical) const {
     check_index(physical);
+    if (obs::enabled()) {
+      per_cell_[static_cast<std::size_t>(physical)].value.reads.fetch_add(
+          1, std::memory_order_relaxed);
+      ANONCOORD_OBS_COUNT("mem.shared.reads", 1);
+    }
     return regs_[static_cast<std::size_t>(physical)].value.read();
   }
 
   void write(int physical, V v) {
     check_index(physical);
+    if (obs::enabled()) {
+      per_cell_[static_cast<std::size_t>(physical)].value.writes.fetch_add(
+          1, std::memory_order_relaxed);
+      ANONCOORD_OBS_COUNT("mem.shared.writes", 1);
+    }
     regs_[static_cast<std::size_t>(physical)].value.write(std::move(v));
   }
 
@@ -103,14 +117,34 @@ class shared_register_file {
     return detail::use_trivial_register<V>;
   }
 
+  /// Snapshot of the per-physical-register operation counts. Non-zero only
+  /// while observability is on; counts are exact once writer threads have
+  /// joined (relaxed increments, summed after the fact).
+  std::vector<mem_counters> per_register_counters() const {
+    std::vector<mem_counters> out;
+    out.reserve(per_cell_.size());
+    for (const auto& cell : per_cell_)
+      out.push_back({cell.value.reads.load(std::memory_order_relaxed),
+                     cell.value.writes.load(std::memory_order_relaxed)});
+    return out;
+  }
+
  private:
+  struct atomic_cell_counters {
+    std::atomic<std::uint64_t> reads{0};
+    std::atomic<std::uint64_t> writes{0};
+  };
+
   void check_index(int physical) const {
     ANONCOORD_REQUIRE(physical >= 0 && physical < size(),
                       "register index out of range");
   }
 
-  // vector is sized once at construction; elements are never moved after.
+  // vectors are sized once at construction; elements are never moved after.
   std::vector<padded<detail::register_impl<V>>> regs_;
+  // Counters live apart from the registers so instrumentation never adds
+  // false sharing to the measured cells.
+  mutable std::vector<padded<atomic_cell_counters>> per_cell_;
 };
 
 }  // namespace anoncoord

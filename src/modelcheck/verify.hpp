@@ -19,6 +19,7 @@
 #include "modelcheck/explorer.hpp"
 #include "modelcheck/parallel_explorer.hpp"
 #include "modelcheck/systematic.hpp"
+#include "obs/metrics.hpp"
 #include "util/stopwatch.hpp"
 
 namespace anoncoord {
@@ -142,6 +143,37 @@ verify_report verify_config(const model_config<Machine>& cfg,
     }
   }
   out.wall_seconds = timer.elapsed_seconds();
+  if (obs::enabled()) {
+    auto& reg = obs::metrics_registry::global();
+    reg.counter("verify.runs").add(1);
+    reg.counter("verify.states").add(out.states);
+    reg.counter("verify.schedules").add(out.schedules);
+    reg.counter("verify.dedup_hits").add(out.dedup_hits);
+    reg.counter("verify.sleep_pruned").add(out.sleep_pruned);
+    if (out.violated) reg.counter("verify.violations").add(1);
+    if (!out.complete) reg.counter("verify.incomplete").add(1);
+    reg.histogram("verify.wall_us")
+        .record(static_cast<std::uint64_t>(out.wall_seconds * 1e6));
+  }
+  return out;
+}
+
+/// The uniform per-run stats as JSON — what bench reporters embed and what
+/// docs/modelcheck.md documents as the machine-readable verify record.
+inline obs::json_value to_json(const verify_report& report) {
+  obs::json_value out = obs::json_value::make_object();
+  out.set("engine", to_string(report.engine));
+  out.set("complete", report.complete);
+  out.set("violated", report.violated);
+  out.set("states", report.states);
+  out.set("edges", report.edges);
+  out.set("dedup_hits", report.dedup_hits);
+  out.set("schedules", report.schedules);
+  out.set("sleep_pruned", report.sleep_pruned);
+  out.set("wall_seconds", report.wall_seconds);
+  obs::json_value sched = obs::json_value::make_array();
+  for (int p : report.violating_schedule) sched.push_back(p);
+  out.set("violating_schedule", std::move(sched));
   return out;
 }
 

@@ -1,0 +1,137 @@
+// Trace forensics: query and compare decoded traces.
+//
+// Counterexamples and instrumented runs produce event streams; answering
+// "what did process 1 do to physical register 3 during the doorway?" or
+// "where do these two runs first disagree?" should not require re-running
+// anything. These helpers are pure functions over std::vector<trace_event>
+// (as recorded by the simulator or decoded by obs/trace_codec).
+//
+// The worked example in docs/OBSERVABILITY.md drives this API end to end.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "runtime/simulator.hpp"
+
+namespace anoncoord::obs {
+
+/// Conjunctive event filter; unset fields match everything. `steps` is the
+/// half-open global-step window [first, last) — the "phase" selector (e.g.
+/// the doorway portion of a run is a step window).
+struct trace_filter {
+  std::optional<int> process;
+  std::optional<int> physical;
+  std::optional<op_kind> op;
+  std::optional<std::pair<std::uint64_t, std::uint64_t>> steps;
+
+  bool matches(const trace_event& ev) const {
+    if (process && ev.process != *process) return false;
+    if (physical && ev.physical != *physical) return false;
+    if (op && ev.op.kind != *op) return false;
+    if (steps && (ev.step < steps->first || ev.step >= steps->second))
+      return false;
+    return true;
+  }
+};
+
+/// Events satisfying the filter, in order.
+inline std::vector<trace_event> filter_trace(
+    const std::vector<trace_event>& trace, const trace_filter& filter) {
+  std::vector<trace_event> out;
+  for (const auto& ev : trace)
+    if (filter.matches(ev)) out.push_back(ev);
+  return out;
+}
+
+/// Read/write totals for one physical register (or one process).
+struct footprint_stat {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+
+  std::uint64_t total() const { return reads + writes; }
+  friend bool operator==(const footprint_stat&, const footprint_stat&) =
+      default;
+};
+
+/// Per-physical-register operation counts — the quantity the covering
+/// lower-bound arguments (paper §6) reason in.
+inline std::vector<footprint_stat> register_footprint(
+    const std::vector<trace_event>& trace, int registers) {
+  std::vector<footprint_stat> out(static_cast<std::size_t>(registers));
+  for (const auto& ev : trace) {
+    if (ev.physical < 0 || ev.physical >= registers) continue;
+    if (ev.op.kind == op_kind::read)
+      ++out[static_cast<std::size_t>(ev.physical)].reads;
+    else if (ev.op.kind == op_kind::write)
+      ++out[static_cast<std::size_t>(ev.physical)].writes;
+  }
+  return out;
+}
+
+/// Per-process shared-memory operation counts.
+inline std::vector<footprint_stat> process_footprint(
+    const std::vector<trace_event>& trace, int processes) {
+  std::vector<footprint_stat> out(static_cast<std::size_t>(processes));
+  for (const auto& ev : trace) {
+    if (ev.process < 0 || ev.process >= processes) continue;
+    if (ev.op.kind == op_kind::read)
+      ++out[static_cast<std::size_t>(ev.process)].reads;
+    else if (ev.op.kind == op_kind::write)
+      ++out[static_cast<std::size_t>(ev.process)].writes;
+  }
+  return out;
+}
+
+/// Result of comparing two traces event by event.
+struct trace_diff {
+  bool identical = false;
+  /// Events equal at every index < common_prefix.
+  std::size_t common_prefix = 0;
+  std::size_t a_size = 0;
+  std::size_t b_size = 0;
+  /// The first differing pair, when both traces have an event there.
+  std::optional<trace_event> first_a;
+  std::optional<trace_event> first_b;
+
+  std::string describe() const {
+    std::ostringstream os;
+    if (identical) {
+      os << "traces identical (" << a_size << " events)";
+      return os.str();
+    }
+    os << "traces diverge after " << common_prefix << " shared events (sizes "
+       << a_size << " vs " << b_size << ")";
+    if (first_a && first_b)
+      os << "; first difference: a=[p" << first_a->process << " "
+         << first_a->op << " phys " << first_a->physical << "] b=[p"
+         << first_b->process << " " << first_b->op << " phys "
+         << first_b->physical << "]";
+    return os.str();
+  }
+};
+
+/// Compare two traces; steps/process/op/physical must all match for two
+/// events to be equal.
+inline trace_diff diff_traces(const std::vector<trace_event>& a,
+                              const std::vector<trace_event>& b) {
+  trace_diff d;
+  d.a_size = a.size();
+  d.b_size = b.size();
+  const std::size_t common = a.size() < b.size() ? a.size() : b.size();
+  std::size_t i = 0;
+  while (i < common && a[i] == b[i]) ++i;
+  d.common_prefix = i;
+  if (i == a.size() && i == b.size()) {
+    d.identical = true;
+  } else if (i < common) {
+    d.first_a = a[i];
+    d.first_b = b[i];
+  }
+  return d;
+}
+
+}  // namespace anoncoord::obs

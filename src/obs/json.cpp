@@ -1,0 +1,399 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/check.hpp"
+
+namespace anoncoord::obs {
+
+// ---------------------------------------------------------------------------
+// Accessors.
+// ---------------------------------------------------------------------------
+
+bool json_value::as_bool() const {
+  ANONCOORD_REQUIRE(kind_ == kind::boolean, "JSON value is not a boolean");
+  return bool_;
+}
+
+std::int64_t json_value::as_int() const {
+  ANONCOORD_REQUIRE(kind_ == kind::integer, "JSON value is not an integer");
+  return int_;
+}
+
+double json_value::as_double() const {
+  if (kind_ == kind::integer) return static_cast<double>(int_);
+  ANONCOORD_REQUIRE(kind_ == kind::number, "JSON value is not a number");
+  return num_;
+}
+
+const std::string& json_value::as_string() const {
+  ANONCOORD_REQUIRE(kind_ == kind::string, "JSON value is not a string");
+  return str_;
+}
+
+const json_value::array_type& json_value::as_array() const {
+  ANONCOORD_REQUIRE(kind_ == kind::array, "JSON value is not an array");
+  return arr_;
+}
+
+json_value::array_type& json_value::as_array() {
+  ANONCOORD_REQUIRE(kind_ == kind::array, "JSON value is not an array");
+  return arr_;
+}
+
+const json_value::object_type& json_value::as_object() const {
+  ANONCOORD_REQUIRE(kind_ == kind::object, "JSON value is not an object");
+  return obj_;
+}
+
+void json_value::push_back(json_value v) {
+  ANONCOORD_REQUIRE(kind_ == kind::array, "push_back on a non-array");
+  arr_.push_back(std::move(v));
+}
+
+void json_value::set(const std::string& key, json_value v) {
+  ANONCOORD_REQUIRE(kind_ == kind::object, "set on a non-object");
+  for (auto& [k, existing] : obj_) {
+    if (k == key) {
+      existing = std::move(v);
+      return;
+    }
+  }
+  obj_.emplace_back(key, std::move(v));
+}
+
+const json_value* json_value::find(const std::string& key) const {
+  if (kind_ != kind::object) return nullptr;
+  for (const auto& [k, v] : obj_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+const json_value& json_value::at(const std::string& key) const {
+  const json_value* v = find(key);
+  ANONCOORD_REQUIRE(v != nullptr, "missing JSON key \"" + key + "\"");
+  return *v;
+}
+
+// ---------------------------------------------------------------------------
+// Serialization.
+// ---------------------------------------------------------------------------
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void append_indent(std::string& out, int indent, int depth) {
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent) * static_cast<std::size_t>(depth),
+             ' ');
+}
+
+std::string number_to_string(double d) {
+  // Shortest round-trippable form we need: %.17g always round-trips doubles.
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", d);
+  return buf;
+}
+
+}  // namespace
+
+void json_value::dump_to(std::string& out, int indent, int depth) const {
+  switch (kind_) {
+    case kind::null: out += "null"; return;
+    case kind::boolean: out += bool_ ? "true" : "false"; return;
+    case kind::integer: out += std::to_string(int_); return;
+    case kind::number: out += number_to_string(num_); return;
+    case kind::string:
+      out += '"';
+      out += json_escape(str_);
+      out += '"';
+      return;
+    case kind::array: {
+      if (arr_.empty()) {
+        out += "[]";
+        return;
+      }
+      out += '[';
+      for (std::size_t i = 0; i < arr_.size(); ++i) {
+        if (i) out += ',';
+        if (indent) append_indent(out, indent, depth + 1);
+        arr_[i].dump_to(out, indent, depth + 1);
+      }
+      if (indent) append_indent(out, indent, depth);
+      out += ']';
+      return;
+    }
+    case kind::object: {
+      if (obj_.empty()) {
+        out += "{}";
+        return;
+      }
+      out += '{';
+      for (std::size_t i = 0; i < obj_.size(); ++i) {
+        if (i) out += ',';
+        if (indent) append_indent(out, indent, depth + 1);
+        out += '"';
+        out += json_escape(obj_[i].first);
+        out += "\":";
+        if (indent) out += ' ';
+        obj_[i].second.dump_to(out, indent, depth + 1);
+      }
+      if (indent) append_indent(out, indent, depth);
+      out += '}';
+      return;
+    }
+  }
+}
+
+std::string json_value::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Parsing: recursive descent over a string.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class parser {
+ public:
+  explicit parser(const std::string& text) : text_(text) {}
+
+  json_value parse_document() {
+    json_value v = parse_value();
+    skip_ws();
+    ANONCOORD_REQUIRE(pos_ == text_.size(),
+                      "trailing garbage after JSON document at offset " +
+                          std::to_string(pos_));
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw precondition_error("JSON parse error at offset " +
+                             std::to_string(pos_) + ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* lit) {
+    std::size_t n = 0;
+    while (lit[n]) ++n;
+    if (text_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  json_value parse_value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return json_value(parse_string());
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        return json_value(true);
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        return json_value(false);
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        return json_value(nullptr);
+      default: return parse_number();
+    }
+  }
+
+  json_value parse_object() {
+    expect('{');
+    json_value obj = json_value::make_object();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj.set(key, parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return obj;
+    }
+  }
+
+  json_value parse_array() {
+    expect('[');
+    json_value arr = json_value::make_array();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    while (true) {
+      arr.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return arr;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad hex digit in \\u escape");
+          }
+          // Encode as UTF-8 (BMP only — enough for our own emitters, which
+          // only \u-escape control characters).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: fail("bad escape character");
+      }
+    }
+  }
+
+  json_value parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    bool is_integer = true;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      is_integer = false;
+      ++pos_;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_])))
+        ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      is_integer = false;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-'))
+        ++pos_;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_])))
+        ++pos_;
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    ANONCOORD_REQUIRE(!token.empty() && token != "-",
+                      "malformed JSON number at offset " +
+                          std::to_string(start));
+    if (is_integer) {
+      errno = 0;
+      char* end = nullptr;
+      const long long v = std::strtoll(token.c_str(), &end, 10);
+      if (errno == 0 && end && *end == '\0')
+        return json_value(static_cast<std::int64_t>(v));
+      // Fall through to double on int64 overflow.
+    }
+    char* end = nullptr;
+    const double d = std::strtod(token.c_str(), &end);
+    if (!end || *end != '\0') fail("malformed number \"" + token + "\"");
+    return json_value(d);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+json_value parse_json(const std::string& text) {
+  return parser(text).parse_document();
+}
+
+}  // namespace anoncoord::obs

@@ -1,0 +1,108 @@
+// Minimal JSON value, serializer and parser.
+//
+// The observability layer speaks JSON in two places — JSONL trace events
+// (obs/trace_codec.hpp) and the BENCH_<name>.json reports
+// (bench/bench_json.hpp) — and the round-trip tests need to read both back.
+// This is a deliberately small, dependency-free implementation: ordered
+// objects (emission order is reproducible), int64/double numbers, standard
+// escaping, and a recursive-descent parser that throws precondition_error
+// with the offending byte offset.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace anoncoord::obs {
+
+class json_value {
+ public:
+  enum class kind : unsigned char {
+    null,
+    boolean,
+    integer,  ///< int64 — counters and indices stay exact
+    number,   ///< double
+    string,
+    array,
+    object,
+  };
+
+  using array_type = std::vector<json_value>;
+  using object_type = std::vector<std::pair<std::string, json_value>>;
+
+  json_value() = default;
+  json_value(std::nullptr_t) {}
+  json_value(bool b) : kind_(kind::boolean), bool_(b) {}
+  json_value(std::int64_t i) : kind_(kind::integer), int_(i) {}
+  json_value(int i) : json_value(static_cast<std::int64_t>(i)) {}
+  json_value(std::uint64_t u) : json_value(static_cast<std::int64_t>(u)) {}
+  json_value(double d) : kind_(kind::number), num_(d) {}
+  json_value(std::string s) : kind_(kind::string), str_(std::move(s)) {}
+  json_value(const char* s) : json_value(std::string(s)) {}
+
+  static json_value make_array() {
+    json_value v;
+    v.kind_ = kind::array;
+    return v;
+  }
+  static json_value make_object() {
+    json_value v;
+    v.kind_ = kind::object;
+    return v;
+  }
+
+  kind type() const { return kind_; }
+  bool is_null() const { return kind_ == kind::null; }
+  bool is_object() const { return kind_ == kind::object; }
+  bool is_array() const { return kind_ == kind::array; }
+  bool is_string() const { return kind_ == kind::string; }
+  bool is_number() const {
+    return kind_ == kind::integer || kind_ == kind::number;
+  }
+
+  /// Scalar accessors; each throws precondition_error on a kind mismatch.
+  bool as_bool() const;
+  std::int64_t as_int() const;    ///< integer only
+  double as_double() const;       ///< integer or number
+  const std::string& as_string() const;
+  const array_type& as_array() const;
+  array_type& as_array();
+  const object_type& as_object() const;
+
+  /// Array append.
+  void push_back(json_value v);
+
+  /// Object insert-or-overwrite (keeps first-insertion order).
+  void set(const std::string& key, json_value v);
+
+  /// Object lookup; returns nullptr when absent (or not an object).
+  const json_value* find(const std::string& key) const;
+
+  /// Lookup that throws precondition_error when the key is absent.
+  const json_value& at(const std::string& key) const;
+
+  /// Compact serialization (no whitespace). `indent` > 0 pretty-prints.
+  std::string dump(int indent = 0) const;
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  kind kind_ = kind::null;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double num_ = 0.0;
+  std::string str_;
+  array_type arr_;
+  object_type obj_;
+};
+
+/// Escape a string for embedding in JSON (without surrounding quotes).
+std::string json_escape(const std::string& s);
+
+/// Parse a complete JSON document. Throws precondition_error on malformed
+/// input (message includes the byte offset) or trailing garbage.
+json_value parse_json(const std::string& text);
+
+}  // namespace anoncoord::obs

@@ -1,0 +1,136 @@
+#include "obs/metrics.hpp"
+
+#include <cstdlib>
+
+namespace anoncoord::obs {
+
+namespace detail {
+
+namespace {
+bool env_enabled() {
+  const char* v = std::getenv("ANONCOORD_OBS");
+  return v != nullptr && v[0] == '1' && v[1] == '\0';
+}
+}  // namespace
+
+bool enabled_flag = env_enabled();
+
+std::size_t thread_stripe() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t stripe =
+      next.fetch_add(1, std::memory_order_relaxed) & (metric_stripes - 1);
+  return stripe;
+}
+
+}  // namespace detail
+
+bool override_enabled(bool on) {
+  const bool prev = detail::enabled_flag;
+  detail::enabled_flag = on;
+  return prev;
+}
+
+// ---------------------------------------------------------------------------
+// Histogram.
+// ---------------------------------------------------------------------------
+
+std::uint64_t histogram_snapshot::approx_percentile(double q) const {
+  if (count == 0) return 0;
+  const double target = static_cast<double>(count) * q / 100.0;
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    cumulative += buckets[b];
+    if (static_cast<double>(cumulative) >= target)
+      return b == 0 ? 0 : (std::uint64_t{1} << b) - 1;  // bucket upper bound
+  }
+  return ~std::uint64_t{0};
+}
+
+histogram_snapshot step_histogram_metric::snapshot() const {
+  histogram_snapshot out;
+  for (const auto& padded_row : rows_) {
+    const row& r = padded_row.value;
+    out.count += r.count.load(std::memory_order_relaxed);
+    out.sum += r.sum.load(std::memory_order_relaxed);
+    for (std::size_t b = 0; b < histogram_buckets; ++b)
+      out.buckets[b] += r.buckets[b].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void step_histogram_metric::reset() {
+  for (auto& padded_row : rows_) {
+    row& r = padded_row.value;
+    r.count.store(0, std::memory_order_relaxed);
+    r.sum.store(0, std::memory_order_relaxed);
+    for (auto& b : r.buckets) b.store(0, std::memory_order_relaxed);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot export.
+// ---------------------------------------------------------------------------
+
+json_value metrics_snapshot::to_json() const {
+  json_value out = json_value::make_object();
+  json_value jc = json_value::make_object();
+  for (const auto& [name, total] : counters) jc.set(name, total);
+  out.set("counters", std::move(jc));
+  json_value jh = json_value::make_object();
+  for (const auto& [name, hist] : histograms) {
+    json_value h = json_value::make_object();
+    h.set("count", hist.count);
+    h.set("sum", hist.sum);
+    h.set("p50", hist.approx_percentile(50.0));
+    h.set("p99", hist.approx_percentile(99.0));
+    // Sparse bucket map: log2 bucket index -> count.
+    json_value b = json_value::make_object();
+    for (std::size_t i = 0; i < hist.buckets.size(); ++i)
+      if (hist.buckets[i] != 0)
+        b.set(std::to_string(i), hist.buckets[i]);
+    h.set("log2_buckets", std::move(b));
+    jh.set(name, std::move(h));
+  }
+  out.set("histograms", std::move(jh));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Registry.
+// ---------------------------------------------------------------------------
+
+metrics_registry& metrics_registry::global() {
+  static metrics_registry instance;
+  return instance;
+}
+
+counter_metric& metrics_registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<counter_metric>();
+  return *slot;
+}
+
+step_histogram_metric& metrics_registry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<step_histogram_metric>();
+  return *slot;
+}
+
+metrics_snapshot metrics_registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  metrics_snapshot out;
+  for (const auto& [name, c] : counters_) out.counters[name] = c->total();
+  for (const auto& [name, h] : histograms_)
+    out.histograms[name] = h->snapshot();
+  return out;
+}
+
+void metrics_registry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+}  // namespace anoncoord::obs

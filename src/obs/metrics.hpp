@@ -1,0 +1,159 @@
+// Lock-free metrics registry: named counters and step/latency histograms.
+//
+// Design constraints (ISSUE 2 tentpole):
+//   * hot-path updates must be wait-free and must not contend across threads
+//     — every metric is striped over cache-line-padded atomic slots, and a
+//     thread always hits the same slot (assigned round-robin on first use);
+//   * reads (snapshot()) are rare and may be approximate under concurrent
+//     updates — they sum the stripes with relaxed loads;
+//   * registration is name-keyed and idempotent; call sites cache the
+//     returned reference in a function-local static so the hot path never
+//     touches the registry map (see the ANONCOORD_OBS_COUNT macro).
+//
+// Histograms are fixed 64-bucket log2 histograms: value v lands in bucket
+// bit_width(v) (bucket 0 = value 0, bucket k = [2^(k-1), 2^k)). That is the
+// right shape for the quantities we record — steps per acquire, rounds to
+// decide, wall microseconds — whose interesting structure spans orders of
+// magnitude.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "obs/json.hpp"
+#include "obs/obs.hpp"
+#include "util/padded.hpp"
+
+namespace anoncoord::obs {
+
+/// Stripe count for every metric; power of two. 16 × 64B = 1KiB per counter.
+inline constexpr std::size_t metric_stripes = 16;
+
+namespace detail {
+/// Stable per-thread stripe index in [0, metric_stripes).
+std::size_t thread_stripe();
+}  // namespace detail
+
+/// A monotone counter striped over padded atomic slots.
+class counter_metric {
+ public:
+  void add(std::uint64_t delta = 1) {
+    slots_[detail::thread_stripe()].value.fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+
+  std::uint64_t total() const {
+    std::uint64_t sum = 0;
+    for (const auto& s : slots_) sum += s.value.load(std::memory_order_relaxed);
+    return sum;
+  }
+
+  void reset() {
+    for (auto& s : slots_) s.value.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<padded<std::atomic<std::uint64_t>>, metric_stripes> slots_;
+};
+
+inline constexpr std::size_t histogram_buckets = 64;
+
+/// Aggregated view of one histogram (see step_histogram_metric).
+struct histogram_snapshot {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::array<std::uint64_t, histogram_buckets> buckets{};
+
+  /// Smallest value x such that at least q% of samples are <= bucket_high(x),
+  /// by bucket upper bound; 0 when empty. Coarse (log2 resolution) on purpose.
+  std::uint64_t approx_percentile(double q) const;
+};
+
+/// A log2-bucketed histogram of non-negative integer samples, striped like
+/// counter_metric. record() is wait-free.
+class step_histogram_metric {
+ public:
+  void record(std::uint64_t value) {
+    auto& row = rows_[detail::thread_stripe()].value;
+    const unsigned b = value == 0 ? 0 : static_cast<unsigned>(
+                                            std::bit_width(value));
+    row.buckets[b < histogram_buckets ? b : histogram_buckets - 1].fetch_add(
+        1, std::memory_order_relaxed);
+    row.count.fetch_add(1, std::memory_order_relaxed);
+    row.sum.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  histogram_snapshot snapshot() const;
+  void reset();
+
+ private:
+  struct row {
+    std::array<std::atomic<std::uint64_t>, histogram_buckets> buckets{};
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> sum{0};
+  };
+  std::array<padded<row>, metric_stripes> rows_;
+};
+
+/// Everything the registry knows at one instant, exportable as JSON — the
+/// `metrics` section of every BENCH_<name>.json.
+struct metrics_snapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, histogram_snapshot> histograms;
+
+  json_value to_json() const;
+};
+
+/// Name-keyed registry of metrics. Metric objects, once created, live for
+/// the process lifetime at a stable address, so references handed out by
+/// counter()/histogram() never dangle.
+class metrics_registry {
+ public:
+  /// The process-wide registry every instrumentation hook uses.
+  static metrics_registry& global();
+
+  /// Create-or-get. Thread-safe; O(log n) — cache the reference.
+  counter_metric& counter(const std::string& name);
+  step_histogram_metric& histogram(const std::string& name);
+
+  metrics_snapshot snapshot() const;
+
+  /// Zero every metric (names stay registered). Tests and bench harnesses
+  /// call this between measured sections.
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<counter_metric>> counters_;
+  std::map<std::string, std::unique_ptr<step_histogram_metric>> histograms_;
+};
+
+}  // namespace anoncoord::obs
+
+/// Bump a named counter iff observability is on. The registry lookup runs
+/// once per call site; the steady state is one branch + one relaxed add.
+#define ANONCOORD_OBS_COUNT(name, delta)                                   \
+  do {                                                                     \
+    if (::anoncoord::obs::enabled()) {                                     \
+      static ::anoncoord::obs::counter_metric& anoncoord_obs_counter_ =    \
+          ::anoncoord::obs::metrics_registry::global().counter(name);      \
+      anoncoord_obs_counter_.add(delta);                                   \
+    }                                                                      \
+  } while (0)
+
+/// Record a sample into a named histogram iff observability is on.
+#define ANONCOORD_OBS_RECORD(name, value)                                  \
+  do {                                                                     \
+    if (::anoncoord::obs::enabled()) {                                     \
+      static ::anoncoord::obs::step_histogram_metric&                      \
+          anoncoord_obs_hist_ =                                            \
+              ::anoncoord::obs::metrics_registry::global().histogram(name); \
+      anoncoord_obs_hist_.record(value);                                   \
+    }                                                                      \
+  } while (0)

@@ -1,0 +1,46 @@
+// Observability gate: one process-wide switch for every instrumentation hook.
+//
+// Hooks all over the library (register files, simulator, threaded harnesses,
+// verification engines) are written as
+//
+//     if (obs::enabled()) { ...count / record... }
+//
+// enabled() is a single non-atomic bool read, so a disabled hook costs one
+// predictable branch — the <2% bench-regression budget in ISSUE 2 is enforced
+// against exactly this path. The flag is initialized once from the
+// environment variable ANONCOORD_OBS ("1" turns instrumentation on) and can
+// be overridden programmatically (tests and benches call override_enabled()
+// before spawning worker threads; toggling while instrumented threads are
+// running is a data race by design and is not supported).
+//
+// Defining ANONCOORD_OBS_COMPILED=0 at build time compiles every hook to a
+// constant-false branch the optimizer removes entirely — the belt-and-braces
+// option for perf-sensitive deployments.
+#pragma once
+
+#ifndef ANONCOORD_OBS_COMPILED
+#define ANONCOORD_OBS_COMPILED 1
+#endif
+
+namespace anoncoord::obs {
+
+namespace detail {
+// Defined in metrics.cpp; initialized from getenv("ANONCOORD_OBS") before
+// first use.
+extern bool enabled_flag;
+}  // namespace detail
+
+/// Whether instrumentation hooks are live in this process.
+inline bool enabled() {
+#if ANONCOORD_OBS_COMPILED
+  return detail::enabled_flag;
+#else
+  return false;
+#endif
+}
+
+/// Force instrumentation on or off, overriding the environment. Call before
+/// starting instrumented threads. Returns the previous value.
+bool override_enabled(bool on);
+
+}  // namespace anoncoord::obs

@@ -1,0 +1,276 @@
+#include "obs/trace_codec.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "obs/json.hpp"
+#include "util/check.hpp"
+
+namespace anoncoord::obs {
+
+namespace {
+
+// --- op-kind codes (shared by both encodings) ------------------------------
+
+char op_code(op_kind kind) {
+  switch (kind) {
+    case op_kind::read: return 'r';
+    case op_kind::write: return 'w';
+    case op_kind::internal: return 'i';
+    case op_kind::none: return 'n';
+  }
+  return '?';
+}
+
+op_kind op_from_code(char c, const std::string& where) {
+  switch (c) {
+    case 'r': return op_kind::read;
+    case 'w': return op_kind::write;
+    case 'i': return op_kind::internal;
+    case 'n': return op_kind::none;
+    default:
+      throw precondition_error("bad op code '" + std::string(1, c) + "' " +
+                               where);
+  }
+}
+
+// --- little-endian primitives ----------------------------------------------
+
+void put_u32(std::ostream& os, std::uint32_t v) {
+  char b[4];
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  os.write(b, 4);
+}
+
+void put_u64(std::ostream& os, std::uint64_t v) {
+  char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  os.write(b, 8);
+}
+
+void put_i32(std::ostream& os, std::int32_t v) {
+  put_u32(os, static_cast<std::uint32_t>(v));
+}
+
+std::uint32_t get_u32(std::istream& is) {
+  char b[4];
+  is.read(b, 4);
+  ANONCOORD_REQUIRE(is.gcount() == 4, "truncated binary trace");
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(b[i]))
+         << (8 * i);
+  return v;
+}
+
+std::uint64_t get_u64(std::istream& is) {
+  char b[8];
+  is.read(b, 8);
+  ANONCOORD_REQUIRE(is.gcount() == 8, "truncated binary trace");
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(b[i]))
+         << (8 * i);
+  return v;
+}
+
+std::int32_t get_i32(std::istream& is) {
+  return static_cast<std::int32_t>(get_u32(is));
+}
+
+constexpr char binary_magic[4] = {'A', 'C', 'T', 'B'};
+
+void check_bundle(const trace_bundle& bundle) {
+  ANONCOORD_REQUIRE(bundle.processes >= 0 && bundle.registers >= 0,
+                    "negative process or register count in trace bundle");
+  if (!bundle.naming.empty()) {
+    ANONCOORD_REQUIRE(
+        static_cast<std::int32_t>(bundle.naming.size()) == bundle.processes,
+        "naming permutation count must match the process count");
+    for (const auto& perm : bundle.naming)
+      ANONCOORD_REQUIRE(
+          static_cast<std::int32_t>(perm.size()) == bundle.registers,
+          "naming permutation size must match the register count");
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Binary encoding.
+// ---------------------------------------------------------------------------
+
+std::size_t write_trace_binary(std::ostream& os, const trace_bundle& bundle) {
+  check_bundle(bundle);
+  const auto start = os.tellp();
+  os.write(binary_magic, 4);
+  put_u32(os, bundle.version);
+  put_i32(os, bundle.processes);
+  put_i32(os, bundle.registers);
+  os.put(bundle.naming.empty() ? '\0' : '\1');
+  for (const auto& perm : bundle.naming)
+    for (int phys : perm) put_i32(os, phys);
+  put_u64(os, bundle.events.size());
+  for (const auto& ev : bundle.events) {
+    put_u64(os, ev.step);
+    put_i32(os, ev.process);
+    os.put(op_code(ev.op.kind));
+    put_i32(os, ev.op.index);
+    put_i32(os, ev.physical);
+  }
+  ANONCOORD_REQUIRE(os.good(), "error writing binary trace");
+  const auto end = os.tellp();
+  return start >= 0 && end >= 0 ? static_cast<std::size_t>(end - start) : 0;
+}
+
+trace_bundle read_trace_binary(std::istream& is) {
+  char magic[4];
+  is.read(magic, 4);
+  ANONCOORD_REQUIRE(is.gcount() == 4 && std::equal(magic, magic + 4,
+                                                   binary_magic),
+                    "not a binary anoncoord trace (bad magic)");
+  trace_bundle b;
+  b.version = get_u32(is);
+  ANONCOORD_REQUIRE(b.version == trace_format_version,
+                    "unsupported binary trace version " +
+                        std::to_string(b.version) + " (this build reads " +
+                        std::to_string(trace_format_version) + ")");
+  b.processes = get_i32(is);
+  b.registers = get_i32(is);
+  ANONCOORD_REQUIRE(b.processes >= 0 && b.registers >= 0,
+                    "corrupt binary trace header");
+  const int has_naming = is.get();
+  ANONCOORD_REQUIRE(has_naming == 0 || has_naming == 1,
+                    "corrupt naming flag in binary trace");
+  if (has_naming) {
+    b.naming.resize(static_cast<std::size_t>(b.processes));
+    for (auto& perm : b.naming) {
+      perm.resize(static_cast<std::size_t>(b.registers));
+      for (auto& phys : perm) phys = get_i32(is);
+    }
+  }
+  const std::uint64_t count = get_u64(is);
+  b.events.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    trace_event ev;
+    ev.step = get_u64(is);
+    ev.process = get_i32(is);
+    const int code = is.get();
+    ANONCOORD_REQUIRE(code >= 0, "truncated binary trace");
+    ev.op.kind = op_from_code(static_cast<char>(code),
+                              "in binary event " + std::to_string(i));
+    ev.op.index = get_i32(is);
+    ev.physical = get_i32(is);
+    b.events.push_back(ev);
+  }
+  return b;
+}
+
+std::string trace_to_binary(const trace_bundle& bundle) {
+  std::ostringstream os(std::ios::binary);
+  write_trace_binary(os, bundle);
+  return os.str();
+}
+
+trace_bundle trace_from_binary(const std::string& bytes) {
+  std::istringstream is(bytes, std::ios::binary);
+  return read_trace_binary(is);
+}
+
+// ---------------------------------------------------------------------------
+// JSONL encoding.
+// ---------------------------------------------------------------------------
+
+std::size_t write_trace_jsonl(std::ostream& os, const trace_bundle& bundle) {
+  check_bundle(bundle);
+  json_value header = json_value::make_object();
+  header.set("format", "anoncoord-trace");
+  header.set("version", static_cast<std::int64_t>(bundle.version));
+  header.set("processes", bundle.processes);
+  header.set("registers", bundle.registers);
+  json_value naming = json_value::make_array();
+  for (const auto& perm : bundle.naming) {
+    json_value row = json_value::make_array();
+    for (int phys : perm) row.push_back(phys);
+    naming.push_back(std::move(row));
+  }
+  header.set("naming", std::move(naming));
+  header.set("events", static_cast<std::int64_t>(bundle.events.size()));
+  os << header.dump() << '\n';
+
+  for (const auto& ev : bundle.events) {
+    json_value e = json_value::make_object();
+    e.set("step", static_cast<std::int64_t>(ev.step));
+    e.set("process", ev.process);
+    e.set("op", std::string(1, op_code(ev.op.kind)));
+    e.set("logical", ev.op.index);
+    e.set("physical", ev.physical);
+    os << e.dump() << '\n';
+  }
+  ANONCOORD_REQUIRE(os.good(), "error writing JSONL trace");
+  return 1 + bundle.events.size();
+}
+
+trace_bundle read_trace_jsonl(std::istream& is) {
+  std::string line;
+  std::size_t lineno = 0;
+  // Header: the first non-empty line.
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (!line.empty()) break;
+  }
+  ANONCOORD_REQUIRE(!line.empty(), "empty JSONL trace (no header line)");
+  const json_value header = parse_json(line);
+  const json_value* format = header.find("format");
+  ANONCOORD_REQUIRE(format != nullptr && format->is_string() &&
+                        format->as_string() == "anoncoord-trace",
+                    "JSONL line 1 is not an anoncoord trace header");
+  const std::int64_t version = header.at("version").as_int();
+  ANONCOORD_REQUIRE(version == trace_format_version,
+                    "unsupported JSONL trace version " +
+                        std::to_string(version) + " (this build reads " +
+                        std::to_string(trace_format_version) + ")");
+
+  trace_bundle b;
+  b.version = static_cast<std::uint32_t>(version);
+  b.processes = static_cast<std::int32_t>(header.at("processes").as_int());
+  b.registers = static_cast<std::int32_t>(header.at("registers").as_int());
+  for (const auto& row : header.at("naming").as_array()) {
+    permutation perm;
+    for (const auto& phys : row.as_array())
+      perm.push_back(static_cast<int>(phys.as_int()));
+    b.naming.push_back(std::move(perm));
+  }
+  check_bundle(b);
+
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    const json_value e = parse_json(line);
+    trace_event ev;
+    ev.step = static_cast<std::uint64_t>(e.at("step").as_int());
+    ev.process = static_cast<int>(e.at("process").as_int());
+    const std::string& op = e.at("op").as_string();
+    ANONCOORD_REQUIRE(op.size() == 1,
+                      "bad op string on JSONL line " + std::to_string(lineno));
+    ev.op.kind = op_from_code(op[0], "on JSONL line " + std::to_string(lineno));
+    ev.op.index = static_cast<int>(e.at("logical").as_int());
+    ev.physical = static_cast<int>(e.at("physical").as_int());
+    b.events.push_back(ev);
+  }
+  return b;
+}
+
+std::string trace_to_jsonl(const trace_bundle& bundle) {
+  std::ostringstream os;
+  write_trace_jsonl(os, bundle);
+  return os.str();
+}
+
+trace_bundle trace_from_jsonl(const std::string& text) {
+  std::istringstream is(text);
+  return read_trace_jsonl(is);
+}
+
+}  // namespace anoncoord::obs

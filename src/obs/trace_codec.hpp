@@ -1,0 +1,83 @@
+// Structured trace encoding: a versioned binary format and a JSONL format
+// for recorded runs, extending the line-oriented text format of
+// runtime/trace_io with the context a forensics tool needs to interpret the
+// events — the process count, register count, and the adversary's naming
+// permutations.
+//
+// A trace_bundle is (header, events). Two encodings round-trip it:
+//
+//   * binary  — magic "ACTB", little-endian fixed-width fields; compact and
+//     fast, the format benches write under ANONCOORD_OBS=1;
+//   * JSONL   — first line a header object, then one JSON object per event;
+//     greppable and tool-friendly (docs/OBSERVABILITY.md has the spec).
+//
+// Both readers reject unknown format versions with precondition_error — the
+// version gate is what lets the format evolve without silently misreading
+// old files. See obs/forensics.hpp for querying decoded bundles.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "runtime/simulator.hpp"
+#include "util/permutation.hpp"
+
+namespace anoncoord::obs {
+
+/// Current version of both trace encodings.
+inline constexpr std::uint32_t trace_format_version = 1;
+
+/// A recorded run plus the context needed to interpret it.
+struct trace_bundle {
+  std::uint32_t version = trace_format_version;
+  std::int32_t processes = 0;
+  std::int32_t registers = 0;
+  /// Per-process private numbering (empty when unknown): naming[p][j] is the
+  /// physical register process p's logical index j denotes.
+  std::vector<permutation> naming;
+  std::vector<trace_event> events;
+
+  friend bool operator==(const trace_bundle&, const trace_bundle&) = default;
+};
+
+/// Capture a simulator's recorded trace together with its configuration.
+/// (enable_tracing() must have been on during the run for events to exist.)
+template <class Machine>
+trace_bundle bundle_of(const simulator<Machine>& sim) {
+  trace_bundle b;
+  b.processes = sim.process_count();
+  b.registers = sim.memory().size();
+  b.naming.reserve(static_cast<std::size_t>(b.processes));
+  for (int p = 0; p < b.processes; ++p) b.naming.push_back(sim.naming().of(p));
+  b.events = sim.trace();
+  return b;
+}
+
+// --- binary ----------------------------------------------------------------
+
+/// Write the binary encoding. Returns bytes written.
+std::size_t write_trace_binary(std::ostream& os, const trace_bundle& bundle);
+
+/// Decode a binary trace. Throws precondition_error on bad magic, an
+/// unknown version, or truncated input.
+trace_bundle read_trace_binary(std::istream& is);
+
+std::string trace_to_binary(const trace_bundle& bundle);
+trace_bundle trace_from_binary(const std::string& bytes);
+
+// --- JSONL -----------------------------------------------------------------
+
+/// Write the JSONL encoding (header line + one line per event). Returns the
+/// number of lines written.
+std::size_t write_trace_jsonl(std::ostream& os, const trace_bundle& bundle);
+
+/// Decode a JSONL trace. Throws precondition_error on a missing or
+/// malformed header, an unknown version, or a malformed event line.
+trace_bundle read_trace_jsonl(std::istream& is);
+
+std::string trace_to_jsonl(const trace_bundle& bundle);
+trace_bundle trace_from_jsonl(const std::string& text);
+
+}  // namespace anoncoord::obs

@@ -12,6 +12,7 @@
 #include <functional>
 #include <unordered_map>
 
+#include "obs/metrics.hpp"
 #include "runtime/simulator.hpp"
 #include "util/hash.hpp"
 
@@ -67,6 +68,7 @@ livelock_report<Machine> detect_livelock_round_robin(
     if (!fresh) {
       report.livelock = true;
       report.cycle_start = it->second;
+      ANONCOORD_OBS_COUNT("livelock.trips", 1);
       return report;
     }
   }

@@ -15,6 +15,7 @@
 
 #include "mem/naming.hpp"
 #include "mem/register_file.hpp"
+#include "obs/metrics.hpp"
 #include "runtime/schedule.hpp"
 #include "runtime/step_machine.hpp"
 #include "util/check.hpp"
@@ -27,6 +28,8 @@ struct trace_event {
   int process = -1;        ///< which process moved
   op_desc op;              ///< what it was about to do (logical index)
   int physical = -1;       ///< physical register (after its naming), or -1
+
+  friend bool operator==(const trace_event&, const trace_event&) = default;
 };
 
 template <class Machine>
@@ -83,6 +86,7 @@ class simulator {
     machine.step(view);
     ++total_steps_;
     ++steps_taken_[static_cast<std::size_t>(p)];
+    ANONCOORD_OBS_COUNT("sim.steps", 1);
     if (tracing_) trace_.push_back(ev);
     return ev;
   }

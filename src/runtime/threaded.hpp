@@ -17,6 +17,7 @@
 
 #include "mem/naming.hpp"
 #include "mem/shared_register_file.hpp"
+#include "obs/metrics.hpp"
 #include "runtime/step_machine.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
@@ -36,6 +37,11 @@ class contention_backoff {
     ++attempt_;
     const std::uint64_t limit = 1ULL << e;
     const std::uint64_t us = rng_.below(limit) + 1;
+    // Backoff invocations are the harness's contention proxy: no
+    // compare-and-swap exists in this model, so "had to back off" is the
+    // observable stand-in for "lost a register race".
+    ANONCOORD_OBS_COUNT("backoff.losses", 1);
+    ANONCOORD_OBS_RECORD("backoff.sleep_us", us);
     std::this_thread::sleep_for(std::chrono::microseconds(us));
   }
 
@@ -121,12 +127,18 @@ mutex_stress_result run_mutex_stress(std::vector<Machine> machines,
         Machine& machine = machines[t];
         std::uint64_t steps = 0;
         for (std::uint64_t it = 0; it < iterations; ++it) {
-          steps += acquire(machine, view);
+          const std::uint64_t acquire_steps = acquire(machine, view);
+          steps += acquire_steps;
+          ANONCOORD_OBS_RECORD("mutex.acquire_steps", acquire_steps);
+          ANONCOORD_OBS_COUNT("mutex.cs_entries", 1);
           const int inside = occupancy.fetch_add(1) + 1;
           if (inside > 1) violations.fetch_add(1);
           ++canary;  // data race iff mutual exclusion is broken
           occupancy.fetch_sub(1);
           steps += release(machine, view);
+        }
+        if constexpr (requires(const Machine& m) { m.losses(); }) {
+          ANONCOORD_OBS_COUNT("mutex.doorway_retries", machine.losses());
         }
         total_steps.fetch_add(steps);
       });
@@ -189,6 +201,15 @@ oneshot_thread_result run_oneshot_threads(std::vector<Machine>& machines,
           if (!machine.done()) backoff.lose();
         }
         res.steps[t] = steps;
+        ANONCOORD_OBS_RECORD("oneshot.steps_to_done", steps);
+        // Round counts for the round-structured algorithms: Fig. 2 counts
+        // completed scans, Fig. 3 counts election rounds reached.
+        if constexpr (requires(const Machine& m) { m.scans(); }) {
+          ANONCOORD_OBS_RECORD("consensus.scans_to_done", machine.scans());
+        }
+        if constexpr (requires(const Machine& m) { m.round(); }) {
+          ANONCOORD_OBS_RECORD("renaming.rounds_to_done", machine.round());
+        }
       });
     }
   }  // join

@@ -1,0 +1,320 @@
+// Observability layer: JSON, metrics registry, trace codecs, forensics.
+//
+// The codec tests drive a real Fig. 1 run through the simulator so the
+// round-tripped bundles are the exact artifacts the instrumented benches
+// write; the metrics test pins the per-register footprint of a fixed
+// 2-process schedule, which is the quantity the §6 covering arguments
+// reason in.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/anon_mutex.hpp"
+#include "mem/naming.hpp"
+#include "obs/forensics.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace_codec.hpp"
+#include "runtime/schedule.hpp"
+#include "runtime/simulator.hpp"
+#include "util/check.hpp"
+
+namespace anoncoord {
+namespace {
+
+/// Scoped ANONCOORD_OBS override so tests can exercise gated hooks without
+/// depending on the environment.
+class scoped_obs {
+ public:
+  explicit scoped_obs(bool on) : previous_(obs::override_enabled(on)) {}
+  ~scoped_obs() { obs::override_enabled(previous_); }
+
+ private:
+  bool previous_;
+};
+
+// ---------------------------------------------------------------------------
+// JSON
+// ---------------------------------------------------------------------------
+
+TEST(ObsJson, ScalarsRoundTrip) {
+  const std::string text =
+      R"({"a":1,"b":-2.5,"c":"hi \"there\"","d":true,"e":null,"f":[1,2,3]})";
+  const auto v = obs::parse_json(text);
+  EXPECT_EQ(v.at("a").as_int(), 1);
+  EXPECT_DOUBLE_EQ(v.at("b").as_double(), -2.5);
+  EXPECT_EQ(v.at("c").as_string(), "hi \"there\"");
+  EXPECT_TRUE(v.at("d").as_bool());
+  EXPECT_TRUE(v.at("e").is_null());
+  EXPECT_EQ(v.at("f").as_array().size(), 3u);
+  // dump() of the parse re-parses to the same structure.
+  const auto again = obs::parse_json(v.dump());
+  EXPECT_EQ(again.at("c").as_string(), "hi \"there\"");
+  EXPECT_EQ(again.at("f").as_array()[2].as_int(), 3);
+}
+
+TEST(ObsJson, ObjectsKeepInsertionOrder) {
+  auto v = obs::json_value::make_object();
+  v.set("zulu", 1);
+  v.set("alpha", 2);
+  EXPECT_EQ(v.dump(), R"({"zulu":1,"alpha":2})");
+}
+
+TEST(ObsJson, MalformedInputThrows) {
+  EXPECT_THROW(obs::parse_json("{\"a\":}"), precondition_error);
+  EXPECT_THROW(obs::parse_json("[1,2"), precondition_error);
+  EXPECT_THROW(obs::parse_json("{\"a\":1} trailing"), precondition_error);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics registry
+// ---------------------------------------------------------------------------
+
+TEST(ObsMetrics, CounterSumsAcrossThreads) {
+  obs::counter_metric counter;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t)
+    workers.emplace_back([&counter] {
+      for (int i = 0; i < 10'000; ++i) counter.add(1);
+    });
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(counter.total(), 40'000u);
+  counter.reset();
+  EXPECT_EQ(counter.total(), 0u);
+}
+
+TEST(ObsMetrics, HistogramBucketsAndPercentiles) {
+  obs::step_histogram_metric hist;
+  for (std::uint64_t v = 1; v <= 100; ++v) hist.record(v);
+  const auto snap = hist.snapshot();
+  EXPECT_EQ(snap.count, 100u);
+  EXPECT_EQ(snap.sum, 5050u);
+  // p50's bucket upper bound covers 50: 50 lands in [32, 64).
+  EXPECT_GE(snap.approx_percentile(50.0), 50u);
+  EXPECT_LE(snap.approx_percentile(50.0), 64u);
+  EXPECT_GE(snap.approx_percentile(99.0), 99u);
+}
+
+TEST(ObsMetrics, MacrosAreGatedByEnabledFlag) {
+  auto& reg = obs::metrics_registry::global();
+  reg.reset();
+  {
+    scoped_obs off(false);
+    ANONCOORD_OBS_COUNT("obs_test.gated", 1);
+  }
+  EXPECT_EQ(reg.snapshot().counters.count("obs_test.gated"), 0u);
+  {
+    scoped_obs on(true);
+    ANONCOORD_OBS_COUNT("obs_test.gated", 2);
+    ANONCOORD_OBS_RECORD("obs_test.gated_hist", 7);
+  }
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(snap.counters.at("obs_test.gated"), 2u);
+  EXPECT_EQ(snap.histograms.at("obs_test.gated_hist").count, 1u);
+  reg.reset();
+}
+
+TEST(ObsMetrics, SnapshotExportsAsJson) {
+  auto& reg = obs::metrics_registry::global();
+  reg.reset();
+  reg.counter("obs_test.json_counter").add(5);
+  reg.histogram("obs_test.json_hist").record(9);
+  const auto json = reg.snapshot().to_json();
+  EXPECT_EQ(json.at("counters").at("obs_test.json_counter").as_int(), 5);
+  EXPECT_EQ(json.at("histograms").at("obs_test.json_hist").at("count").as_int(),
+            1);
+  reg.reset();
+}
+
+// ---------------------------------------------------------------------------
+// Trace codecs
+// ---------------------------------------------------------------------------
+
+/// A short traced 2-process Fig. 1 run under a fixed round-robin schedule.
+simulator<anon_mutex> traced_fig1_run(int m = 5) {
+  std::vector<anon_mutex> machines;
+  machines.emplace_back(1, m);
+  machines.emplace_back(2, m);
+  simulator<anon_mutex> sim(m, naming_assignment::identity(2, m),
+                            std::move(machines));
+  sim.enable_tracing();
+  round_robin_schedule sched;
+  sim.run(sched, 2'000,
+          [](const simulator<anon_mutex>& s, const trace_event&) {
+            return s.machine(0).cs_entries() + s.machine(1).cs_entries() < 2;
+          });
+  return sim;
+}
+
+TEST(ObsTraceCodec, BinaryRoundTrip) {
+  const auto sim = traced_fig1_run();
+  const auto bundle = obs::bundle_of(sim);
+  ASSERT_FALSE(bundle.events.empty());
+  ASSERT_EQ(bundle.naming.size(), 2u);
+  const auto decoded = obs::trace_from_binary(obs::trace_to_binary(bundle));
+  EXPECT_EQ(decoded, bundle);
+}
+
+TEST(ObsTraceCodec, JsonlRoundTrip) {
+  const auto sim = traced_fig1_run();
+  const auto bundle = obs::bundle_of(sim);
+  const std::string text = obs::trace_to_jsonl(bundle);
+  // Header + one line per event.
+  EXPECT_EQ(static_cast<std::size_t>(
+                std::count(text.begin(), text.end(), '\n')),
+            bundle.events.size() + 1);
+  const auto decoded = obs::trace_from_jsonl(text);
+  EXPECT_EQ(decoded, bundle);
+}
+
+TEST(ObsTraceCodec, BinaryRejectsUnknownVersion) {
+  const auto bundle = obs::bundle_of(traced_fig1_run());
+  std::string bytes = obs::trace_to_binary(bundle);
+  // The version field is the little-endian u32 right after the 4-byte magic.
+  bytes[4] = 99;
+  EXPECT_THROW(obs::trace_from_binary(bytes), precondition_error);
+}
+
+TEST(ObsTraceCodec, BinaryRejectsBadMagicAndTruncation) {
+  const auto bundle = obs::bundle_of(traced_fig1_run());
+  std::string bytes = obs::trace_to_binary(bundle);
+  std::string corrupted = bytes;
+  corrupted[0] = 'X';
+  EXPECT_THROW(obs::trace_from_binary(corrupted), precondition_error);
+  EXPECT_THROW(obs::trace_from_binary(bytes.substr(0, bytes.size() / 2)),
+               precondition_error);
+}
+
+TEST(ObsTraceCodec, JsonlRejectsUnknownVersion) {
+  const auto bundle = obs::bundle_of(traced_fig1_run());
+  std::string text = obs::trace_to_jsonl(bundle);
+  const auto pos = text.find("\"version\":1");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, std::string("\"version\":1").size(), "\"version\":99");
+  EXPECT_THROW(obs::trace_from_jsonl(text), precondition_error);
+}
+
+// ---------------------------------------------------------------------------
+// Instrumented register files: exact per-register footprints
+// ---------------------------------------------------------------------------
+
+// The fixed 2-process Fig. 1 schedule above is deterministic, so its
+// per-register footprint is a constant of the algorithm. The test asserts
+// the counters three ways: against the trace-derived footprint (internal
+// consistency), against the aggregate counters the register file always
+// keeps, and against the pinned values themselves (regression detection).
+TEST(ObsMetrics, Fig1FixedSchedulePerRegisterCounts) {
+  scoped_obs on(true);
+  obs::metrics_registry::global().reset();
+  const int m = 5;
+  const auto sim = traced_fig1_run(m);
+  ASSERT_EQ(sim.machine(0).cs_entries() + sim.machine(1).cs_entries(), 2u);
+
+  const auto& cells = sim.memory().per_register_counters();
+  ASSERT_EQ(cells.size(), static_cast<std::size_t>(m));
+
+  // 1) Per-cell counters must equal the footprint recomputed from the trace.
+  const auto footprint = obs::register_footprint(sim.trace(), m);
+  std::uint64_t reads = 0, writes = 0;
+  for (int r = 0; r < m; ++r) {
+    EXPECT_EQ(cells[static_cast<std::size_t>(r)].reads,
+              footprint[static_cast<std::size_t>(r)].reads)
+        << "register " << r;
+    EXPECT_EQ(cells[static_cast<std::size_t>(r)].writes,
+              footprint[static_cast<std::size_t>(r)].writes)
+        << "register " << r;
+    reads += cells[static_cast<std::size_t>(r)].reads;
+    writes += cells[static_cast<std::size_t>(r)].writes;
+  }
+
+  // 2) ...and sum to the aggregate counters.
+  EXPECT_EQ(reads, sim.memory().counters().reads);
+  EXPECT_EQ(writes, sim.memory().counters().writes);
+
+  // 3) Pinned footprint of this exact run (m = 5, identity naming,
+  // round-robin until two CS entries). Any change here means the Fig. 1
+  // implementation or the simulator's scheduling changed behaviorally.
+  const std::vector<mem_counters> expected = {
+      {19, 6}, {18, 6}, {18, 5}, {18, 5}, {18, 5}};
+  ASSERT_EQ(expected.size(), cells.size());
+  for (int r = 0; r < m; ++r) {
+    EXPECT_EQ(cells[static_cast<std::size_t>(r)].reads,
+              expected[static_cast<std::size_t>(r)].reads)
+        << "register " << r;
+    EXPECT_EQ(cells[static_cast<std::size_t>(r)].writes,
+              expected[static_cast<std::size_t>(r)].writes)
+        << "register " << r;
+  }
+  obs::metrics_registry::global().reset();
+}
+
+// ---------------------------------------------------------------------------
+// Forensics
+// ---------------------------------------------------------------------------
+
+TEST(ObsForensics, FilterByProcessOpAndWindow) {
+  const auto sim = traced_fig1_run();
+  const auto& trace = sim.trace();
+  obs::trace_filter f;
+  f.process = 0;
+  f.op = op_kind::write;
+  const auto writes0 = obs::filter_trace(trace, f);
+  ASSERT_FALSE(writes0.empty());
+  for (const auto& ev : writes0) {
+    EXPECT_EQ(ev.process, 0);
+    EXPECT_EQ(ev.op.kind, op_kind::write);
+  }
+  // A window never yields more than the unwindowed filter.
+  f.steps = {{0, trace.size() / 2}};
+  EXPECT_LE(obs::filter_trace(trace, f).size(), writes0.size());
+}
+
+TEST(ObsForensics, ProcessFootprintMatchesSimulatorSteps) {
+  const auto sim = traced_fig1_run();
+  const auto by_process = obs::process_footprint(sim.trace(), 2);
+  std::uint64_t reads = 0, writes = 0;
+  for (int p = 0; p < 2; ++p) {
+    reads += by_process[static_cast<std::size_t>(p)].reads;
+    writes += by_process[static_cast<std::size_t>(p)].writes;
+    // A few steps are internal (no register access), so the shared-memory
+    // footprint is bounded by — not equal to — the step count.
+    EXPECT_LE(by_process[static_cast<std::size_t>(p)].total(),
+              sim.steps_of(p));
+  }
+  // Summed over processes, the footprint is exactly the register file's
+  // always-on aggregate counters.
+  EXPECT_EQ(reads, sim.memory().counters().reads);
+  EXPECT_EQ(writes, sim.memory().counters().writes);
+}
+
+TEST(ObsForensics, DiffFindsFirstDivergence) {
+  const auto a = obs::bundle_of(traced_fig1_run()).events;
+  ASSERT_GE(a.size(), 4u);
+  const auto same = obs::diff_traces(a, a);
+  EXPECT_TRUE(same.identical);
+  EXPECT_EQ(same.common_prefix, a.size());
+
+  auto b = a;
+  b[3].physical = (b[3].physical + 1) % 5;
+  const auto diff = obs::diff_traces(a, b);
+  EXPECT_FALSE(diff.identical);
+  EXPECT_EQ(diff.common_prefix, 3u);
+  ASSERT_TRUE(diff.first_a.has_value());
+  ASSERT_TRUE(diff.first_b.has_value());
+  EXPECT_NE(diff.first_a->physical, diff.first_b->physical);
+  EXPECT_NE(diff.describe().find("diverge"), std::string::npos);
+
+  auto shorter = a;
+  shorter.resize(a.size() - 2);
+  const auto truncated = obs::diff_traces(a, shorter);
+  EXPECT_FALSE(truncated.identical);
+  EXPECT_EQ(truncated.common_prefix, shorter.size());
+}
+
+}  // namespace
+}  // namespace anoncoord

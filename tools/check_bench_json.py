@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Validator for BENCH_<name>.json reports (stdlib only).
+
+Checks the "anoncoord-bench-v1" schema emitted by bench/bench_json.hpp:
+required top-level keys and types, per-result summary-statistic sanity
+(count >= 1, min <= median <= max, p99 <= max), and that the metrics
+section is the registry-snapshot shape ({"counters": {...},
+"histograms": {...}}).
+
+Usage: tools/check_bench_json.py BENCH_*.json
+Exit status 0 when every report validates, 1 otherwise.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+SCHEMA = "anoncoord-bench-v1"
+REQUIRED = {
+    "schema": str,
+    "name": str,
+    "obs_enabled": bool,
+    "config": dict,
+    "repetitions": int,
+    "results": list,
+    "metrics": dict,
+}
+
+
+def check_result(entry: object, where: str) -> list[str]:
+    errors = []
+    if not isinstance(entry, dict):
+        return [f"{where}: result entry is not an object"]
+    for key in ("name", "unit", "count", "min", "max", "mean", "median",
+                "p99"):
+        if key not in entry:
+            errors.append(f"{where}: result missing key {key!r}")
+    if errors:
+        return errors
+    name = entry["name"]
+    if not isinstance(entry["count"], int) or entry["count"] < 1:
+        errors.append(f"{where}: result {name!r} has count {entry['count']}")
+    for key in ("min", "max", "mean", "median", "p99"):
+        if not isinstance(entry[key], (int, float)):
+            errors.append(f"{where}: result {name!r} {key} is not numeric")
+    if errors:
+        return errors
+    lo, hi = entry["min"], entry["max"]
+    for key in ("mean", "median", "p99"):
+        if not lo <= entry[key] <= hi:
+            errors.append(f"{where}: result {name!r} {key}={entry[key]} "
+                          f"outside [{lo}, {hi}]")
+    return errors
+
+
+def check_report(path: Path) -> list[str]:
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path}: unreadable ({exc})"]
+    if not isinstance(doc, dict):
+        return [f"{path}: top level is not an object"]
+    errors = []
+    for key, kind in REQUIRED.items():
+        if key not in doc:
+            errors.append(f"{path}: missing key {key!r}")
+        elif not isinstance(doc[key], kind):
+            errors.append(f"{path}: {key!r} is not a {kind.__name__}")
+    if errors:
+        return errors
+    if doc["schema"] != SCHEMA:
+        errors.append(f"{path}: schema {doc['schema']!r} != {SCHEMA!r}")
+    if doc["repetitions"] < 1:
+        errors.append(f"{path}: repetitions {doc['repetitions']} < 1")
+    for entry in doc["results"]:
+        errors.extend(check_result(entry, str(path)))
+    for section in ("counters", "histograms"):
+        if not isinstance(doc["metrics"].get(section), dict):
+            errors.append(f"{path}: metrics.{section} missing or not an "
+                          "object")
+    for name, value in doc["metrics"].get("counters", {}).items():
+        if not isinstance(value, int) or value < 0:
+            errors.append(f"{path}: counter {name!r} = {value!r} is not a "
+                          "non-negative integer")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    files = [Path(a) for a in argv]
+    if not files:
+        print("usage: check_bench_json.py BENCH_*.json", file=sys.stderr)
+        return 1
+    errors = []
+    for f in files:
+        errors.extend(check_report(f))
+    for e in errors:
+        print(e, file=sys.stderr)
+    print(f"validated {len(files)} report(s): "
+          f"{'OK' if not errors else f'{len(errors)} error(s)'}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

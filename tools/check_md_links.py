@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the docs tree (stdlib only).
+
+Checks every local link and image reference in the given markdown files:
+
+  * relative file links must resolve to an existing file or directory
+    (anchors are stripped; `#fragment`-only links are accepted);
+  * reference-style definitions are resolved before checking;
+  * http(s) links are NOT fetched — CI must stay hermetic — but their
+    syntax is validated.
+
+Usage: tools/check_md_links.py README.md docs/*.md
+Exit status 0 when every link resolves, 1 otherwise.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+INLINE_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+REFERENCE_DEF = re.compile(r"^\s*\[([^\]]+)\]:\s*(\S+)", re.MULTILINE)
+REFERENCE_USE = re.compile(r"\[[^\]]+\]\[([^\]]+)\]")
+FENCE = re.compile(r"^(```|~~~)")
+
+
+def strip_code_blocks(text: str) -> str:
+    """Drop fenced code blocks so example links aren't checked."""
+    out, fenced = [], False
+    for line in text.splitlines():
+        if FENCE.match(line.strip()):
+            fenced = not fenced
+            continue
+        if not fenced:
+            out.append(line)
+    return "\n".join(out)
+
+
+def targets_in(text: str):
+    defs = {k.lower(): v for k, v in REFERENCE_DEF.findall(text)}
+    for match in INLINE_LINK.finditer(text):
+        yield match.group(1)
+    for match in REFERENCE_USE.finditer(text):
+        key = match.group(1).lower()
+        if key in defs:
+            yield defs[key]
+        else:
+            yield f"!undefined-reference:{key}"
+    yield from defs.values()
+
+
+def check_file(md: Path) -> list[str]:
+    errors = []
+    text = strip_code_blocks(md.read_text(encoding="utf-8"))
+    for target in targets_in(text):
+        if target.startswith("!undefined-reference:"):
+            errors.append(f"{md}: undefined link reference "
+                          f"[{target.split(':', 1)[1]}]")
+            continue
+        if target.startswith(("http://", "https://")):
+            if " " in target:
+                errors.append(f"{md}: malformed URL {target!r}")
+            continue
+        if target.startswith(("mailto:", "#")):
+            continue
+        path = target.split("#", 1)[0]
+        if not path:
+            continue
+        resolved = (md.parent / path).resolve()
+        if not resolved.exists():
+            errors.append(f"{md}: broken link -> {target}")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    files = [Path(a) for a in argv] or sorted(Path("docs").glob("*.md"))
+    missing = [f for f in files if not f.is_file()]
+    if missing:
+        for f in missing:
+            print(f"no such file: {f}", file=sys.stderr)
+        return 1
+    errors = []
+    for f in files:
+        errors.extend(check_file(f))
+    for e in errors:
+        print(e, file=sys.stderr)
+    print(f"checked {len(files)} file(s): "
+          f"{'OK' if not errors else f'{len(errors)} broken link(s)'}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
