@@ -27,6 +27,7 @@
 
 #include <cstdint>
 #include <ostream>
+#include <tuple>
 #include <vector>
 
 #include "mem/payloads.hpp"
@@ -189,6 +190,14 @@ class anon_mutex {
     // model checker must identify states that behave identically.
     return a.id_ == b.id_ && a.m_ == b.m_ && a.phase_ == b.phase_ &&
            a.j_ == b.j_ && a.view_ == b.view_;
+  }
+
+  /// Strict total order over the same fields == compares — the tie-breaker
+  /// symmetry reduction uses to pick orbit representatives
+  /// (modelcheck/symmetry.hpp).
+  friend bool canonical_less(const anon_mutex& a, const anon_mutex& b) {
+    return std::tie(a.id_, a.m_, a.phase_, a.j_, a.view_) <
+           std::tie(b.id_, b.m_, b.phase_, b.j_, b.view_);
   }
 
   std::size_t hash() const {

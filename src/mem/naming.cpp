@@ -1,5 +1,7 @@
 #include "mem/naming.hpp"
 
+#include "util/math.hpp"
+
 namespace anoncoord {
 
 std::string to_string(naming_kind kind) {
@@ -59,6 +61,69 @@ const permutation& naming_assignment::of(int process) const {
   ANONCOORD_REQUIRE(process >= 0 && process < processes(),
                     "process index out of range");
   return perms_[static_cast<std::size_t>(process)];
+}
+
+naming_assignment apply_global_permutation(const naming_assignment& naming,
+                                           const permutation& pi) {
+  ANONCOORD_REQUIRE(static_cast<int>(pi.size()) == naming.registers(),
+                    "global permutation built for a different register file");
+  std::vector<permutation> perms;
+  perms.reserve(static_cast<std::size_t>(naming.processes()));
+  for (int p = 0; p < naming.processes(); ++p)
+    perms.push_back(compose_permutations(pi, naming.of(p)));
+  return naming_assignment(std::move(perms));
+}
+
+naming_assignment canonical_naming(const naming_assignment& naming) {
+  return apply_global_permutation(naming, inverse_permutation(naming.of(0)));
+}
+
+namespace {
+
+// Odometer over `slots` positions, each running over all m! permutations.
+// `fixed_first` pins process 0 to the identity (orbit representatives).
+std::vector<naming_assignment> enumerate_namings(int processes, int registers,
+                                                 bool fixed_first) {
+  ANONCOORD_REQUIRE(processes > 0, "need at least one process");
+  const std::vector<permutation> perms = all_permutations(registers);
+  const int free_slots = fixed_first ? processes - 1 : processes;
+  std::uint64_t count = 1;
+  for (int s = 0; s < free_slots; ++s) {
+    count *= perms.size();
+    ANONCOORD_REQUIRE(count <= 5'000'000,
+                      "naming enumeration too large; shrink m or n");
+  }
+  std::vector<naming_assignment> out;
+  out.reserve(count);
+  std::vector<std::size_t> odo(static_cast<std::size_t>(processes), 0);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::vector<permutation> tuple;
+    tuple.reserve(static_cast<std::size_t>(processes));
+    for (int p = 0; p < processes; ++p) tuple.push_back(perms[odo[p]]);
+    out.emplace_back(std::move(tuple));
+    // Advance the odometer, last process fastest, process 0 pinned when fixed.
+    for (int p = processes - 1; p >= (fixed_first ? 1 : 0); --p) {
+      if (++odo[p] < perms.size()) break;
+      odo[p] = 0;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<naming_assignment> all_naming_assignments(int processes,
+                                                      int registers) {
+  return enumerate_namings(processes, registers, /*fixed_first=*/false);
+}
+
+std::vector<naming_assignment> naming_orbit_representatives(int processes,
+                                                            int registers) {
+  return enumerate_namings(processes, registers, /*fixed_first=*/true);
+}
+
+std::uint64_t naming_orbit_size(int registers) {
+  return factorial(registers);
 }
 
 }  // namespace anoncoord

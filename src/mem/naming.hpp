@@ -54,6 +54,36 @@ class naming_assignment {
   std::vector<permutation> perms_;
 };
 
+/// Relabel the physical registers by `pi`: process p's logical index j now
+/// denotes physical pi(perm_p(j)). Registers are anonymous, so the relabelled
+/// assignment induces an isomorphic execution graph — same verdicts, same
+/// state and edge counts (the orbit-equivalence test proves this per config).
+naming_assignment apply_global_permutation(const naming_assignment& naming,
+                                           const permutation& pi);
+
+/// The canonical representative of `naming`'s orbit under the m!-fold global
+/// register-permutation action: relabel by inverse(perm_0) so process 0's
+/// numbering becomes the identity. Two assignments are in the same orbit iff
+/// their canonical forms are equal (the action is free: pi is recovered from
+/// any one process's numbering, so each orbit has exactly m! members).
+naming_assignment canonical_naming(const naming_assignment& naming);
+
+/// Every naming assignment for (processes, registers): (m!)^n tuples in
+/// odometer order (process 0 slowest), each slot in all_permutations order.
+/// Exhaustive sweeps only — the count is REQUIREd to stay small.
+std::vector<naming_assignment> all_naming_assignments(int processes,
+                                                      int registers);
+
+/// One representative per orbit of the global-permutation action: the
+/// (m!)^(n-1) assignments whose process-0 numbering is the identity, in the
+/// same odometer order over the remaining processes. Sweeping these covers
+/// every naming up to register relabelling at 1/m! of the configs.
+std::vector<naming_assignment> naming_orbit_representatives(int processes,
+                                                            int registers);
+
+/// Orbit size of the free global-permutation action: m!.
+std::uint64_t naming_orbit_size(int registers);
+
 /// Applies one process's numbering over any register file.
 /// Mem must provide read(int)/write(int, V)/size().
 template <class Mem>

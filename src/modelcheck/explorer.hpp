@@ -15,25 +15,46 @@
 //     UNreachable is a genuine liveness violation — every continuation of
 //     that run avoids the goal forever — which is exactly the shape of the
 //     even-m and lock-step counterexamples behind Theorems 3.1 and 3.4.
+//
+// Storage is packed and interned (modelcheck/state_pool.hpp): register
+// values and machine local states are hash-consed into component pools, and
+// a seen state is one row of (m + n) 32-bit pool ids. Seen-table equality is
+// a memcmp over that row, hashing is util/hash.hpp's hash_words, and a
+// successor reuses its parent's row with at most two patched words (the
+// stepped machine, the written register) — no full-state copies anywhere on
+// the hot path. The reported result is bit-identical to the original
+// full-copy explorer.
+//
+// With options.symmetry the seen-table keys are orbit representatives under
+// the configuration's automorphism group (modelcheck/symmetry.hpp):
+// successors are canonicalized before dedup, which shrinks the stored state
+// count by up to |G| <= n! while preserving reachability and every
+// G-invariant verdict. Counterexample schedules are stored against quotient
+// states, so they are mapped back to concrete schedules by folding the
+// per-state group elements (sigma-inverse chain) and re-validated by replay.
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
-#include <deque>
+#include <cstring>
 #include <functional>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "mem/naming.hpp"
+#include "modelcheck/state_pool.hpp"
+#include "modelcheck/symmetry.hpp"
 #include "runtime/step_machine.hpp"
 #include "util/check.hpp"
+#include "util/flat_index.hpp"
 #include "util/hash.hpp"
 
 namespace anoncoord {
 
 /// Memory adapter exposing a plain vector as a register file (the model
-/// checker owns register contents inside each global state).
+/// checker owns register contents inside each global state). Indexing is
+/// unchecked: the explorers validate the naming permutation once at
+/// construction, so every physical index handed in here is already in range.
 template <class V>
 class vector_memory {
  public:
@@ -43,14 +64,41 @@ class vector_memory {
 
   int size() const { return static_cast<int>(regs_->size()); }
   V read(int physical) const {
-    return regs_->at(static_cast<std::size_t>(physical));
+    return (*regs_)[static_cast<std::size_t>(physical)];
   }
   void write(int physical, V v) {
-    regs_->at(static_cast<std::size_t>(physical)) = std::move(v);
+    (*regs_)[static_cast<std::size_t>(physical)] = std::move(v);
   }
 
  private:
   std::vector<V>* regs_;
+};
+
+/// Register view over a plain vector that *references* the permutation —
+/// naming_view copies and revalidates it per construction, which would be
+/// per successor here. Validation happens once in the engine constructors.
+template <class V>
+class permuted_vector_memory {
+ public:
+  using value_type = V;
+
+  permuted_vector_memory(std::vector<V>& regs, const permutation& perm)
+      : regs_(&regs), perm_(&perm) {}
+
+  int size() const { return static_cast<int>(perm_->size()); }
+  V read(int logical) const {
+    return (*regs_)[static_cast<std::size_t>(physical(logical))];
+  }
+  void write(int logical, V v) {
+    (*regs_)[static_cast<std::size_t>(physical(logical))] = std::move(v);
+  }
+  int physical(int logical) const {
+    return (*perm_)[static_cast<std::size_t>(logical)];
+  }
+
+ private:
+  std::vector<V>* regs_;
+  const permutation* perm_;
 };
 
 template <class Machine>
@@ -75,10 +123,18 @@ class explorer {
  public:
   using state_type = global_state<Machine>;
   using state_predicate = std::function<bool(const state_type&)>;
+  using value_type = typename Machine::value_type;
 
   struct options {
     /// Exploration cap; result.complete reports whether it was reached.
     std::uint64_t max_states = 2'000'000;
+    /// Dedup states by their orbit representative under the configuration's
+    /// automorphism group (modelcheck/symmetry.hpp). Sound only when every
+    /// predicate passed to explore()/check_progress() is invariant under
+    /// process permutation + consistent id renaming; machine types without
+    /// the process_symmetric_machine trait get the trivial group, making
+    /// this a no-op rather than a wrong answer.
+    bool symmetry = false;
   };
 
   struct result {
@@ -88,7 +144,9 @@ class explorer {
     std::uint64_t dedup_hits = 0;  ///< successors that were already known
 
     /// First reachable state violating the safety predicate, if any,
-    /// together with the schedule (process indices) leading to it.
+    /// together with the schedule (process indices) leading to it. Under
+    /// symmetry both are concrete: the schedule is the quotient path mapped
+    /// through the group elements and the state is its replay.
     std::optional<state_type> bad_state;
     std::vector<int> bad_schedule;
 
@@ -111,6 +169,15 @@ class explorer {
         "naming assignment and machine count disagree");
     ANONCOORD_REQUIRE(naming_.registers() == registers,
                       "naming assignment built for a different register file");
+    // naming_view validates per construction; we validate once here instead
+    // and use unchecked permuted access on the hot path.
+    for (int p = 0; p < naming_.processes(); ++p)
+      ANONCOORD_REQUIRE(is_permutation_of_iota(naming_.of(p)),
+                        "naming must be a permutation of register indices");
+    group_ = opt_.symmetry
+                 ? symmetry_group<Machine>::compute(naming_, initial_machines_)
+                 : symmetry_group<Machine>::trivial(naming_.processes(),
+                                                    registers_);
   }
 
   /// Explore the reachable state space, checking `is_bad` (safety violation)
@@ -118,45 +185,87 @@ class explorer {
   result explore(const state_predicate& is_bad = {}) {
     reset();
     result res;
+    const std::size_t m = static_cast<std::size_t>(registers_);
+    const std::size_t n = initial_machines_.size();
+    const bool reduce = !group_.is_trivial();
 
-    state_type init;
-    init.regs.assign(static_cast<std::size_t>(registers_),
-                     typename state_type::value_type{});
-    init.procs = initial_machines_;
-    intern(init, /*parent=*/-1, /*via=*/-1);
-    if (is_bad && is_bad(init)) {
-      res.bad_state = init;
+    scratch_.regs.assign(m, value_type{});
+    scratch_.procs = initial_machines_;
+    {
+      canon_.regs = scratch_.regs;
+      canon_.procs = scratch_.procs;
+      const int elem = group_.canonicalize(canon_.regs, canon_.procs, cs_);
+      build_words(canon_);
+      intern_words(/*parent=*/-1, /*via=*/-1, elem);
+    }
+    if (is_bad && is_bad(canon_)) {
+      res.bad_state = concrete_state(0);
+      res.bad_schedule = concrete_schedule(0);
       finish(res);
       return res;
     }
 
     std::uint64_t frontier = 0;
-    while (frontier < states_.size()) {
-      if (states_.size() >= opt_.max_states) {
+    while (frontier < num_states()) {
+      if (num_states() >= opt_.max_states) {
         finish(res);
         return res;  // incomplete
       }
       const auto s = static_cast<std::int64_t>(frontier++);
-      const int nprocs = static_cast<int>(states_[static_cast<std::size_t>(s)].procs.size());
-      for (int p = 0; p < nprocs; ++p) {
-        // Copy-then-step; machines are value types.
-        state_type next = states_[static_cast<std::size_t>(s)];
-        Machine& machine = next.procs[static_cast<std::size_t>(p)];
-        if (machine.peek().kind == op_kind::none) continue;
-        vector_memory<typename state_type::value_type> raw(next.regs);
-        naming_view<vector_memory<typename state_type::value_type>> view(
-            raw, naming_.of(p));
+      load_state(static_cast<std::uint64_t>(s), scratch_);
+      if (saved_.size() != n) saved_ = scratch_.procs;
+      for (int p = 0; p < static_cast<int>(n); ++p) {
+        Machine& machine = scratch_.procs[static_cast<std::size_t>(p)];
+        const op_desc op = machine.peek();
+        if (op.kind == op_kind::none) continue;
+        const permutation& perm = naming_.of(p);
+        // Undo log: the machine that moves, and the register a write hits.
+        saved_[static_cast<std::size_t>(p)] = machine;
+        int written = -1;
+        value_type old_value{};
+        if (op.kind == op_kind::write) {
+          written = perm[static_cast<std::size_t>(op.index)];
+          old_value = scratch_.regs[static_cast<std::size_t>(written)];
+        }
+        permuted_vector_memory<value_type> view(scratch_.regs, perm);
         machine.step(view);
-        const auto [idx, fresh] = intern(std::move(next), s, p);
+
+        std::int64_t idx;
+        bool fresh;
+        int elem = 0;
+        if (reduce) {
+          canon_.regs = scratch_.regs;
+          canon_.procs = scratch_.procs;
+          elem = group_.canonicalize(canon_.regs, canon_.procs, cs_);
+          build_words(canon_);
+          std::tie(idx, fresh) = intern_words(s, p, elem);
+        } else {
+          // Relative encoding: the successor's row is the parent's row with
+          // the stepped machine and (at most) the written register patched.
+          wbuf_.assign(words_.begin() + s * static_cast<std::int64_t>(stride()),
+                       words_.begin() +
+                           (s + 1) * static_cast<std::int64_t>(stride()));
+          wbuf_[m + static_cast<std::size_t>(p)] =
+              pool_.intern_machine(machine);
+          if (written >= 0)
+            wbuf_[static_cast<std::size_t>(written)] = pool_.intern_value(
+                scratch_.regs[static_cast<std::size_t>(written)]);
+          std::tie(idx, fresh) = intern_words(s, p, 0);
+        }
         if (!fresh) ++res.dedup_hits;
         edges_.emplace_back(static_cast<std::uint32_t>(s),
                             static_cast<std::uint32_t>(idx));
-        if (fresh && is_bad && is_bad(states_[static_cast<std::size_t>(idx)])) {
-          res.bad_state = states_[static_cast<std::size_t>(idx)];
-          res.bad_schedule = schedule_to(idx);
+        if (fresh && is_bad && is_bad(reduce ? canon_ : scratch_)) {
+          res.bad_state = concrete_state(idx);
+          res.bad_schedule = concrete_schedule(idx);
           finish(res);
           return res;
         }
+        // Undo: restore the moved machine and the overwritten register.
+        machine = saved_[static_cast<std::size_t>(p)];
+        if (written >= 0)
+          scratch_.regs[static_cast<std::size_t>(written)] =
+              std::move(old_value);
       }
     }
     res.complete = true;
@@ -166,28 +275,38 @@ class explorer {
 
   /// After a *complete* explore(): verify that from every reachable state
   /// satisfying `premise`, some state satisfying `goal` is reachable.
-  /// Populates the progress fields of `res`.
+  /// Populates the progress fields of `res`. Under symmetry the analysis
+  /// runs on the quotient graph — sound for G-invariant predicates.
   void check_progress(result& res, const state_predicate& premise,
                       const state_predicate& goal) const {
     ANONCOORD_REQUIRE(res.complete,
                       "progress analysis needs a complete state space");
-    const auto n = states_.size();
-    // Backward reachability from goal states over the recorded edges.
+    const std::size_t n = num_states();
     std::vector<char> reaches_goal(n, 0);
-    std::vector<std::vector<std::uint32_t>> reverse(n);
-    for (const auto& [from, to] : edges_)
-      reverse[to].push_back(from);
-    std::deque<std::uint32_t> queue;
+    // Reverse adjacency in CSR form — two passes over the edge records
+    // instead of one heap-allocated bucket per state.
+    std::vector<std::uint32_t> offsets(n + 1, 0);
+    for (const auto& [from, to] : edges_) ++offsets[to + 1];
+    for (std::size_t i = 0; i < n; ++i) offsets[i + 1] += offsets[i];
+    std::vector<std::uint32_t> sources(edges_.size());
+    {
+      std::vector<std::uint32_t> cursor(offsets.begin(), offsets.end() - 1);
+      for (const auto& [from, to] : edges_) sources[cursor[to]++] = from;
+    }
+    std::vector<std::uint32_t> queue;
+    queue.reserve(n);
+    state_type scratch;
     for (std::size_t i = 0; i < n; ++i) {
-      if (goal(states_[i])) {
+      load_state(static_cast<std::uint64_t>(i), scratch);
+      if (goal(scratch)) {
         reaches_goal[i] = 1;
         queue.push_back(static_cast<std::uint32_t>(i));
       }
     }
-    while (!queue.empty()) {
-      const auto v = queue.front();
-      queue.pop_front();
-      for (auto u : reverse[v]) {
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const auto v = queue[head];
+      for (std::uint32_t k = offsets[v]; k < offsets[v + 1]; ++k) {
+        const auto u = sources[k];
         if (!reaches_goal[u]) {
           reaches_goal[u] = 1;
           queue.push_back(u);
@@ -195,63 +314,137 @@ class explorer {
       }
     }
     for (std::size_t i = 0; i < n; ++i) {
-      if (premise(states_[i]) && !reaches_goal[i]) {
+      if (reaches_goal[i]) continue;
+      load_state(static_cast<std::uint64_t>(i), scratch);
+      if (premise(scratch)) {
         ++res.stuck_states;
         if (!res.stuck_state) {
-          res.stuck_state = states_[i];
-          res.stuck_schedule = schedule_to(static_cast<std::int64_t>(i));
+          res.stuck_state = concrete_state(static_cast<std::int64_t>(i));
+          res.stuck_schedule = concrete_schedule(static_cast<std::int64_t>(i));
         }
       }
     }
   }
 
-  const std::vector<state_type>& states() const { return states_; }
+  std::uint64_t num_states() const { return parent_.size(); }
+
+  /// Stored state `idx` (the orbit representative under symmetry).
+  state_type state(std::uint64_t idx) const {
+    state_type s;
+    load_state(idx, s);
+    return s;
+  }
+
+  /// Interned-component statistics (the compact-store win the bench reports).
+  const state_pool<Machine>& pool() const { return pool_; }
 
  private:
-  struct state_hasher {
-    std::size_t operator()(const state_type* s) const { return s->hash(); }
-  };
-  struct state_equal {
-    bool operator()(const state_type* a, const state_type* b) const {
-      return *a == *b;
-    }
-  };
+  std::size_t stride() const {
+    return static_cast<std::size_t>(registers_) + initial_machines_.size();
+  }
 
   void reset() {
-    states_.clear();
+    pool_.clear();
+    words_.clear();
     index_.clear();
     parent_.clear();
     via_.clear();
+    elem_.clear();
     edges_.clear();
   }
 
-  // Deduplicate a state; returns (index, inserted-fresh).
-  std::pair<std::int64_t, bool> intern(state_type s, std::int64_t parent,
-                                       int via) {
-    // Look up without inserting: keys point into states_, so we must only
-    // insert the pointer after the state has its final address.
-    auto it = index_.find(&s);
-    if (it != index_.end()) return {it->second, false};
-    states_.push_back(std::move(s));
-    const auto idx = static_cast<std::int64_t>(states_.size() - 1);
-    index_.emplace(&states_.back(), idx);
-    parent_.push_back(parent);
-    via_.push_back(via);
-    return {idx, true};
+  /// Pack `s` into wbuf_: m register-value ids then n machine ids.
+  void build_words(const state_type& s) {
+    wbuf_.clear();
+    for (const auto& r : s.regs) wbuf_.push_back(pool_.intern_value(r));
+    for (const auto& p : s.procs) wbuf_.push_back(pool_.intern_machine(p));
   }
 
-  std::vector<int> schedule_to(std::int64_t idx) const {
-    std::vector<int> sched;
-    for (std::int64_t s = idx; s >= 0 && parent_[static_cast<std::size_t>(s)] >= 0;
-         s = parent_[static_cast<std::size_t>(s)]) {
-      sched.push_back(via_[static_cast<std::size_t>(s)]);
+  /// Dedup-insert wbuf_; returns (index, inserted-fresh).
+  std::pair<std::int64_t, bool> intern_words(std::int64_t parent, int via,
+                                             int elem) {
+    const std::size_t h = hash_words(wbuf_.data(), stride());
+    const std::uint32_t found = index_.find(h, [&](std::uint32_t i) {
+      return std::memcmp(words_.data() + std::size_t{i} * stride(),
+                         wbuf_.data(), stride() * sizeof(std::uint32_t)) == 0;
+    });
+    if (found != flat_index::npos) return {found, false};
+    const std::uint64_t idx = num_states();
+    ANONCOORD_REQUIRE(idx < flat_index::npos, "state index space exhausted");
+    words_.insert(words_.end(), wbuf_.begin(), wbuf_.end());
+    index_.insert(h, static_cast<std::uint32_t>(idx));
+    parent_.push_back(parent);
+    via_.push_back(via);
+    elem_.push_back(elem);
+    return {static_cast<std::int64_t>(idx), true};
+  }
+
+  /// Decode stored state `idx` into `out`, reusing its capacity.
+  void load_state(std::uint64_t idx, state_type& out) const {
+    const std::size_t m = static_cast<std::size_t>(registers_);
+    const std::size_t n = initial_machines_.size();
+    const std::uint32_t* w = words_.data() + idx * stride();
+    if (out.regs.size() == m && out.procs.size() == n) {
+      for (std::size_t r = 0; r < m; ++r) out.regs[r] = pool_.value(w[r]);
+      for (std::size_t p = 0; p < n; ++p)
+        out.procs[p] = pool_.machine(w[m + p]);
+    } else {
+      out.regs.clear();
+      out.procs.clear();
+      for (std::size_t r = 0; r < m; ++r) out.regs.push_back(pool_.value(w[r]));
+      for (std::size_t p = 0; p < n; ++p)
+        out.procs.push_back(pool_.machine(w[m + p]));
     }
-    std::reverse(sched.begin(), sched.end());
+  }
+
+  /// The concrete schedule reaching stored state `idx`. Without symmetry
+  /// this is the recorded via chain. With symmetry state i+1's recorded via
+  /// acts in the frame already twisted by every canonicalization so far:
+  /// with h_i the composition g_i o ... o g_root of the per-state elements,
+  /// the concrete process is sigma_{h_i}^-1(via_{i+1}), and the inverse
+  /// folds as sigma_{h_{i+1}}^-1 = sigma_{h_i}^-1 o sigma_{g_{i+1}}^-1.
+  std::vector<int> concrete_schedule(std::int64_t idx) const {
+    std::vector<std::int64_t> path;
+    for (std::int64_t i = idx; i >= 0; i = parent_[static_cast<std::size_t>(i)])
+      path.push_back(i);
+    std::reverse(path.begin(), path.end());
+    std::vector<int> sched;
+    sched.reserve(path.size() - 1);
+    if (group_.is_trivial()) {
+      for (std::size_t k = 1; k < path.size(); ++k)
+        sched.push_back(via_[static_cast<std::size_t>(path[k])]);
+      return sched;
+    }
+    std::vector<int> sinv =
+        group_.at(elem_[static_cast<std::size_t>(path[0])]).sigma_inv;
+    std::vector<int> next(sinv.size());
+    for (std::size_t k = 1; k < path.size(); ++k) {
+      const auto st = static_cast<std::size_t>(path[k]);
+      sched.push_back(sinv[static_cast<std::size_t>(via_[st])]);
+      const std::vector<int>& g_sinv = group_.at(elem_[st]).sigma_inv;
+      for (std::size_t x = 0; x < sinv.size(); ++x)
+        next[x] = sinv[static_cast<std::size_t>(g_sinv[x])];
+      sinv.swap(next);
+    }
     return sched;
   }
 
+  /// The concrete state reaching stored state `idx`: the stored row itself
+  /// without symmetry, the replay of the concrete schedule with it.
+  state_type concrete_state(std::int64_t idx) const {
+    if (group_.is_trivial()) return state(static_cast<std::uint64_t>(idx));
+    state_type s;
+    s.regs.assign(static_cast<std::size_t>(registers_), value_type{});
+    s.procs = initial_machines_;
+    for (const int p : concrete_schedule(idx)) {
+      permuted_vector_memory<value_type> view(s.regs, naming_.of(p));
+      s.procs[static_cast<std::size_t>(p)].step(view);
+    }
+    return s;
+  }
+
   void finish(result& res) const {
-    res.num_states = states_.size();
+    res.num_states = num_states();
     res.num_edges = edges_.size();
   }
 
@@ -259,14 +452,21 @@ class explorer {
   naming_assignment naming_;
   std::vector<Machine> initial_machines_;
   options opt_;
+  symmetry_group<Machine> group_;
 
-  std::deque<state_type> states_;  // deque: stable addresses for index_ keys
-  std::unordered_map<const state_type*, std::int64_t, state_hasher,
-                     state_equal>
-      index_;
+  state_pool<Machine> pool_;
+  std::vector<std::uint32_t> words_;  ///< packed rows, stride() per state
+  flat_index index_;
   std::vector<std::int64_t> parent_;
   std::vector<int> via_;
+  std::vector<int> elem_;  ///< canonicalizing group element per state
   std::vector<std::pair<std::uint32_t, std::uint32_t>> edges_;
+
+  // Hot-path scratch (members so explore() allocates nothing per successor).
+  state_type scratch_, canon_;
+  std::vector<Machine> saved_;
+  std::vector<std::uint32_t> wbuf_;
+  mutable canonical_scratch<Machine> cs_;
 };
 
 }  // namespace anoncoord

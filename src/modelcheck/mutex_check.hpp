@@ -98,13 +98,18 @@ inline std::vector<anon_mutex> mutex_machines(
 }  // namespace detail
 
 /// Model-check Fig. 1 with the given per-process numberings. `ids` supplies
-/// the (distinct, positive) process identifiers.
+/// the (distinct, positive) process identifiers. With `symmetry` the
+/// exploration dedups states to orbit representatives under the
+/// configuration's automorphism group — sound here because both predicates
+/// (CS count, someone-trying) are invariant under process permutation and
+/// id renaming, and anon_mutex models process_symmetric_machine.
 inline mutex_check_result check_anon_mutex(
     int m, const naming_assignment& naming, std::vector<process_id> ids,
-    std::uint64_t max_states = 2'000'000) {
+    std::uint64_t max_states = 2'000'000, bool symmetry = false) {
   using ex = explorer<anon_mutex>;
   typename ex::options opt;
   opt.max_states = max_states;
+  opt.symmetry = symmetry;
   ex e(m, naming, detail::mutex_machines(m, naming, ids), opt);
   return detail::run_mutex_check(e);
 }
@@ -114,11 +119,13 @@ inline mutex_check_result check_anon_mutex(
 /// check_anon_mutex for every worker count.
 inline mutex_check_result check_anon_mutex_parallel(
     int m, const naming_assignment& naming, std::vector<process_id> ids,
-    int workers, std::uint64_t max_states = 2'000'000) {
+    int workers, std::uint64_t max_states = 2'000'000,
+    bool symmetry = false) {
   using ex = parallel_explorer<anon_mutex>;
   typename ex::options opt;
   opt.workers = workers;
   opt.max_states = max_states;
+  opt.symmetry = symmetry;
   ex e(m, naming, detail::mutex_machines(m, naming, ids), opt);
   return detail::run_mutex_check(e);
 }

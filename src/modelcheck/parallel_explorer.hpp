@@ -18,25 +18,30 @@
 //     explorer<Machine> for every worker count; the differential and
 //     determinism tests pin this down.
 //
-// Storage is arena-based, which is what makes the engine fast AND race-free:
+// States are packed and interned (modelcheck/state_pool.hpp): register
+// values and machine local states are hash-consed into thread-safe component
+// pools, and a stored state is one row of (m + n) 32-bit pool ids. The
+// arenas hold those rows instead of full state copies, duplicate compares
+// are memcmp, and a successor's row is its parent's row with at most two
+// patched words. Workers intern components BEFORE taking a stripe lock
+// (shard and stripe mutexes never nest), and id -> component reads are
+// lock-free, so the only synchronization on the hot path is the stripe
+// probe. The merged arena grows only during the single-threaded merge and
+// is strictly read-only while workers expand — same discipline (and the
+// same TSan-cleanliness) as before, now at 4(m + n) bytes per state.
 //
-//   * merged states live flattened in two global arenas (registers, machine
-//     objects) indexed by global id. The arenas grow only during the
-//     single-threaded merge; during expansion they are strictly read-only,
-//     so workers load parents and compare duplicates without synchronizing.
-//   * states discovered mid-level sit in per-stripe pending arenas written
-//     and read only under that stripe's mutex.
-//   * per successor the engine allocates nothing: a worker-local scratch
-//     state is copy-assigned in place (capacity reused), stepped by mutating
-//     one machine and at most one register, hashed, probed, and undone.
-//     Fresh states append to the pending arenas, also amortized.
-//   * the register view references the process's permutation instead of
-//     copying + revalidating it per step (naming is validated once up
-//     front).
+// With options.symmetry successors are canonicalized to their orbit
+// representative under the configuration's automorphism group
+// (modelcheck/symmetry.hpp) before dedup; every determinism property above
+// is preserved because canonicalization is a pure function of the successor
+// and the merge order never depends on stripe assignment. Reported
+// counterexamples are mapped back to concrete schedules exactly as in the
+// sequential engine.
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
+#include <cstring>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -46,42 +51,19 @@
 #include <vector>
 
 #include "mem/naming.hpp"
-#include "modelcheck/explorer.hpp"  // global_state
+#include "modelcheck/explorer.hpp"  // global_state, permuted_vector_memory
+#include "modelcheck/state_pool.hpp"
+#include "modelcheck/symmetry.hpp"
 #include "runtime/step_machine.hpp"
 #include "util/check.hpp"
+#include "util/flat_index.hpp"
+#include "util/hash.hpp"
 #include "util/padded.hpp"
 #include "util/stopwatch.hpp"
 #include "util/striping.hpp"
 #include "util/thread_pool.hpp"
 
 namespace anoncoord {
-
-/// Register view over a plain vector that *references* the permutation —
-/// naming_view copies and revalidates it per construction, which is per
-/// successor here. Validation happens once in the explorer constructor.
-template <class V>
-class permuted_vector_memory {
- public:
-  using value_type = V;
-
-  permuted_vector_memory(std::vector<V>& regs, const permutation& perm)
-      : regs_(&regs), perm_(&perm) {}
-
-  int size() const { return static_cast<int>(perm_->size()); }
-  V read(int logical) const {
-    return (*regs_)[static_cast<std::size_t>(physical(logical))];
-  }
-  void write(int logical, V v) {
-    (*regs_)[static_cast<std::size_t>(physical(logical))] = std::move(v);
-  }
-  int physical(int logical) const {
-    return (*perm_)[static_cast<std::size_t>(logical)];
-  }
-
- private:
-  std::vector<V>* regs_;
-  const permutation* perm_;
-};
 
 template <class Machine>
 class parallel_explorer {
@@ -99,6 +81,8 @@ class parallel_explorer {
     /// Successor edges are only needed for check_progress(); safety-only
     /// runs can skip recording them.
     bool record_edges = true;
+    /// Orbit-representative dedup; same contract as explorer::options.
+    bool symmetry = false;
   };
 
   struct result {
@@ -135,6 +119,10 @@ class parallel_explorer {
     for (int p = 0; p < naming_.processes(); ++p)
       ANONCOORD_REQUIRE(is_permutation_of_iota(naming_.of(p)),
                         "naming must be a permutation of register indices");
+    group_ = opt_.symmetry
+                 ? symmetry_group<Machine>::compute(naming_, initial_machines_)
+                 : symmetry_group<Machine>::trivial(naming_.processes(),
+                                                    registers_);
   }
 
   result explore(const state_predicate& is_bad = {}) {
@@ -143,14 +131,18 @@ class parallel_explorer {
     result res;
     res.workers = opt_.workers;
 
-    state_type init;
-    init.regs.assign(static_cast<std::size_t>(registers_), value_type{});
-    init.procs = initial_machines_;
-    intern_initial(init);
-    if (is_bad && is_bad(init)) {
-      res.bad_state = std::move(init);
-      finish(res, timer);
-      return res;
+    {
+      state_type init;
+      init.regs.assign(static_cast<std::size_t>(registers_), value_type{});
+      init.procs = initial_machines_;
+      canonical_scratch<Machine> cs;
+      const int elem = group_.canonicalize(init.regs, init.procs, cs);
+      intern_initial(init, elem);
+      if (is_bad && is_bad(init)) {
+        res.bad_state = concrete_state(0);
+        finish(res, timer);
+        return res;
+      }
     }
 
     thread_pool pool(opt_.workers);
@@ -249,8 +241,9 @@ class parallel_explorer {
       if (premise(scratch)) {
         ++res.stuck_states;
         if (!res.stuck_state) {
-          res.stuck_state = scratch;
-          res.stuck_schedule = schedule_to(static_cast<std::int64_t>(i));
+          res.stuck_state = concrete_state(static_cast<std::int64_t>(i));
+          res.stuck_schedule =
+              concrete_schedule(static_cast<std::int64_t>(i));
         }
       }
     }
@@ -264,92 +257,28 @@ class parallel_explorer {
     return s;
   }
 
+  /// Interned-component statistics (the compact-store win the bench reports).
+  const state_pool<Machine>& pool() const { return pool_; }
+
  private:
-  /// Seen-table record. While a state waits for the level merge its content
-  /// sits in the owning stripe's pending arenas at index `pending` and
-  /// `global` is -1; the merge moves it into the global arenas.
+  /// Seen-table record. While a state waits for the level merge its packed
+  /// row sits in the owning stripe's pending arena at index `pending` and
+  /// `global` is -1; the merge moves it into the global word arena.
   struct entry {
     std::int64_t global;
     std::int64_t parent;    ///< global index of the discovering state
     std::int32_t via;       ///< process stepped to reach this state
+    std::int32_t elem;      ///< canonicalizing group element (symmetry)
     std::uint32_t pending;  ///< pending-arena index while global < 0
-  };
-
-  /// Open-addressed linear-probe index from state hash to stripe-local
-  /// entry. Cells pack a 32-bit hash fragment with the entry index into 8
-  /// bytes (8 cells per cache line), so a probe usually costs one cache
-  /// line and touches no state memory unless the fragments match; equality
-  /// is always confirmed on the state itself, so fragment collisions only
-  /// cost an extra compare. Roughly halves the exploration hot path
-  /// relative to a node-based unordered_multimap, whose allocation and
-  /// bucket chasing dominated the profile.
-  struct flat_index {
-    static constexpr std::uint32_t npos = 0xffffffffu;
-
-    /// cell = fragment << 32 | (local + 1); 0 means empty.
-    std::vector<std::uint64_t> cells;
-    std::size_t mask = 0;
-    std::size_t used = 0;
-
-    flat_index() { grow(64); }
-
-    static std::uint32_t fragment(std::size_t h) {
-      return static_cast<std::uint32_t>(mix64(h) >> 32);
-    }
-    /// Probe start as a pure function of the fragment, so grow() can
-    /// re-place cells without the original hash.
-    std::size_t start(std::uint32_t frag) const {
-      return static_cast<std::size_t>(
-                 (frag * std::uint64_t{0x9e3779b97f4a7c15}) >> 32) &
-             mask;
-    }
-
-    /// Find the entry for hash `h` that satisfies `eq`, or npos.
-    template <class Eq>
-    std::uint32_t find(std::size_t h, const Eq& eq) const {
-      const std::uint32_t frag = fragment(h);
-      for (std::size_t i = start(frag);; i = (i + 1) & mask) {
-        const std::uint64_t cell = cells[i];
-        if (cell == 0) return npos;
-        if (static_cast<std::uint32_t>(cell >> 32) == frag) {
-          const auto local = static_cast<std::uint32_t>(cell) - 1;
-          if (eq(local)) return local;
-        }
-      }
-    }
-
-    void insert(std::size_t h, std::uint32_t local) {
-      if ((used + 1) * 10 >= cells.size() * 7) grow(cells.size() * 2);
-      place(fragment(h), local);
-      ++used;
-    }
-
-   private:
-    void grow(std::size_t capacity) {  // capacity: power of two
-      std::vector<std::uint64_t> old = std::move(cells);
-      cells.assign(capacity, 0);
-      mask = capacity - 1;
-      for (const std::uint64_t cell : old)
-        if (cell != 0)
-          place(static_cast<std::uint32_t>(cell >> 32),
-                static_cast<std::uint32_t>(cell) - 1);
-    }
-
-    void place(std::uint32_t frag, std::uint32_t local) {
-      std::size_t i = start(frag);
-      while (cells[i] != 0) i = (i + 1) & mask;
-      cells[i] = (std::uint64_t{frag} << 32) | (local + 1);
-    }
   };
 
   struct stripe {
     std::mutex mu;
     flat_index index;
     std::vector<entry> entries;
-    /// Mid-level staging for fresh states, flattened like the global arenas.
-    /// Written and read only under `mu`; cleared (capacity kept) per level.
-    std::vector<value_type> pending_regs;
-    std::vector<Machine> pending_procs;
+    /// Mid-level staging for fresh packed rows. Written and read only under
+    /// `mu`; cleared (capacity kept) per level.
+    std::vector<std::uint32_t> pending_words;
     std::vector<std::uint32_t> fresh;  ///< entries discovered this level
   };
 
@@ -363,6 +292,9 @@ class parallel_explorer {
     std::vector<edge_rec> edges;
     std::uint64_t dedup_hits = 0;
     state_type scratch;  ///< reused across expansions: no per-parent allocs
+    state_type canon;    ///< canonical successor buffer (symmetry)
+    canonical_scratch<Machine> cs;
+    std::vector<std::uint32_t> wbuf;  ///< packed successor row
     /// Per-process undo slots for the machine mutated by step(); persistent
     /// so the save/restore round-trip copy-assigns instead of allocating.
     std::vector<Machine> saved;
@@ -371,6 +303,10 @@ class parallel_explorer {
     /// a second pass over the merged level.
     std::vector<std::pair<std::uint32_t, std::uint32_t>> bad;
   };
+
+  std::size_t stride() const {
+    return static_cast<std::size_t>(registers_) + initial_machines_.size();
+  }
 
   std::size_t num_merged() const { return parents_.size(); }
 
@@ -386,64 +322,61 @@ class parallel_explorer {
     stripes_.clear();
     for (int s = 0; s < nstripes_; ++s)
       stripes_.push_back(std::make_unique<stripe>());
-    arena_regs_.clear();
-    arena_procs_.clear();
+    pool_.clear();
+    arena_words_.clear();
     parents_.clear();
     vias_.clear();
+    elems_.clear();
     workers_.clear();
   }
 
-  /// Copy merged state `global` from the arenas into `out`, reusing its
-  /// capacity. The arenas only mutate during the single-threaded merge, so
-  /// concurrent loads during expansion need no synchronization.
+  /// Decode merged state `global` from the word arena into `out`, reusing
+  /// its capacity. The arena only mutates during the single-threaded merge,
+  /// and pool reads are lock-free, so concurrent loads during expansion need
+  /// no synchronization.
   void load_state(std::uint64_t global, state_type& out) const {
     const std::size_t m = static_cast<std::size_t>(registers_);
     const std::size_t n = initial_machines_.size();
-    const auto rfirst = arena_regs_.begin() +
-                        static_cast<std::ptrdiff_t>(global * m);
-    const auto pfirst = arena_procs_.begin() +
-                        static_cast<std::ptrdiff_t>(global * n);
-    out.regs.assign(rfirst, rfirst + static_cast<std::ptrdiff_t>(m));
-    out.procs.assign(pfirst, pfirst + static_cast<std::ptrdiff_t>(n));
+    const std::uint32_t* w = arena_words_.data() + global * stride();
+    if (out.regs.size() == m && out.procs.size() == n) {
+      for (std::size_t r = 0; r < m; ++r) out.regs[r] = pool_.value(w[r]);
+      for (std::size_t p = 0; p < n; ++p)
+        out.procs[p] = pool_.machine(w[m + p]);
+    } else {
+      out.regs.clear();
+      out.procs.clear();
+      for (std::size_t r = 0; r < m; ++r) out.regs.push_back(pool_.value(w[r]));
+      for (std::size_t p = 0; p < n; ++p)
+        out.procs.push_back(pool_.machine(w[m + p]));
+    }
   }
 
-  bool arena_equals(std::int64_t global, const state_type& s) const {
-    const std::size_t m = static_cast<std::size_t>(registers_);
-    const std::size_t n = initial_machines_.size();
-    const auto g = static_cast<std::size_t>(global);
-    return std::equal(s.regs.begin(), s.regs.end(),
-                      arena_regs_.begin() + static_cast<std::ptrdiff_t>(g * m)) &&
-           std::equal(s.procs.begin(), s.procs.end(),
-                      arena_procs_.begin() + static_cast<std::ptrdiff_t>(g * n));
+  bool row_equals(const std::uint32_t* row,
+                  const std::vector<std::uint32_t>& wbuf) const {
+    return std::memcmp(row, wbuf.data(),
+                       stride() * sizeof(std::uint32_t)) == 0;
   }
 
-  bool pending_equals(const stripe& st, std::uint32_t pending,
-                      const state_type& s) const {
-    const std::size_t m = static_cast<std::size_t>(registers_);
-    const std::size_t n = initial_machines_.size();
-    return std::equal(s.regs.begin(), s.regs.end(),
-                      st.pending_regs.begin() +
-                          static_cast<std::ptrdiff_t>(pending * m)) &&
-           std::equal(s.procs.begin(), s.procs.end(),
-                      st.pending_procs.begin() +
-                          static_cast<std::ptrdiff_t>(pending * n));
-  }
-
-  void intern_initial(const state_type& init) {
-    const std::size_t h = init.hash();
+  void intern_initial(const state_type& init, int elem) {
+    std::vector<std::uint32_t> wbuf;
+    for (const auto& r : init.regs) wbuf.push_back(pool_.intern_value(r));
+    for (const auto& p : init.procs) wbuf.push_back(pool_.intern_machine(p));
+    const std::size_t h = hash_words(wbuf.data(), stride());
     stripe& st = *stripes_[stripe_of(h, nstripes_)];
-    st.entries.push_back(entry{0, -1, -1, 0});
+    st.entries.push_back(entry{0, -1, -1, elem, 0});
     st.index.insert(h, 0);
-    arena_regs_.insert(arena_regs_.end(), init.regs.begin(), init.regs.end());
-    arena_procs_.insert(arena_procs_.end(), init.procs.begin(),
-                        init.procs.end());
+    arena_words_.insert(arena_words_.end(), wbuf.begin(), wbuf.end());
     parents_.push_back(-1);
     vias_.push_back(-1);
+    elems_.push_back(elem);
   }
 
   /// Expand one state: step-in-place each enabled process on a scratch copy,
-  /// probe the striped table, stage only on a miss, then undo.
+  /// pack (and under symmetry canonicalize) the successor, probe the striped
+  /// table, stage only on a miss, then undo.
   void expand(std::uint64_t g, worker_data& wd, const state_predicate& is_bad) {
+    const std::size_t m = static_cast<std::size_t>(registers_);
+    const bool reduce = !group_.is_trivial();
     state_type& scratch = wd.scratch;
     load_state(g, scratch);
     if (wd.saved.size() != scratch.procs.size()) wd.saved = scratch.procs;
@@ -464,7 +397,30 @@ class parallel_explorer {
       permuted_vector_memory<value_type> view(scratch.regs, perm);
       machine.step(view);
 
-      const std::size_t h = scratch.hash();
+      // Pack the successor row. Component interning happens here, BEFORE
+      // the stripe lock (shard mutexes and stripe mutexes never nest).
+      int elem = 0;
+      if (reduce) {
+        wd.canon.regs = scratch.regs;
+        wd.canon.procs = scratch.procs;
+        elem = group_.canonicalize(wd.canon.regs, wd.canon.procs, wd.cs);
+        wd.wbuf.clear();
+        for (const auto& r : wd.canon.regs)
+          wd.wbuf.push_back(pool_.intern_value(r));
+        for (const auto& q : wd.canon.procs)
+          wd.wbuf.push_back(pool_.intern_machine(q));
+      } else {
+        wd.wbuf.assign(
+            arena_words_.data() + g * stride(),
+            arena_words_.data() + (g + 1) * stride());
+        wd.wbuf[m + static_cast<std::size_t>(p)] =
+            pool_.intern_machine(machine);
+        if (written >= 0)
+          wd.wbuf[static_cast<std::size_t>(written)] = pool_.intern_value(
+              scratch.regs[static_cast<std::size_t>(written)]);
+      }
+
+      const std::size_t h = hash_words(wd.wbuf.data(), stride());
       const unsigned sidx = stripe_of(h, nstripes_);
       stripe& st = *stripes_[sidx];
       bool inserted = false;
@@ -473,50 +429,45 @@ class parallel_explorer {
         std::lock_guard lk(st.mu);
         local = st.index.find(h, [&](std::uint32_t l) {
           const entry& e = st.entries[l];
-          return e.global >= 0 ? arena_equals(e.global, scratch)
-                               : pending_equals(st, e.pending, scratch);
+          const std::uint32_t* row =
+              e.global >= 0
+                  ? arena_words_.data() +
+                        static_cast<std::size_t>(e.global) * stride()
+                  : st.pending_words.data() +
+                        static_cast<std::size_t>(e.pending) * stride();
+          return row_equals(row, wd.wbuf);
         });
         if (local != flat_index::npos) {
           ++wd.dedup_hits;
           entry& known = st.entries[local];
           // A same-level duplicate keeps its lexicographically smallest
           // (parent, via) discoverer — sequential BFS's first discoverer.
+          // The canonicalizing element travels with (parent, via): the
+          // schedule reconstruction needs the element of the recorded
+          // discoverer, not of whichever worker got here first.
           if (known.global < 0 &&
               (static_cast<std::int64_t>(g) < known.parent ||
                (static_cast<std::int64_t>(g) == known.parent &&
                 p < known.via))) {
             known.parent = static_cast<std::int64_t>(g);
             known.via = p;
+            known.elem = elem;
           }
         } else {
           inserted = true;
           local = static_cast<std::uint32_t>(st.entries.size());
           const auto pending = static_cast<std::uint32_t>(st.fresh.size());
-          const std::size_t pbase =
-              static_cast<std::size_t>(pending) * scratch.procs.size();
-          st.pending_regs.insert(st.pending_regs.end(), scratch.regs.begin(),
-                                 scratch.regs.end());
-          // The machine staging area only ever grows (a machine may own
-          // heap state, so destroying slots each level would make every
-          // re-stage allocate); dead slots past this level's fresh count
-          // are simply overwritten next level.
-          if (st.pending_procs.size() < pbase + scratch.procs.size()) {
-            st.pending_procs.insert(st.pending_procs.end(),
-                                    scratch.procs.begin(),
-                                    scratch.procs.end());
-          } else {
-            std::copy(scratch.procs.begin(), scratch.procs.end(),
-                      st.pending_procs.begin() +
-                          static_cast<std::ptrdiff_t>(pbase));
-          }
-          st.entries.push_back(
-              entry{-1, static_cast<std::int64_t>(g), p, pending});
+          st.pending_words.insert(st.pending_words.end(), wd.wbuf.begin(),
+                                  wd.wbuf.end());
+          st.entries.push_back(entry{-1, static_cast<std::int64_t>(g), p,
+                                     elem, pending});
           st.index.insert(h, local);
           st.fresh.push_back(local);
         }
         if (opt_.record_edges) wd.edges.push_back(edge_rec{g, sidx, local});
       }
-      if (inserted && is_bad && is_bad(scratch)) wd.bad.push_back({sidx, local});
+      if (inserted && is_bad && is_bad(reduce ? wd.canon : scratch))
+        wd.bad.push_back({sidx, local});
       // Undo: restore the moved machine and the overwritten register.
       machine = wd.saved[static_cast<std::size_t>(p)];
       if (written >= 0)
@@ -525,7 +476,7 @@ class parallel_explorer {
   }
 
   /// Sort this level's fresh states into sequential discovery order, move
-  /// them from the pending arenas into the global ones, and surface the
+  /// their rows from the pending arenas into the global one, and surface the
   /// first bad state in that order. Returns true iff a violation was found.
   bool merge_level(result& res) {
     struct fresh_ref {
@@ -550,28 +501,21 @@ class parallel_explorer {
                 return a.parent != b.parent ? a.parent < b.parent
                                             : a.via < b.via;
               });
-    const std::size_t m = static_cast<std::size_t>(registers_);
-    const std::size_t n = initial_machines_.size();
     for (const fresh_ref& f : fresh) {
       stripe& st = *stripes_[f.stripe];
       entry& e = st.entries[f.local];
       e.global = static_cast<std::int64_t>(num_merged());
-      const auto rfirst = st.pending_regs.begin() +
-                          static_cast<std::ptrdiff_t>(e.pending * m);
-      const auto pfirst = st.pending_procs.begin() +
-                          static_cast<std::ptrdiff_t>(e.pending * n);
-      arena_regs_.insert(arena_regs_.end(), rfirst,
-                         rfirst + static_cast<std::ptrdiff_t>(m));
-      arena_procs_.insert(arena_procs_.end(), pfirst,
-                          pfirst + static_cast<std::ptrdiff_t>(n));
+      const auto* row = st.pending_words.data() +
+                        static_cast<std::size_t>(e.pending) * stride();
+      arena_words_.insert(arena_words_.end(), row, row + stride());
       parents_.push_back(e.parent);
       vias_.push_back(e.via);
+      elems_.push_back(e.elem);
     }
     for (int s = 0; s < nstripes_; ++s) {
       stripe& st = *stripes_[static_cast<std::size_t>(s)];
       st.fresh.clear();          // clear() keeps capacity: no churn
-      st.pending_regs.clear();
-      // pending_procs is a high-water pool: its slots are reused, not freed.
+      st.pending_words.clear();
     }
     // The safety predicate already ran in expand(); the violation reported
     // is the smallest merged index — the first one sequential BFS meets.
@@ -584,20 +528,50 @@ class parallel_explorer {
       wd.value.bad.clear();
     }
     if (first_bad < 0) return false;
-    res.bad_state = state(static_cast<std::uint64_t>(first_bad));
-    res.bad_schedule = schedule_to(first_bad);
+    res.bad_state = concrete_state(first_bad);
+    res.bad_schedule = concrete_schedule(first_bad);
     return true;
   }
 
-  std::vector<int> schedule_to(std::int64_t idx) const {
+  /// Concrete schedule/state reconstruction — same sigma-inverse folding as
+  /// explorer<Machine>::concrete_schedule (see the derivation there).
+  std::vector<int> concrete_schedule(std::int64_t idx) const {
+    std::vector<std::int64_t> path;
+    for (std::int64_t i = idx; i >= 0;
+         i = parents_[static_cast<std::size_t>(i)])
+      path.push_back(i);
+    std::reverse(path.begin(), path.end());
     std::vector<int> sched;
-    for (std::int64_t g = idx;
-         g >= 0 && parents_[static_cast<std::size_t>(g)] >= 0;
-         g = parents_[static_cast<std::size_t>(g)]) {
-      sched.push_back(vias_[static_cast<std::size_t>(g)]);
+    sched.reserve(path.size() - 1);
+    if (group_.is_trivial()) {
+      for (std::size_t k = 1; k < path.size(); ++k)
+        sched.push_back(vias_[static_cast<std::size_t>(path[k])]);
+      return sched;
     }
-    std::reverse(sched.begin(), sched.end());
+    std::vector<int> sinv =
+        group_.at(elems_[static_cast<std::size_t>(path[0])]).sigma_inv;
+    std::vector<int> next(sinv.size());
+    for (std::size_t k = 1; k < path.size(); ++k) {
+      const auto st = static_cast<std::size_t>(path[k]);
+      sched.push_back(sinv[static_cast<std::size_t>(vias_[st])]);
+      const std::vector<int>& g_sinv = group_.at(elems_[st]).sigma_inv;
+      for (std::size_t x = 0; x < sinv.size(); ++x)
+        next[x] = sinv[static_cast<std::size_t>(g_sinv[x])];
+      sinv.swap(next);
+    }
     return sched;
+  }
+
+  state_type concrete_state(std::int64_t idx) const {
+    if (group_.is_trivial()) return state(static_cast<std::uint64_t>(idx));
+    state_type s;
+    s.regs.assign(static_cast<std::size_t>(registers_), value_type{});
+    s.procs = initial_machines_;
+    for (const int p : concrete_schedule(idx)) {
+      permuted_vector_memory<value_type> view(s.regs, naming_.of(p));
+      s.procs[static_cast<std::size_t>(p)].step(view);
+    }
+    return s;
   }
 
   void finish(result& res, const stopwatch& timer) const {
@@ -613,15 +587,18 @@ class parallel_explorer {
   naming_assignment naming_;
   std::vector<Machine> initial_machines_;
   options opt_;
+  symmetry_group<Machine> group_;
 
   int nstripes_ = 1;
   std::vector<std::unique_ptr<stripe>> stripes_;
-  /// Merged states, flattened: state g occupies arena_regs_[g*m .. g*m+m)
-  /// and arena_procs_[g*n .. g*n+n); parents_/vias_ record the BFS tree.
-  std::vector<value_type> arena_regs_;
-  std::vector<Machine> arena_procs_;
+  state_pool<Machine> pool_;
+  /// Merged states, packed: state g occupies
+  /// arena_words_[g*stride() .. (g+1)*stride()); parents_/vias_/elems_
+  /// record the BFS tree and the per-state canonicalizing element.
+  std::vector<std::uint32_t> arena_words_;
   std::vector<std::int64_t> parents_;
   std::vector<std::int32_t> vias_;
+  std::vector<std::int32_t> elems_;
   std::vector<padded<worker_data>> workers_;
 };
 

@@ -1,0 +1,194 @@
+// Hash-consed component storage for the explicit-state explorers.
+//
+// Exploring millions of global states, the engines used to keep a full
+// (register vector, machine vector) copy per seen state. But the *distinct
+// components* are far fewer than the distinct states: a register holds one of
+// a handful of values (for Fig. 1, the n + 1 process ids), and a machine's
+// local state ranges over thousands while the state space ranges over
+// millions. state_pool interns each component once and hands out a dense
+// 32-bit id; a global state becomes a packed row of (m + n) ids ("words").
+// Interning is injective, so two states are equal iff their word rows are
+// equal — seen-tables compare with memcmp over 4(m + n) bytes and hash with
+// hash_words instead of walking full state content, and the per-state memory
+// footprint drops from sizeof(state) (machines own heap vectors) to
+// 4(m + n) bytes.
+//
+// Thread-safety (the parallel explorer interns from every worker):
+//
+//   * intern() routes by hash to one of kShards shards, each guarded by its
+//     own mutex around a flat_index probe + append;
+//   * id -> component reads (value()/machine()) are LOCK-FREE against
+//     concurrent interning: storage is segmented, segments are fixed-size
+//     arrays published once with a release store and never moved, so a
+//     reader never observes a reallocation. A thread only dereferences ids
+//     it obtained through a happens-before chain (stripe mutex or the
+//     fork-join barrier), which also carries the component's construction.
+//
+// Lock ordering: the parallel explorer interns BEFORE taking a seen-table
+// stripe lock, so shard mutexes and stripe mutexes are never nested.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <new>
+
+#include "util/check.hpp"
+#include "util/flat_index.hpp"
+#include "util/hash.hpp"
+
+namespace anoncoord {
+
+namespace detail {
+
+/// One append-only interned pool of T. Hash-sharded; see file comment.
+template <class T, class Hasher>
+class component_pool {
+ public:
+  static constexpr int kShardBits = 3;
+  static constexpr int kShards = 1 << kShardBits;
+  static constexpr int kSegBits = 12;  // 4096 components per segment
+  static constexpr std::size_t kSegSize = std::size_t{1} << kSegBits;
+  static constexpr std::size_t kMaxSegments = std::size_t{1} << 12;
+
+  // The shard directory is sizeable (kMaxSegments pointers per shard), so it
+  // lives on the heap: explorers hold pools by value and are stack-allocated.
+  component_pool() : shards_(new shard[kShards]) {}
+  component_pool(const component_pool&) = delete;
+  component_pool& operator=(const component_pool&) = delete;
+  ~component_pool() { clear(); }
+
+  /// Dedup-insert; returns the id of the pooled component equal to `v`.
+  std::uint32_t intern(const T& v) {
+    const std::size_t h = Hasher{}(v);
+    const auto s = static_cast<std::uint32_t>(h & (kShards - 1));
+    shard& sh = shards_[s];
+    std::lock_guard lk(sh.mu);
+    const std::uint32_t found = sh.index.find(
+        h, [&](std::uint32_t local) { return shard_get(sh, local) == v; });
+    if (found != flat_index::npos) return encode(found, s);
+    const std::uint32_t local = sh.count;
+    const std::size_t seg = local >> kSegBits;
+    const std::size_t off = local & (kSegSize - 1);
+    if (off == 0) {
+      ANONCOORD_REQUIRE(seg < kMaxSegments, "component pool exhausted");
+      T* mem = static_cast<T*>(::operator new(kSegSize * sizeof(T)));
+      sh.segs[seg].store(mem, std::memory_order_release);
+    }
+    new (sh.segs[seg].load(std::memory_order_relaxed) + off) T(v);
+    sh.index.insert(h, local);
+    ++sh.count;
+    return encode(local, s);
+  }
+
+  /// Lock-free id -> component. `id` must come from intern() on this pool.
+  const T& at(std::uint32_t id) const {
+    const shard& sh = shards_[id & (kShards - 1)];
+    const std::uint32_t local = id >> kShardBits;
+    return shard_get(sh, local);
+  }
+
+  std::uint64_t size() const {
+    std::uint64_t total = 0;
+    for (int s = 0; s < kShards; ++s) total += shards_[s].count;
+    return total;
+  }
+
+  /// Heap bytes of pooled component storage (segments only, not indexes).
+  std::uint64_t storage_bytes() const {
+    std::uint64_t segs = 0;
+    for (int s = 0; s < kShards; ++s)
+      segs += (shards_[s].count + kSegSize - 1) >> kSegBits;
+    return segs * kSegSize * sizeof(T);
+  }
+
+  void clear() {
+    for (int si = 0; si < kShards; ++si) {
+      shard& sh = shards_[si];
+      std::lock_guard lk(sh.mu);
+      for (std::uint32_t local = 0; local < sh.count; ++local) {
+        const std::size_t seg = local >> kSegBits;
+        sh.segs[seg].load(std::memory_order_relaxed)[local & (kSegSize - 1)]
+            .~T();
+      }
+      for (std::size_t seg = 0; seg < kMaxSegments; ++seg) {
+        T* mem = sh.segs[seg].load(std::memory_order_relaxed);
+        if (mem == nullptr) break;  // segments fill in order
+        ::operator delete(static_cast<void*>(mem));
+        sh.segs[seg].store(nullptr, std::memory_order_relaxed);
+      }
+      sh.count = 0;
+      sh.index.clear();
+    }
+  }
+
+ private:
+  static_assert(alignof(T) <= alignof(std::max_align_t),
+                "over-aligned components need aligned segment allocation");
+
+  struct shard {
+    std::mutex mu;
+    flat_index index;
+    std::uint32_t count = 0;
+    /// Fixed-slot segment directory: never resized, so at() needs no lock.
+    std::atomic<T*> segs[kMaxSegments] = {};
+  };
+
+  static std::uint32_t encode(std::uint32_t local, std::uint32_t s) {
+    ANONCOORD_REQUIRE(local < (std::uint32_t{1} << (32 - kShardBits)),
+                      "component pool id space exhausted");
+    return (local << kShardBits) | s;
+  }
+
+  static const T& shard_get(const shard& sh, std::uint32_t local) {
+    return sh.segs[local >> kSegBits].load(std::memory_order_acquire)
+        [local & (kSegSize - 1)];
+  }
+
+  std::unique_ptr<shard[]> shards_;
+};
+
+}  // namespace detail
+
+/// The two pools a packed explorer needs: register values and machine local
+/// states. A global state's packed row is m value ids followed by n machine
+/// ids; the explorers own the row layout, this class owns the components.
+template <class Machine>
+class state_pool {
+ public:
+  using value_type = typename Machine::value_type;
+
+  std::uint32_t intern_value(const value_type& v) { return values_.intern(v); }
+  std::uint32_t intern_machine(const Machine& p) { return machines_.intern(p); }
+
+  const value_type& value(std::uint32_t id) const { return values_.at(id); }
+  const Machine& machine(std::uint32_t id) const { return machines_.at(id); }
+
+  std::uint64_t num_values() const { return values_.size(); }
+  std::uint64_t num_machines() const { return machines_.size(); }
+  std::uint64_t storage_bytes() const {
+    return values_.storage_bytes() + machines_.storage_bytes();
+  }
+
+  void clear() {
+    values_.clear();
+    machines_.clear();
+  }
+
+ private:
+  struct value_hasher {
+    std::size_t operator()(const value_type& v) const {
+      return static_cast<std::size_t>(hash_value(v));
+    }
+  };
+  struct machine_hasher {
+    std::size_t operator()(const Machine& p) const { return p.hash(); }
+  };
+
+  detail::component_pool<value_type, value_hasher> values_;
+  detail::component_pool<Machine, machine_hasher> machines_;
+};
+
+}  // namespace anoncoord

@@ -1,0 +1,258 @@
+// Symmetry reduction for the explicit-state engines.
+//
+// Which symmetries are sound here is subtler than "registers are anonymous".
+// Within ONE exploration the naming assignment is FIXED: permuting register
+// contents alone changes what each process reads next, so the only sound
+// state symmetries are the automorphisms of the configuration —
+//
+//     G = { (sigma, pi) :  pi o perm_p = perm_sigma(p)  for every p }
+//
+// — a process permutation sigma together with the physical register
+// permutation pi it induces, applied with the consistent identifier renaming
+// rho(id_p) = id_sigma(p). For a *symmetric* algorithm in the paper's sense
+// (§2: identical code, identifiers compared only for equality), the map
+//
+//     phi(regs, procs):  regs'[pi(r)] = rho(regs[r]),
+//                        procs'[sigma(p)] = rho(procs[p])
+//
+// commutes with every step: phi(step_p(s)) = step_sigma(p)(phi(s)). Proof
+// sketch: process sigma(p)'s logical index j hits physical
+// perm_sigma(p)(j) = pi(perm_p(j)), whose content in phi(s) is rho of what p
+// reads at logical j in s; a renamed machine reading renamed values behaves
+// identically up to the renaming. So deduplicating states by their orbit
+// representative under G preserves reachability, edge structure on the
+// quotient, and every G-invariant predicate ("two processes in the CS",
+// "someone is trying", ...). Since pi is determined by sigma (via process
+// 0's numbering), |G| <= n!: identity naming gives the full n!, the
+// Theorem 3.1 even-m ring at stride m/2 gives a 2-element group, and generic
+// namings give the trivial group. The m!-fold register anonymity lives at
+// the CONFIG level instead — see naming_orbit_representatives in
+// mem/naming.hpp, which cuts full naming sweeps by m!.
+//
+// Soundness requirements, enforced or opted into:
+//   * the machine type models process_symmetric_machine (below) — types
+//     without the trait always get the trivial group, so turning symmetry on
+//     is a no-op for them rather than a wrong answer;
+//   * initial identifiers are distinct (else: trivial group);
+//   * the caller's predicates must be invariant under process permutation +
+//     id renaming. This is an opt-in contract (options.symmetry), not
+//     something the engine can check.
+#pragma once
+
+#include <algorithm>
+#include <concepts>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "mem/naming.hpp"
+#include "util/check.hpp"
+#include "util/permutation.hpp"
+
+namespace anoncoord {
+
+/// A no-op identifier renaming, used by the trait below to probe for the
+/// `renamed(fn)` API without a lambda in the requires-expression.
+struct identity_renaming {
+  template <class V>
+  V operator()(const V& v) const {
+    return v;
+  }
+};
+
+/// A machine opts into process-permutation symmetry by providing
+///   * id()            — the identifier it writes into registers;
+///   * renamed(fn)     — a copy with every stored identifier mapped by fn;
+///   * canonical_less  — a strict total order consistent with == (ignoring
+///                       whatever == ignores, e.g. observational counters),
+/// and by honouring the paper's symmetric-algorithm contract: behaviour may
+/// depend on identifiers only through equality comparisons, so a consistent
+/// renaming commutes with step(). The engines cannot verify the contract;
+/// the trait is the opt-in.
+template <class M>
+concept process_symmetric_machine =
+    std::totally_ordered<typename M::value_type> &&
+    requires(const M m, identity_renaming fn) {
+      { m.id() } -> std::convertible_to<typename M::value_type>;
+      { m.renamed(fn) } -> std::same_as<M>;
+      { canonical_less(m, m) } -> std::same_as<bool>;
+    };
+
+/// Reusable buffers for canonicalize(); one per worker in the parallel
+/// explorer so canonicalization allocates nothing steady-state.
+template <class Machine>
+struct canonical_scratch {
+  std::vector<typename Machine::value_type> orig_regs, tmp_regs;
+  std::vector<Machine> orig_procs, tmp_procs;
+};
+
+/// The automorphism group of a (naming, initial machines) configuration,
+/// with orbit canonicalization over (register vector, machine vector) pairs.
+template <class Machine>
+class symmetry_group {
+ public:
+  using value_type = typename Machine::value_type;
+
+  struct element {
+    std::vector<int> sigma;      ///< process map: p acts as sigma[p]
+    std::vector<int> sigma_inv;  ///< inverse process map
+    permutation pi;              ///< induced physical register map
+    permutation pi_inv;          ///< inverse register map
+    /// Identifier renaming rho as parallel arrays (ids are few; linear scan
+    /// beats a map); values outside the id set are fixed points.
+    std::vector<value_type> rename_from, rename_to;
+
+    value_type rename(const value_type& v) const {
+      for (std::size_t i = 0; i < rename_from.size(); ++i)
+        if (rename_from[i] == v) return rename_to[i];
+      return v;
+    }
+  };
+
+  /// The identity-only group (the default when symmetry is off, the machine
+  /// type is not process-symmetric, or ids collide).
+  static symmetry_group trivial(int processes, int registers) {
+    symmetry_group g;
+    element e;
+    e.sigma.resize(static_cast<std::size_t>(processes));
+    std::iota(e.sigma.begin(), e.sigma.end(), 0);
+    e.sigma_inv = e.sigma;
+    e.pi = identity_permutation(registers);
+    e.pi_inv = e.pi;
+    g.elements_.push_back(std::move(e));
+    return g;
+  }
+
+  /// Enumerate G for a configuration. Each candidate sigma forces
+  /// pi = perm_sigma(0) o perm_0^-1; sigma is in G iff that pi matches every
+  /// other process too. Identity is always element 0.
+  static symmetry_group compute(const naming_assignment& naming,
+                                const std::vector<Machine>& initial) {
+    const int n = naming.processes();
+    const int m = naming.registers();
+    if constexpr (!process_symmetric_machine<Machine>) {
+      (void)initial;
+      return trivial(n, m);
+    } else {
+      ANONCOORD_REQUIRE(n == static_cast<int>(initial.size()),
+                        "naming assignment and machine count disagree");
+      ANONCOORD_REQUIRE(n <= 8, "symmetry group enumeration caps at n = 8");
+      std::vector<value_type> ids;
+      ids.reserve(static_cast<std::size_t>(n));
+      for (const Machine& p : initial) ids.push_back(p.id());
+      for (int i = 0; i < n; ++i)
+        for (int j = i + 1; j < n; ++j)
+          if (ids[static_cast<std::size_t>(i)] ==
+              ids[static_cast<std::size_t>(j)])
+            return trivial(n, m);  // renaming ill-defined on duplicate ids
+      const permutation inv0 = inverse_permutation(naming.of(0));
+      symmetry_group g;
+      std::vector<int> sigma(static_cast<std::size_t>(n));
+      std::iota(sigma.begin(), sigma.end(), 0);
+      do {
+        const permutation pi =
+            compose_permutations(naming.of(sigma[0]), inv0);
+        bool ok = true;
+        for (int p = 1; p < n && ok; ++p)
+          ok = compose_permutations(pi, naming.of(p)) ==
+               naming.of(sigma[static_cast<std::size_t>(p)]);
+        if (!ok) continue;
+        element e;
+        e.sigma = sigma;
+        e.sigma_inv.assign(static_cast<std::size_t>(n), 0);
+        for (int p = 0; p < n; ++p)
+          e.sigma_inv[static_cast<std::size_t>(sigma[static_cast<std::size_t>(p)])] = p;
+        e.pi = pi;
+        e.pi_inv = inverse_permutation(pi);
+        for (int p = 0; p < n; ++p) {
+          e.rename_from.push_back(ids[static_cast<std::size_t>(p)]);
+          e.rename_to.push_back(
+              ids[static_cast<std::size_t>(sigma[static_cast<std::size_t>(p)])]);
+        }
+        g.elements_.push_back(std::move(e));
+      } while (std::next_permutation(sigma.begin(), sigma.end()));
+      return g;
+    }
+  }
+
+  int size() const { return static_cast<int>(elements_.size()); }
+  bool is_trivial() const { return elements_.size() == 1; }
+  const element& at(int i) const {
+    return elements_[static_cast<std::size_t>(i)];
+  }
+
+  /// phi_e applied to (regs, procs), written into (out_regs, out_procs).
+  void apply(const element& e, const std::vector<value_type>& regs,
+             const std::vector<Machine>& procs,
+             std::vector<value_type>& out_regs,
+             std::vector<Machine>& out_procs) const {
+    if constexpr (process_symmetric_machine<Machine>) {
+      const renamer rho{&e};
+      out_regs.clear();
+      out_procs.clear();
+      for (std::size_t r = 0; r < regs.size(); ++r)
+        out_regs.push_back(
+            e.rename(regs[static_cast<std::size_t>(e.pi_inv[r])]));
+      for (std::size_t q = 0; q < procs.size(); ++q)
+        out_procs.push_back(
+            procs[static_cast<std::size_t>(e.sigma_inv[q])].renamed(rho));
+    } else {
+      out_regs = regs;
+      out_procs = procs;
+    }
+  }
+
+  /// Replace (regs, procs) with the lexicographically smallest tuple in its
+  /// orbit. Returns the index of the element mapping the ORIGINAL state to
+  /// the canonical one (0 when the state was already canonical) — the
+  /// explorers fold these into the sigma-chain that maps quotient schedules
+  /// back to concrete ones.
+  int canonicalize(std::vector<value_type>& regs, std::vector<Machine>& procs,
+                   canonical_scratch<Machine>& scratch) const {
+    if (elements_.size() <= 1) return 0;
+    if constexpr (process_symmetric_machine<Machine>) {
+      scratch.orig_regs = regs;
+      scratch.orig_procs = procs;
+      int best = 0;
+      for (int ei = 1; ei < size(); ++ei) {
+        apply(elements_[static_cast<std::size_t>(ei)], scratch.orig_regs,
+              scratch.orig_procs, scratch.tmp_regs, scratch.tmp_procs);
+        if (state_less(scratch.tmp_regs, scratch.tmp_procs, regs, procs)) {
+          regs.swap(scratch.tmp_regs);
+          procs.swap(scratch.tmp_procs);
+          best = ei;
+        }
+      }
+      return best;
+    } else {
+      return 0;
+    }
+  }
+
+ private:
+  struct renamer {
+    const element* e;
+    value_type operator()(const value_type& v) const { return e->rename(v); }
+  };
+
+  static bool state_less(const std::vector<value_type>& ar,
+                         const std::vector<Machine>& ap,
+                         const std::vector<value_type>& br,
+                         const std::vector<Machine>& bp) {
+    if constexpr (process_symmetric_machine<Machine>) {
+      for (std::size_t i = 0; i < ar.size(); ++i) {
+        if (ar[i] < br[i]) return true;
+        if (br[i] < ar[i]) return false;
+      }
+      for (std::size_t i = 0; i < ap.size(); ++i) {
+        if (canonical_less(ap[i], bp[i])) return true;
+        if (canonical_less(bp[i], ap[i])) return false;
+      }
+    }
+    return false;
+  }
+
+  std::vector<element> elements_;
+};
+
+}  // namespace anoncoord

@@ -48,6 +48,14 @@ struct verify_options {
   int max_steps = 40;                      ///< systematic engines
   int max_preemptions = 2;                 ///< systematic engines
   std::uint64_t max_runs = 50'000'000;     ///< systematic engines
+  /// Orbit-representative symmetry reduction (modelcheck/symmetry.hpp).
+  /// BFS engines dedup states by canonical form; systematic engines key
+  /// their dominance cache by canonical form (implies state_cache). The
+  /// predicate must be invariant under the configuration's automorphisms.
+  bool symmetry = false;
+  /// Dominance-cache pruning for the systematic engines (see
+  /// systematic_tester::options::state_cache).
+  bool state_cache = false;
 };
 
 /// Uniform per-run statistics. For BFS engines `states` counts distinct
@@ -62,6 +70,7 @@ struct verify_report {
   std::uint64_t dedup_hits = 0;
   std::uint64_t schedules = 0;
   std::uint64_t sleep_pruned = 0;
+  std::uint64_t cache_pruned = 0;
   double wall_seconds = 0.0;
   std::vector<int> violating_schedule;
 
@@ -97,6 +106,7 @@ verify_report verify_config(const model_config<Machine>& cfg,
     case verify_engine::bfs: {
       typename explorer<Machine>::options eopt;
       eopt.max_states = opt.max_states;
+      eopt.symmetry = opt.symmetry;
       explorer<Machine> e(cfg.registers, cfg.naming, cfg.initial, eopt);
       const auto res = e.explore(as_state_pred);
       out.complete = res.complete;
@@ -112,6 +122,7 @@ verify_report verify_config(const model_config<Machine>& cfg,
       popt.workers = opt.workers;
       popt.max_states = opt.max_states;
       popt.record_edges = false;  // safety-only entry point
+      popt.symmetry = opt.symmetry;
       parallel_explorer<Machine> e(cfg.registers, cfg.naming, cfg.initial,
                                    popt);
       const auto res = e.explore(as_state_pred);
@@ -132,12 +143,15 @@ verify_report verify_config(const model_config<Machine>& cfg,
       topt.max_preemptions = opt.max_preemptions;
       topt.max_runs = opt.max_runs;
       topt.sleep_sets = opt.engine == verify_engine::systematic_sleep;
+      topt.state_cache = opt.state_cache || opt.symmetry;
+      topt.symmetry = opt.symmetry;
       const auto res = tester.run(is_bad, topt);
       out.complete = res.complete;
       out.violated = res.violated;
       out.states = res.states_visited;
       out.schedules = res.runs;
       out.sleep_pruned = res.sleep_pruned;
+      out.cache_pruned = res.cache_pruned;
       out.violating_schedule = res.violating_schedule;
       break;
     }
@@ -150,6 +164,7 @@ verify_report verify_config(const model_config<Machine>& cfg,
     reg.counter("verify.schedules").add(out.schedules);
     reg.counter("verify.dedup_hits").add(out.dedup_hits);
     reg.counter("verify.sleep_pruned").add(out.sleep_pruned);
+    reg.counter("verify.cache_pruned").add(out.cache_pruned);
     if (out.violated) reg.counter("verify.violations").add(1);
     if (!out.complete) reg.counter("verify.incomplete").add(1);
     reg.histogram("verify.wall_us")
@@ -170,10 +185,61 @@ inline obs::json_value to_json(const verify_report& report) {
   out.set("dedup_hits", report.dedup_hits);
   out.set("schedules", report.schedules);
   out.set("sleep_pruned", report.sleep_pruned);
+  out.set("cache_pruned", report.cache_pruned);
   out.set("wall_seconds", report.wall_seconds);
   obs::json_value sched = obs::json_value::make_array();
   for (int p : report.violating_schedule) sched.push_back(p);
   out.set("violating_schedule", std::move(sched));
+  return out;
+}
+
+/// Aggregate over a full- or orbit-reduced naming sweep (below).
+struct naming_sweep_report {
+  std::uint64_t configs = 0;     ///< configurations verified
+  std::uint64_t violated = 0;    ///< configurations with a violation
+  std::uint64_t incomplete = 0;  ///< configurations that hit a cap
+  std::uint64_t total_states = 0;
+  double wall_seconds = 0.0;
+  /// Per-config violation flags, in the enumerator's deterministic order
+  /// (all_naming_assignments / naming_orbit_representatives).
+  std::vector<char> verdicts;
+};
+
+/// Verify `initial` under EVERY naming assignment of `registers` physical
+/// registers — or, with orbit_representatives_only, under one representative
+/// per orbit of the registers!-fold global-permutation action (see
+/// naming_orbit_representatives in mem/naming.hpp). Conjugate namings have
+/// isomorphic transition systems — reachable states map by relabeling the
+/// physical register file, machines untouched — so any predicate that reads
+/// registers only through the machines' own numbering (in particular every
+/// predicate over machine local states) gets the identical verdict on every
+/// member of an orbit, and the reduced sweep decides the full one at 1/m!
+/// the cost. The orbit-equivalence test machine-checks this claim
+/// exhaustively for small m.
+template <class Machine>
+naming_sweep_report verify_naming_sweep(
+    int registers, const std::vector<Machine>& initial,
+    const config_predicate<Machine>& is_bad, bool orbit_representatives_only,
+    const verify_options& opt = {}) {
+  stopwatch timer;
+  const int n = static_cast<int>(initial.size());
+  const std::vector<naming_assignment> namings =
+      orbit_representatives_only
+          ? naming_orbit_representatives(n, registers)
+          : all_naming_assignments(n, registers);
+  naming_sweep_report out;
+  for (const naming_assignment& naming : namings) {
+    model_config<Machine> cfg{registers, naming, initial};
+    const verify_report rep = verify_config(cfg, is_bad, opt);
+    ++out.configs;
+    out.total_states += rep.states;
+    if (rep.violated) ++out.violated;
+    // A violated run stops early by design; "incomplete" means a cap was
+    // hit without reaching a verdict.
+    if (!rep.complete && !rep.violated) ++out.incomplete;
+    out.verdicts.push_back(rep.violated ? 1 : 0);
+  }
+  out.wall_seconds = timer.elapsed_seconds();
   return out;
 }
 

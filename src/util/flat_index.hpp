@@ -1,0 +1,88 @@
+// Open-addressed linear-probe index from a precomputed hash to a caller-side
+// record index. Cells pack a 32-bit hash fragment with the entry index into 8
+// bytes (8 cells per cache line), so a probe usually costs one cache line and
+// touches no record memory unless the fragments match; equality is always
+// confirmed by the caller's `eq` callback, so fragment collisions only cost an
+// extra compare. Roughly halves an exploration hot path relative to a
+// node-based unordered_multimap, whose allocation and bucket chasing dominate
+// profiles.
+//
+// The index stores no keys and no values — only (fragment, local) pairs — so
+// the caller owns the records and supplies equality. Grown from the striped
+// seen-table of parallel_explorer; now shared by both explorers, the
+// hash-consing state pool and the systematic tester's state cache.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/hash.hpp"
+
+namespace anoncoord {
+
+struct flat_index {
+  static constexpr std::uint32_t npos = 0xffffffffu;
+
+  /// cell = fragment << 32 | (local + 1); 0 means empty.
+  std::vector<std::uint64_t> cells;
+  std::size_t mask = 0;
+  std::size_t used = 0;
+
+  flat_index() { grow(64); }
+
+  static std::uint32_t fragment(std::size_t h) {
+    return static_cast<std::uint32_t>(mix64(h) >> 32);
+  }
+  /// Probe start as a pure function of the fragment, so grow() can
+  /// re-place cells without the original hash.
+  std::size_t start(std::uint32_t frag) const {
+    return static_cast<std::size_t>(
+               (frag * std::uint64_t{0x9e3779b97f4a7c15}) >> 32) &
+           mask;
+  }
+
+  /// Find the entry for hash `h` that satisfies `eq`, or npos.
+  template <class Eq>
+  std::uint32_t find(std::size_t h, const Eq& eq) const {
+    const std::uint32_t frag = fragment(h);
+    for (std::size_t i = start(frag);; i = (i + 1) & mask) {
+      const std::uint64_t cell = cells[i];
+      if (cell == 0) return npos;
+      if (static_cast<std::uint32_t>(cell >> 32) == frag) {
+        const auto local = static_cast<std::uint32_t>(cell) - 1;
+        if (eq(local)) return local;
+      }
+    }
+  }
+
+  void insert(std::size_t h, std::uint32_t local) {
+    if ((used + 1) * 10 >= cells.size() * 7) grow(cells.size() * 2);
+    place(fragment(h), local);
+    ++used;
+  }
+
+  void clear() {
+    cells.assign(cells.size(), 0);
+    used = 0;
+  }
+
+ private:
+  void grow(std::size_t capacity) {  // capacity: power of two
+    std::vector<std::uint64_t> old = std::move(cells);
+    cells.assign(capacity, 0);
+    mask = capacity - 1;
+    for (const std::uint64_t cell : old)
+      if (cell != 0)
+        place(static_cast<std::uint32_t>(cell >> 32),
+              static_cast<std::uint32_t>(cell) - 1);
+  }
+
+  void place(std::uint32_t frag, std::uint32_t local) {
+    std::size_t i = start(frag);
+    while (cells[i] != 0) i = (i + 1) & mask;
+    cells[i] = (std::uint64_t{frag} << 32) | (local + 1);
+  }
+};
+
+}  // namespace anoncoord

@@ -38,4 +38,16 @@ std::size_t hash_vector(const std::vector<T>& v) {
   return seed;
 }
 
+/// Hash a short run of 32-bit words (packed interned-state rows). Two words
+/// are folded per mix so an (m + n)-word state costs ~(m + n) / 2 mixes —
+/// the seen-table hash of the packed explorers.
+inline std::size_t hash_words(const std::uint32_t* w, std::size_t count) noexcept {
+  std::uint64_t seed = 0x5157a7e5u ^ (count << 32);
+  std::size_t i = 0;
+  for (; i + 1 < count; i += 2)
+    seed = mix64(seed ^ (std::uint64_t{w[i]} | (std::uint64_t{w[i + 1]} << 32)));
+  if (i < count) seed = mix64(seed ^ w[i]);
+  return static_cast<std::size_t>(seed);
+}
+
 }  // namespace anoncoord

@@ -41,4 +41,12 @@ constexpr int mutex_space_violation_witness(int m, int n) noexcept {
   return 0;
 }
 
+/// m! as a 64-bit value; exact for m <= 20, which covers every enumeration
+/// the naming-orbit machinery admits (all_permutations caps m at 10).
+constexpr std::uint64_t factorial(int m) noexcept {
+  std::uint64_t f = 1;
+  for (int k = 2; k <= m; ++k) f *= static_cast<std::uint64_t>(k);
+  return f;
+}
+
 }  // namespace anoncoord

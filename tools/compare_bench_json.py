@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_<name>.json reports (stdlib only).
+
+Compares the "anoncoord-bench-v1" reports emitted by bench/bench_json.hpp:
+for every result series present in both reports it prints the baseline and
+candidate medians, the absolute delta, and the percent change; series that
+appear in only one report are listed separately. Config keys that differ
+between the runs are surfaced first, since comparing differently-shaped
+runs is usually a mistake.
+
+With --fail-threshold-pct=N the exit status is 1 when any time-like series
+(unit "s", "ms" or "us") regressed — candidate median above baseline — by
+more than N percent. Without it the tool is purely informational and only
+fails on unreadable/invalid input.
+
+Usage: tools/compare_bench_json.py BASELINE.json CANDIDATE.json
+           [--fail-threshold-pct=N]
+"""
+
+import json
+import sys
+from pathlib import Path
+
+SCHEMA = "anoncoord-bench-v1"
+TIME_UNITS = {"s", "ms", "us"}
+
+
+def load(path: Path) -> dict:
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"{path}: unreadable ({exc})")
+    if not isinstance(doc, dict) or doc.get("schema") != SCHEMA:
+        raise SystemExit(f"{path}: not an {SCHEMA!r} report")
+    if not isinstance(doc.get("results"), list):
+        raise SystemExit(f"{path}: missing results list")
+    return doc
+
+
+def medians(doc: dict) -> dict:
+    out = {}
+    for entry in doc["results"]:
+        if isinstance(entry, dict) and "name" in entry and "median" in entry:
+            out[entry["name"]] = (float(entry["median"]),
+                                  str(entry.get("unit", "")))
+    return out
+
+
+def fmt(value: float) -> str:
+    return f"{value:.6g}"
+
+
+def main(argv: list[str]) -> int:
+    threshold = None
+    paths = []
+    for arg in argv:
+        if arg.startswith("--fail-threshold-pct="):
+            threshold = float(arg.split("=", 1)[1])
+        elif arg.startswith("--"):
+            raise SystemExit(f"unknown option {arg!r}")
+        else:
+            paths.append(Path(arg))
+    if len(paths) != 2:
+        print("usage: compare_bench_json.py BASELINE.json CANDIDATE.json "
+              "[--fail-threshold-pct=N]", file=sys.stderr)
+        return 1
+    base_doc, cand_doc = load(paths[0]), load(paths[1])
+    if base_doc.get("name") != cand_doc.get("name"):
+        print(f"note: comparing different benches "
+              f"({base_doc.get('name')!r} vs {cand_doc.get('name')!r})")
+    base_cfg = base_doc.get("config", {})
+    cand_cfg = cand_doc.get("config", {})
+    for key in sorted(set(base_cfg) | set(cand_cfg)):
+        if base_cfg.get(key) != cand_cfg.get(key):
+            print(f"config differs: {key} = {base_cfg.get(key)!r} -> "
+                  f"{cand_cfg.get(key)!r}")
+
+    base, cand = medians(base_doc), medians(cand_doc)
+    shared = sorted(set(base) & set(cand))
+    regressions = []
+    width = max([len(n) for n in shared], default=4)
+    print(f"{'series':<{width}}  {'baseline':>12}  {'candidate':>12}  "
+          f"{'delta':>12}  {'change':>8}")
+    for name in shared:
+        b, unit = base[name]
+        c, _ = cand[name]
+        delta = c - b
+        pct = (delta / b * 100.0) if b != 0 else float("inf") * (delta or 0)
+        pct_str = f"{pct:+.1f}%" if pct == pct and abs(pct) != float(
+            "inf") else "n/a"
+        print(f"{name:<{width}}  {fmt(b):>12}  {fmt(c):>12}  "
+              f"{fmt(delta):>12}  {pct_str:>8}  {unit}")
+        if (threshold is not None and unit in TIME_UNITS and b > 0
+                and pct > threshold):
+            regressions.append((name, pct))
+    for name in sorted(set(base) - set(cand)):
+        print(f"only in baseline:  {name}")
+    for name in sorted(set(cand) - set(base)):
+        print(f"only in candidate: {name}")
+
+    if regressions:
+        for name, pct in regressions:
+            print(f"REGRESSION: {name} slowed by {pct:.1f}% "
+                  f"(> {threshold}%)", file=sys.stderr)
+        return 1
+    print(f"compared {len(shared)} shared series"
+          + (f", no time regression > {threshold}%" if threshold is not None
+             else ""))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
