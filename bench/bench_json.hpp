@@ -9,6 +9,7 @@
 //     "schema": "anoncoord-bench-v1",
 //     "name": "bench_mutex_parity",
 //     "obs_enabled": false,
+//     "peak_rss_bytes": 123456789,
 //     "config": { "<flag>": <value>, ... },
 //     "repetitions": 3,
 //     "results": [
@@ -32,6 +33,10 @@
 #include <utility>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
@@ -40,6 +45,22 @@
 namespace anoncoord::benchjson {
 
 inline constexpr const char* bench_schema_id = "anoncoord-bench-v1";
+
+/// Peak resident set size of this process in bytes; 0 where the platform
+/// offers no getrusage(). Linux reports ru_maxrss in KiB, macOS in bytes.
+inline std::uint64_t peak_rss_bytes() {
+#if defined(__APPLE__)
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+  return static_cast<std::uint64_t>(ru.ru_maxrss);
+#elif defined(__unix__)
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+  return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;
+#else
+  return 0;
+#endif
+}
 
 class bench_reporter {
  public:
@@ -83,6 +104,7 @@ class bench_reporter {
     out.set("schema", bench_schema_id);
     out.set("name", name_);
     out.set("obs_enabled", obs::enabled());
+    out.set("peak_rss_bytes", static_cast<std::int64_t>(peak_rss_bytes()));
     out.set("config", config_);
     std::size_t repetitions = 1;
     for (const auto& [k, s] : series_)

@@ -23,7 +23,19 @@
 // verdict counts must agree exactly (full = orbit x m!) and the sweep runs
 // >= 5x faster.
 //
+// Part 5 — compressed state arenas: verbatim vs delta+varint row storage on
+// the reference config and on a deadlocking even-m config (so a
+// counterexample schedule is decoded through the compressed path). Verdicts,
+// state counts and counterexample schedules must be identical across
+// sequential-verbatim, sequential-compressed and parallel-compressed, and
+// the compressed footprint must stay <= 12 B per stored state; any
+// disagreement makes the bench exit nonzero.
+//
+// With --sweep-m=6 (or 7) also runs the full weighted naming sweep at that
+// m through the polynomial orbit classes — minutes of work, off by default.
+//
 //   ./bench_modelcheck_scaling [--m=5] [--stride=2] [--depth=21] [--reps=3]
+//                              [--sweep-m=0]
 #include <algorithm>
 #include <functional>
 #include <iostream>
@@ -63,6 +75,9 @@ int main(int argc, char** argv) {
   args.define("stride", "2", "rotation offset of process 1's numbering");
   args.define("depth", "21", "systematic tester depth bound");
   args.define("reps", "3", "timing repetitions (best-of)");
+  args.define("sweep-m", "0",
+              "if >= 2, also run the full weighted naming sweep at this m "
+              "(m = 6 takes minutes)");
   if (!args.parse(argc, argv)) {
     std::cout << args.help("bench_modelcheck_scaling");
     return 0;
@@ -71,6 +86,7 @@ int main(int argc, char** argv) {
   const int stride = static_cast<int>(args.get_int("stride"));
   const int depth = static_cast<int>(args.get_int("depth"));
   const int reps = std::max(1, static_cast<int>(args.get_int("reps")));
+  const int sweep_quotient_m = static_cast<int>(args.get_int("sweep-m"));
   benchjson::bench_reporter report("bench_modelcheck_scaling");
   report.config("m", m);
   report.config("stride", stride);
@@ -336,6 +352,121 @@ int main(int argc, char** argv) {
   report.sample("naming_sweep_speedup", sweep_speedup, "x");
   report.metric("naming_sweep_verdicts_match", sweep_verdicts_match ? 1 : 0);
 
+  // -------------------------------------------------------------------
+  // Part 5: compressed state arenas, verbatim vs delta+varint rows. The
+  // deadlock config decodes a stuck-schedule counterexample through the
+  // compressed path; the reference config carries the <= 12 B/state bound.
+  // -------------------------------------------------------------------
+  ascii_table arena_table({"config", "engine", "states", "B/state",
+                           "keyframes", "verdict", "cex-len", "ms"});
+  bool arena_match = true;
+  double compressed_bps = 0;
+  struct arena_config {
+    const char* name;
+    int m;
+    int stride;
+    bool is_reference;
+  };
+  for (const arena_config ac :
+       {arena_config{"reference", m, stride, true},
+        arena_config{"deadlock m=4", 4, 2, false}}) {
+    const naming_assignment anm({identity_permutation(ac.m),
+                                 rotation_permutation(ac.m, ac.stride)});
+    const auto amach = detail::mutex_machines(ac.m, anm, {1, 2});
+    mutex_check_result base;
+    std::uint64_t base_states = 0;
+    struct engine_spec {
+      const char* name;
+      bool compress;
+      int workers;  // 0 = sequential explorer
+    };
+    for (const engine_spec es : {engine_spec{"seq verbatim", false, 0},
+                                 engine_spec{"seq compressed", true, 0},
+                                 engine_spec{"par compressed", true, 2}}) {
+      mutex_check_result res;
+      std::uint64_t row_bytes = 0, keyframes = 0;
+      double t_best = 0;
+      for (int rep = 0; rep < reps; ++rep) {
+        stopwatch t;
+        if (es.workers == 0) {
+          explorer<anon_mutex>::options eopt;
+          eopt.max_states = 8'000'000;
+          eopt.compress_arena = es.compress;
+          explorer<anon_mutex> e(ac.m, anm, amach, eopt);
+          res = detail::run_mutex_check(e);
+          row_bytes = e.stored_row_bytes();
+          keyframes = e.keyframe_rows();
+        } else {
+          parallel_explorer<anon_mutex>::options popt;
+          popt.max_states = 8'000'000;
+          popt.compress_arena = es.compress;
+          popt.workers = es.workers;
+          parallel_explorer<anon_mutex> e(ac.m, anm, amach, popt);
+          res = detail::run_mutex_check(e);
+          row_bytes = e.stored_row_bytes();
+          keyframes = e.keyframe_rows();
+        }
+        const double s = t.elapsed_seconds();
+        if (rep == 0 || s < t_best) t_best = s;
+      }
+      const double bps = res.num_states
+                             ? static_cast<double>(row_bytes) /
+                                   static_cast<double>(res.num_states)
+                             : 0.0;
+      if (es.workers == 0 && !es.compress) {
+        base = res;
+        base_states = res.num_states;
+      } else {
+        arena_match = arena_match && res.verdict() == base.verdict() &&
+                      res.num_states == base_states &&
+                      res.counterexample == base.counterexample;
+      }
+      if (ac.is_reference && es.workers == 0 && es.compress)
+        compressed_bps = bps;
+      const std::string tag = std::string(ac.is_reference ? "ref" : "dead") +
+                              "/" + (es.compress ? "compressed" : "verbatim") +
+                              (es.workers ? "/parallel" : "");
+      report.sample("arena_bytes_per_state/" + tag, bps, "B");
+      report.sample("arena_seconds/" + tag, t_best, "s");
+      arena_table.add(ac.name, es.name, res.num_states, bps, keyframes,
+                      res.verdict(), res.counterexample.size(), t_best * 1e3);
+    }
+  }
+  const bool arena_bytes_ok = compressed_bps > 0 && compressed_bps <= 12.0;
+  std::cout << arena_table.render() << "\n";
+  std::cout << "compressed rows: " << compressed_bps
+            << " B/state on the reference config (bound <= 12), "
+            << "verdicts/states/counterexamples identical across engines: "
+            << (arena_match ? "yes" : "NO — BUG") << "\n\n";
+  report.metric("arena_verdicts_match", arena_match ? 1 : 0);
+  report.metric("arena_bytes_bound_met", arena_bytes_ok ? 1 : 0);
+
+  // -------------------------------------------------------------------
+  // Optional: full weighted naming sweep at --sweep-m via the polynomial
+  // orbit classes (process quotient). m = 6 decides all 6!^2 = 518,400
+  // naming tuples through 398 verified classes.
+  // -------------------------------------------------------------------
+  if (sweep_quotient_m >= 2) {
+    std::vector<anon_mutex> qprocs;
+    qprocs.emplace_back(1, sweep_quotient_m);
+    qprocs.emplace_back(2, sweep_quotient_m);
+    verify_options qopt;
+    qopt.max_states = 8'000'000;
+    const naming_sweep_report q = verify_naming_sweep(
+        sweep_quotient_m, qprocs, two_in_cs, true, qopt, true);
+    std::cout << "weighted sweep m=" << sweep_quotient_m << ": " << q.configs
+              << " classes decide " << q.full_configs
+              << " full naming tuples; violated=" << q.violated << " ("
+              << q.full_violated << " weighted), incomplete=" << q.incomplete
+              << ", states=" << q.total_states << ", "
+              << q.wall_seconds << " s\n\n";
+    report.sample("weighted_sweep_classes",
+                  static_cast<double>(q.configs));
+    report.sample("weighted_sweep_full_configs",
+                  static_cast<double>(q.full_configs));
+    report.sample("weighted_sweep_seconds", q.wall_seconds, "s");
+  }
+
   const double schedule_reduction =
       sleep.schedules ? static_cast<double>(plain.schedules) /
                             static_cast<double>(sleep.schedules)
@@ -348,22 +479,24 @@ int main(int argc, char** argv) {
             << schedule_reduction << "x (target >= 3x)  symmetry-reduction="
             << reduction_n2 << "x@n=2 (n! ceiling) / " << reduction_n3
             << "x@n=3 (target >= 3x)  naming-sweep-speedup=" << sweep_speedup
-            << "x (target >= 5x)  verdicts-match="
+            << "x (target >= 5x)  arena-bytes-per-state=" << compressed_bps
+            << " (target <= 12)  verdicts-match="
             << (verdicts_match && identical && symmetry_verdicts_match &&
-                        sweep_verdicts_match
+                        sweep_verdicts_match && arena_match
                     ? "yes"
                     : "NO")
             << "\n";
   report.sample("parallel_speedup_at_8", speedup_at_8, "x");
   report.sample("sleep_set_reduction", schedule_reduction, "x");
+  report.sample("bytes_per_stored_state", compressed_bps, "B");
   report.metric("verdicts_match",
                 verdicts_match && identical && symmetry_verdicts_match &&
-                        sweep_verdicts_match
+                        sweep_verdicts_match && arena_match
                     ? 1
                     : 0);
   report.write();
   return identical && verdicts_match && symmetry_verdicts_match &&
-                 sweep_verdicts_match
+                 sweep_verdicts_match && arena_match && arena_bytes_ok
              ? 0
              : 1;
 }

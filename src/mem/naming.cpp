@@ -1,5 +1,7 @@
 #include "mem/naming.hpp"
 
+#include <map>
+
 #include "util/math.hpp"
 
 namespace anoncoord {
@@ -85,13 +87,19 @@ namespace {
 std::vector<naming_assignment> enumerate_namings(int processes, int registers,
                                                  bool fixed_first) {
   ANONCOORD_REQUIRE(processes > 0, "need at least one process");
+  // naming_orbit_size REQUIREs m <= 20 (the last m! that fits 64 bits)
+  // before any counting arithmetic can wrap; all_permutations then enforces
+  // its own, tighter m <= 10 enumeration cap.
+  (void)naming_orbit_size(registers);
   const std::vector<permutation> perms = all_permutations(registers);
   const int free_slots = fixed_first ? processes - 1 : processes;
+  constexpr std::uint64_t kMaxConfigs = 5'000'000;
   std::uint64_t count = 1;
   for (int s = 0; s < free_slots; ++s) {
-    count *= perms.size();
-    ANONCOORD_REQUIRE(count <= 5'000'000,
+    // Overflow-safe: check the product bound by division before multiplying.
+    ANONCOORD_REQUIRE(count <= kMaxConfigs / perms.size(),
                       "naming enumeration too large; shrink m or n");
+    count *= perms.size();
   }
   std::vector<naming_assignment> out;
   out.reserve(count);
@@ -123,7 +131,69 @@ std::vector<naming_assignment> naming_orbit_representatives(int processes,
 }
 
 std::uint64_t naming_orbit_size(int registers) {
+  // factorial() wraps silently past 20!; orbit arithmetic (weights x m!)
+  // must fail fast instead of aliasing distinct classes.
+  ANONCOORD_REQUIRE(registers >= 0 && registers <= 20,
+                    "m! overflows the 64-bit orbit counter for m > 20");
   return factorial(registers);
+}
+
+namespace {
+
+// Refined comparison key of a register-canonical assignment: per process,
+// the cycle-structure key (conjugacy invariant, minimal rotation per cycle)
+// followed by the one-line form as the final lexicographic tie-break.
+std::vector<int> symmetric_order_key(const naming_assignment& naming) {
+  std::vector<int> key;
+  for (int p = 0; p < naming.processes(); ++p) {
+    const permutation& perm = naming.of(p);
+    const std::vector<int> ck = canonical_cycle_key(perm);
+    key.insert(key.end(), ck.begin(), ck.end());
+    key.insert(key.end(), perm.begin(), perm.end());
+  }
+  return key;
+}
+
+}  // namespace
+
+naming_assignment canonical_naming_symmetric(const naming_assignment& naming) {
+  const int n = naming.processes();
+  naming_assignment best;
+  std::vector<int> best_key;
+  bool first = true;
+  for (const permutation& tau : all_permutations(n)) {
+    std::vector<permutation> tuple;
+    tuple.reserve(static_cast<std::size_t>(n));
+    for (int p = 0; p < n; ++p)
+      tuple.push_back(naming.of(tau[static_cast<std::size_t>(p)]));
+    naming_assignment cand =
+        canonical_naming(naming_assignment(std::move(tuple)));
+    std::vector<int> key = symmetric_order_key(cand);
+    if (first || key < best_key) {
+      best = std::move(cand);
+      best_key = std::move(key);
+      first = false;
+    }
+  }
+  return best;
+}
+
+std::vector<weighted_naming> naming_orbit_classes(int processes,
+                                                  int registers) {
+  const std::vector<naming_assignment> reps =
+      naming_orbit_representatives(processes, registers);
+  std::vector<weighted_naming> out;
+  std::map<std::vector<int>, std::size_t> index;  // canonical key -> out slot
+  for (const naming_assignment& rep : reps) {
+    naming_assignment canon = canonical_naming_symmetric(rep);
+    std::vector<int> key = symmetric_order_key(canon);
+    const auto [it, fresh] = index.try_emplace(std::move(key), out.size());
+    if (fresh)
+      out.push_back({std::move(canon), 1});
+    else
+      ++out[it->second].weight;
+  }
+  return out;
 }
 
 }  // namespace anoncoord

@@ -81,8 +81,36 @@ std::vector<naming_assignment> all_naming_assignments(int processes,
 std::vector<naming_assignment> naming_orbit_representatives(int processes,
                                                             int registers);
 
-/// Orbit size of the free global-permutation action: m!.
+/// Orbit size of the free global-permutation action: m!. Fails fast (clear
+/// precondition error) for m > 20, where m! overflows the 64-bit counter.
 std::uint64_t naming_orbit_size(int registers);
+
+/// Canonical representative of `naming`'s orbit under the COMBINED action of
+/// global register relabeling and process permutation: the minimum, over all
+/// process reorderings, of the register-canonical form (process 0 relabeled
+/// to the identity), compared by the refined cycle-structure order of
+/// canonical_cycle_key (minimal rotation per cycle, one-line form as the
+/// final tie-break). Polynomial — n! * O(n m) candidates, never m! conjugate
+/// scans. Folding namings across process permutations is only sound for
+/// process-symmetric machines and predicates; see naming_orbit_classes.
+naming_assignment canonical_naming_symmetric(const naming_assignment& naming);
+
+/// An orbit-class representative plus the number of process-0-identity
+/// representatives (see naming_orbit_representatives) it stands for.
+struct weighted_naming {
+  naming_assignment naming;
+  std::uint64_t weight = 0;
+};
+
+/// One representative per orbit of the combined register-relabeling x
+/// process-permutation action, in first-encounter order of the underlying
+/// representative enumeration. Weights sum to (m!)^(n-1) — the
+/// representative count — so weight * m! counts full naming tuples per
+/// class. Sound as a sweep reduction ONLY when machines and predicate are
+/// process-symmetric (the explore_options.symmetry contract): permuting
+/// which process holds which numbering must not change the verdict.
+std::vector<weighted_naming> naming_orbit_classes(int processes,
+                                                  int registers);
 
 /// Applies one process's numbering over any register file.
 /// Mem must provide read(int)/write(int, V)/size().

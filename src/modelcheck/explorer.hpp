@@ -22,8 +22,11 @@
 // a memcmp over that row, hashing is util/hash.hpp's hash_words, and a
 // successor reuses its parent's row with at most two patched words (the
 // stepped machine, the written register) — no full-state copies anywhere on
-// the hot path. The reported result is bit-identical to the original
-// full-copy explorer.
+// the hot path. By default (options.compress_arena) the seen rows themselves
+// are stored delta-against-parent + varint encoded in arena pages
+// (row_store), decoded on demand through a bounded per-thread cache; the
+// opt-out keeps them verbatim. The reported result is bit-identical to the
+// original full-copy explorer in both modes.
 //
 // With options.symmetry the seen-table keys are orbit representatives under
 // the configuration's automorphism group (modelcheck/symmetry.hpp):
@@ -135,6 +138,11 @@ class explorer {
     /// the process_symmetric_machine trait get the trivial group, making
     /// this a no-op rather than a wrong answer.
     bool symmetry = false;
+    /// Store seen rows delta-against-parent + varint encoded in arena pages
+    /// (state_pool.hpp's row_store) instead of verbatim. Identical verdicts,
+    /// counts, and schedules either way; this only trades decode work for a
+    /// ~2.5x smaller per-state footprint. Opt out for maximum raw speed.
+    bool compress_arena = true;
   };
 
   struct result {
@@ -212,7 +220,10 @@ class explorer {
         return res;  // incomplete
       }
       const auto s = static_cast<std::int64_t>(frontier++);
-      load_state(static_cast<std::uint64_t>(s), scratch_);
+      prow_.resize(stride());
+      rows_.load(static_cast<std::uint64_t>(s), parent_.data(), prow_.data(),
+                 dcache_);
+      fill_state(prow_.data(), scratch_);
       if (saved_.size() != n) saved_ = scratch_.procs;
       for (int p = 0; p < static_cast<int>(n); ++p) {
         Machine& machine = scratch_.procs[static_cast<std::size_t>(p)];
@@ -242,9 +253,7 @@ class explorer {
         } else {
           // Relative encoding: the successor's row is the parent's row with
           // the stepped machine and (at most) the written register patched.
-          wbuf_.assign(words_.begin() + s * static_cast<std::int64_t>(stride()),
-                       words_.begin() +
-                           (s + 1) * static_cast<std::int64_t>(stride()));
+          wbuf_.assign(prow_.begin(), prow_.end());
           wbuf_[m + static_cast<std::size_t>(p)] =
               pool_.intern_machine(machine);
           if (written >= 0)
@@ -284,15 +293,20 @@ class explorer {
     const std::size_t n = num_states();
     std::vector<char> reaches_goal(n, 0);
     // Reverse adjacency in CSR form — two passes over the edge records
-    // instead of one heap-allocated bucket per state.
-    std::vector<std::uint32_t> offsets(n + 1, 0);
-    for (const auto& [from, to] : edges_) ++offsets[to + 1];
-    for (std::size_t i = 0; i < n; ++i) offsets[i + 1] += offsets[i];
-    std::vector<std::uint32_t> sources(edges_.size());
-    {
-      std::vector<std::uint32_t> cursor(offsets.begin(), offsets.end() - 1);
-      for (const auto& [from, to] : edges_) sources[cursor[to]++] = from;
+    // instead of one heap-allocated bucket per state. Cached across calls
+    // (naming sweeps re-check the same run with different predicates, and
+    // reduced/raw comparison runs re-enter here per run).
+    if (csr_offsets_.size() != n + 1) {
+      csr_offsets_.assign(n + 1, 0);
+      for (const auto& [from, to] : edges_) ++csr_offsets_[to + 1];
+      for (std::size_t i = 0; i < n; ++i) csr_offsets_[i + 1] += csr_offsets_[i];
+      csr_sources_.resize(edges_.size());
+      std::vector<std::uint32_t> cursor(csr_offsets_.begin(),
+                                        csr_offsets_.end() - 1);
+      for (const auto& [from, to] : edges_) csr_sources_[cursor[to]++] = from;
     }
+    const std::vector<std::uint32_t>& offsets = csr_offsets_;
+    const std::vector<std::uint32_t>& sources = csr_sources_;
     std::vector<std::uint32_t> queue;
     queue.reserve(n);
     state_type scratch;
@@ -338,6 +352,14 @@ class explorer {
   /// Interned-component statistics (the compact-store win the bench reports).
   const state_pool<Machine>& pool() const { return pool_; }
 
+  /// Row-storage bytes actually committed for the seen set (the bench's
+  /// bytes-per-state numerator; same accounting basis in both modes).
+  std::uint64_t stored_row_bytes() const { return rows_.stored_bytes(); }
+
+  /// Keyframe rows in the compressed store (diagnostics; 0 in verbatim mode
+  /// where the notion does not apply).
+  std::uint64_t keyframe_rows() const { return rows_.keyframes(); }
+
  private:
   std::size_t stride() const {
     return static_cast<std::size_t>(registers_) + initial_machines_.size();
@@ -345,12 +367,16 @@ class explorer {
 
   void reset() {
     pool_.clear();
-    words_.clear();
+    rows_.configure(stride(), opt_.compress_arena);
+    dcache_.configure(stride());
     index_.clear();
     parent_.clear();
     via_.clear();
     elem_.clear();
     edges_.clear();
+    csr_offsets_.clear();
+    csr_sources_.clear();
+    cmp_.assign(stride(), 0);
   }
 
   /// Pack `s` into wbuf_: m register-value ids then n machine ids.
@@ -360,18 +386,28 @@ class explorer {
     for (const auto& p : s.procs) wbuf_.push_back(pool_.intern_machine(p));
   }
 
-  /// Dedup-insert wbuf_; returns (index, inserted-fresh).
+  /// Dedup-insert wbuf_; returns (index, inserted-fresh). When `parent` >= 0
+  /// its decoded row must sit in prow_ (explore()'s invariant) — compressed
+  /// appends delta against it.
   std::pair<std::int64_t, bool> intern_words(std::int64_t parent, int via,
                                              int elem) {
     const std::size_t h = hash_words(wbuf_.data(), stride());
+    const bool verbatim = !rows_.compressed();
     const std::uint32_t found = index_.find(h, [&](std::uint32_t i) {
-      return std::memcmp(words_.data() + std::size_t{i} * stride(),
-                         wbuf_.data(), stride() * sizeof(std::uint32_t)) == 0;
+      const std::uint32_t* row;
+      if (verbatim) {
+        row = rows_.verbatim_row(i);
+      } else {
+        rows_.load(i, parent_.data(), cmp_.data(), dcache_);
+        row = cmp_.data();
+      }
+      return std::memcmp(row, wbuf_.data(),
+                         stride() * sizeof(std::uint32_t)) == 0;
     });
     if (found != flat_index::npos) return {found, false};
     const std::uint64_t idx = num_states();
     ANONCOORD_REQUIRE(idx < flat_index::npos, "state index space exhausted");
-    words_.insert(words_.end(), wbuf_.begin(), wbuf_.end());
+    rows_.append(wbuf_.data(), parent, parent >= 0 ? prow_.data() : nullptr);
     index_.insert(h, static_cast<std::uint32_t>(idx));
     parent_.push_back(parent);
     via_.push_back(via);
@@ -379,11 +415,10 @@ class explorer {
     return {static_cast<std::int64_t>(idx), true};
   }
 
-  /// Decode stored state `idx` into `out`, reusing its capacity.
-  void load_state(std::uint64_t idx, state_type& out) const {
+  /// Expand a packed row into component form, reusing `out`'s capacity.
+  void fill_state(const std::uint32_t* w, state_type& out) const {
     const std::size_t m = static_cast<std::size_t>(registers_);
     const std::size_t n = initial_machines_.size();
-    const std::uint32_t* w = words_.data() + idx * stride();
     if (out.regs.size() == m && out.procs.size() == n) {
       for (std::size_t r = 0; r < m; ++r) out.regs[r] = pool_.value(w[r]);
       for (std::size_t p = 0; p < n; ++p)
@@ -395,6 +430,13 @@ class explorer {
       for (std::size_t p = 0; p < n; ++p)
         out.procs.push_back(pool_.machine(w[m + p]));
     }
+  }
+
+  /// Decode stored state `idx` into `out`, reusing its capacity.
+  void load_state(std::uint64_t idx, state_type& out) const {
+    rowtmp_.resize(stride());
+    rows_.load(idx, parent_.data(), rowtmp_.data(), dcache_);
+    fill_state(rowtmp_.data(), out);
   }
 
   /// The concrete schedule reaching stored state `idx`. Without symmetry
@@ -455,17 +497,25 @@ class explorer {
   symmetry_group<Machine> group_;
 
   state_pool<Machine> pool_;
-  std::vector<std::uint32_t> words_;  ///< packed rows, stride() per state
+  row_store rows_;  ///< packed rows, compressed or verbatim per options
   flat_index index_;
   std::vector<std::int64_t> parent_;
   std::vector<int> via_;
   std::vector<int> elem_;  ///< canonicalizing group element per state
   std::vector<std::pair<std::uint32_t, std::uint32_t>> edges_;
+  // Reverse-CSR progress structure, built lazily by check_progress and
+  // reused by subsequent calls on the same run.
+  mutable std::vector<std::uint32_t> csr_offsets_;
+  mutable std::vector<std::uint32_t> csr_sources_;
 
   // Hot-path scratch (members so explore() allocates nothing per successor).
   state_type scratch_, canon_;
   std::vector<Machine> saved_;
   std::vector<std::uint32_t> wbuf_;
+  std::vector<std::uint32_t> prow_;  ///< decoded row of the frontier state
+  std::vector<std::uint32_t> cmp_;   ///< eq-probe decode buffer
+  mutable std::vector<std::uint32_t> rowtmp_;
+  mutable row_decode_cache dcache_;
   mutable canonical_scratch<Machine> cs_;
 };
 

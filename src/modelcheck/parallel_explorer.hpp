@@ -1,52 +1,60 @@
 // Parallel explicit-state exploration with deterministic merge.
 //
-// Level-synchronous BFS over the same global states as explorer.hpp, sharded
-// across a fork-join worker pool:
+// Level-synchronous BFS over the same global states as explorer.hpp, run on
+// a fork-join worker pool with two lock-free structures on the hot path:
 //
-//   * the frontier (one BFS level) is split into chunks claimed from an
-//     atomic cursor, so load-balancing is dynamic;
-//   * discovered states are deduplicated in a STRIPED seen-table — one
-//     mutex + flat hash index per stripe, the stripe being a pure function
-//     of the state hash (util/striping.hpp) — so writers rarely contend;
-//   * at the end of each level the fresh states are merged DETERMINISTICALLY:
-//     sorted by (parent index, stepped process), which is exactly the order
-//     sequential BFS discovers them, then assigned global indices. If a
-//     state is reached twice within one level, the lexicographically
-//     smallest (parent, process) discoverer wins — again matching the
-//     sequential scan order. Verdicts, state counts, parent chains and
-//     counterexample schedules are therefore bit-identical to
-//     explorer<Machine> for every worker count; the differential and
-//     determinism tests pin this down.
+//   * the frontier (one BFS level) is pre-partitioned into per-worker
+//     Chase-Lev deques (util/work_steal.hpp): each worker pops its own slice
+//     LIFO and steals FIFO from the others when it runs dry, so load
+//     balancing is dynamic without an atomic cursor in every claim and
+//     without any mutex;
+//   * discovered states are deduplicated in ONE open-addressing CAS-insert
+//     seen-table (no stripes, no mutexes). A cell packs a 32-bit hash
+//     fragment with a tagged payload: either the global index of a merged
+//     state or the index of a level-pending entry. Inserting stages the
+//     packed row and its (parent, via, elem) provenance in pre-sized bump
+//     arenas first, then publishes with a release CAS on the empty cell; a
+//     loser re-examines the same cell, so a state is never inserted twice.
+//     Same-level duplicates fold their provenance with a CAS-min on the
+//     pending entry — the lexicographically smallest (parent, via), i.e.
+//     sequential BFS's first discoverer, always wins regardless of timing.
+//     The table grows only between levels (single-threaded, re-placing cells
+//     by fragment exactly like util/flat_index.hpp), so probes never race a
+//     rehash.
+//
+// At the end of each level the pending states are merged DETERMINISTICALLY:
+// sorted by (parent index, stepped process) — exactly the order sequential
+// BFS discovers them — then assigned global indices, appended to the row
+// store, and their cells rewritten to merged payloads. Verdicts, state
+// counts, parent chains and counterexample schedules are therefore
+// bit-identical to explorer<Machine> for every worker count; the
+// differential and determinism tests pin this down.
 //
 // States are packed and interned (modelcheck/state_pool.hpp): register
 // values and machine local states are hash-consed into thread-safe component
-// pools, and a stored state is one row of (m + n) 32-bit pool ids. The
-// arenas hold those rows instead of full state copies, duplicate compares
-// are memcmp, and a successor's row is its parent's row with at most two
-// patched words. Workers intern components BEFORE taking a stripe lock
-// (shard and stripe mutexes never nest), and id -> component reads are
-// lock-free, so the only synchronization on the hot path is the stripe
-// probe. The merged arena grows only during the single-threaded merge and
-// is strictly read-only while workers expand — same discipline (and the
-// same TSan-cleanliness) as before, now at 4(m + n) bytes per state.
+// pools, and a stored state is one row of (m + n) 32-bit pool ids. Merged
+// rows live in a row_store — delta-against-parent + varint compressed by
+// default (options.compress_arena), verbatim on opt-out — which only the
+// single-threaded merge appends to; workers decode rows through per-worker
+// caches, so the store is strictly read-only while they expand. The only
+// synchronization on the hot path is the seen-table CAS.
 //
 // With options.symmetry successors are canonicalized to their orbit
 // representative under the configuration's automorphism group
 // (modelcheck/symmetry.hpp) before dedup; every determinism property above
 // is preserved because canonicalization is a pure function of the successor
-// and the merge order never depends on stripe assignment. Reported
+// and the merge order never depends on table placement. Reported
 // counterexamples are mapped back to concrete schedules exactly as in the
 // sequential engine.
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <cstring>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
-#include <thread>
 #include <utility>
 #include <vector>
 
@@ -60,8 +68,8 @@
 #include "util/hash.hpp"
 #include "util/padded.hpp"
 #include "util/stopwatch.hpp"
-#include "util/striping.hpp"
 #include "util/thread_pool.hpp"
+#include "util/work_steal.hpp"
 
 namespace anoncoord {
 
@@ -83,6 +91,8 @@ class parallel_explorer {
     bool record_edges = true;
     /// Orbit-representative dedup; same contract as explorer::options.
     bool symmetry = false;
+    /// Compressed row store; same contract as explorer::options.
+    bool compress_arena = true;
   };
 
   struct result {
@@ -123,6 +133,9 @@ class parallel_explorer {
                  ? symmetry_group<Machine>::compute(naming_, initial_machines_)
                  : symmetry_group<Machine>::trivial(naming_.processes(),
                                                     registers_);
+    ANONCOORD_REQUIRE(naming_.processes() < (1 << kViaBits) &&
+                          group_.size() < (1 << kElemBits),
+                      "provenance packing out of range");
   }
 
   result explore(const state_predicate& is_bad = {}) {
@@ -145,9 +158,17 @@ class parallel_explorer {
       }
     }
 
-    thread_pool pool(opt_.workers);
+    const int nworkers = opt_.workers;
+    thread_pool pool(nworkers);
     workers_.clear();
-    workers_.resize(static_cast<std::size_t>(opt_.workers));
+    workers_.resize(static_cast<std::size_t>(nworkers));
+    for (auto& wd : workers_) {
+      wd.value.cmp.assign(stride(), 0);
+      wd.value.prow.assign(stride(), 0);
+      wd.value.dcache.configure(stride());
+    }
+    deques_ = std::make_unique<padded<ws_deque>[]>(
+        static_cast<std::size_t>(nworkers));
 
     std::uint64_t level_begin = 0;
     std::uint64_t level_end = 1;
@@ -156,16 +177,48 @@ class parallel_explorer {
         finish(res, timer);
         return res;  // incomplete
       }
-      // Fork: expand this level's states into the striped seen-table.
       const std::uint64_t span = level_end - level_begin;
-      const std::uint64_t chunk = std::clamp<std::uint64_t>(
-          span / (static_cast<std::uint64_t>(opt_.workers) * 8), 1, 256);
-      chunk_cursor cursor(level_begin, level_end, chunk);
+      prepare_level(span);
+      // Seed the deques with contiguous frontier slices (single-threaded:
+      // happens-before the fork), then fork the expansion.
+      for (int w = 0; w < nworkers; ++w) {
+        const std::uint64_t lo =
+            level_begin + span * static_cast<std::uint64_t>(w) /
+                              static_cast<std::uint64_t>(nworkers);
+        const std::uint64_t hi =
+            level_begin + span * static_cast<std::uint64_t>(w + 1) /
+                              static_cast<std::uint64_t>(nworkers);
+        ws_deque& d = deques_[static_cast<std::size_t>(w)].value;
+        d.reset(static_cast<std::size_t>(hi - lo));
+        for (std::uint64_t g = hi; g > lo; --g) d.push(g - 1);  // pop ascending
+      }
       pool.run([&](int w) {
-        std::uint64_t lo = 0, hi = 0;
-        while (cursor.claim(lo, hi))
-          for (std::uint64_t g = lo; g < hi; ++g)
-            expand(g, workers_[static_cast<std::size_t>(w)].value, is_bad);
+        worker_data& wd = workers_[static_cast<std::size_t>(w)].value;
+        ws_deque& own = deques_[static_cast<std::size_t>(w)].value;
+        std::uint64_t g = 0;
+        for (;;) {
+          if (own.pop(g)) {
+            expand(g, wd, is_bad);
+            continue;
+          }
+          // Own deque dry: sweep the others, stealing their oldest work. A
+          // steal can fail under CAS contention while items remain, so only
+          // a sweep that observes every deque empty terminates (no one
+          // pushes mid-level: empty is monotone).
+          bool stole = false;
+          bool maybe_work = false;
+          for (int k = 1; k < nworkers && !stole; ++k) {
+            ws_deque& victim =
+                deques_[static_cast<std::size_t>((w + k) % nworkers)].value;
+            if (victim.steal(g)) stole = true;
+            else if (!victim.empty()) maybe_work = true;
+          }
+          if (stole) {
+            expand(g, wd, is_bad);
+            continue;
+          }
+          if (!maybe_work && own.empty()) return;
+        }
       });
       // Join: deterministic merge, identical to sequential discovery order.
       if (merge_level(res)) {
@@ -193,28 +246,24 @@ class parallel_explorer {
     const std::size_t n = num_merged();
     std::vector<char> reaches_goal(n, 0);
     // Reverse adjacency in CSR form — two passes over the edge records
-    // instead of one heap-allocated bucket per state.
-    std::size_t nedges = 0;
-    for (const auto& wd : workers_) nedges += wd.value.edges.size();
-    std::vector<std::uint32_t> tos;
-    tos.reserve(nedges);
-    std::vector<std::uint32_t> offsets(n + 1, 0);
-    for (const auto& wd : workers_)
-      for (const auto& e : wd.value.edges) {
-        const auto to = static_cast<std::uint32_t>(
-            stripes_[e.stripe]->entries[e.local].global);
-        tos.push_back(to);
-        ++offsets[to + 1];
-      }
-    for (std::size_t i = 0; i < n; ++i) offsets[i + 1] += offsets[i];
-    std::vector<std::uint32_t> sources(nedges);
-    {
-      std::vector<std::uint32_t> cursor(offsets.begin(), offsets.end() - 1);
-      std::size_t k = 0;
+    // instead of one heap-allocated bucket per state. Cached across calls on
+    // the same run (sweeps re-check with different predicates).
+    if (csr_offsets_.size() != n + 1) {
+      std::size_t nedges = 0;
+      for (const auto& wd : workers_) nedges += wd.value.edges.size();
+      csr_offsets_.assign(n + 1, 0);
+      for (const auto& wd : workers_)
+        for (const auto& e : wd.value.edges) ++csr_offsets_[e.to + 1];
+      for (std::size_t i = 0; i < n; ++i) csr_offsets_[i + 1] += csr_offsets_[i];
+      csr_sources_.resize(nedges);
+      std::vector<std::uint32_t> cursor(csr_offsets_.begin(),
+                                        csr_offsets_.end() - 1);
       for (const auto& wd : workers_)
         for (const auto& e : wd.value.edges)
-          sources[cursor[tos[k++]]++] = static_cast<std::uint32_t>(e.from);
+          csr_sources_[cursor[e.to]++] = e.from;
     }
+    const std::vector<std::uint32_t>& offsets = csr_offsets_;
+    const std::vector<std::uint32_t>& sources = csr_sources_;
     std::vector<std::uint32_t> queue;
     queue.reserve(n);
     state_type scratch;
@@ -260,48 +309,69 @@ class parallel_explorer {
   /// Interned-component statistics (the compact-store win the bench reports).
   const state_pool<Machine>& pool() const { return pool_; }
 
+  /// Row-storage bytes committed for the merged seen set (the bench's
+  /// bytes-per-state numerator; same accounting basis in both modes).
+  std::uint64_t stored_row_bytes() const { return rows_.stored_bytes(); }
+
+  /// Keyframe rows in the compressed store (diagnostics; 0 in verbatim mode
+  /// where the notion does not apply).
+  std::uint64_t keyframe_rows() const { return rows_.keyframes(); }
+
  private:
-  /// Seen-table record. While a state waits for the level merge its packed
-  /// row sits in the owning stripe's pending arena at index `pending` and
-  /// `global` is -1; the merge moves it into the global word arena.
-  struct entry {
-    std::int64_t global;
-    std::int64_t parent;    ///< global index of the discovering state
-    std::int32_t via;       ///< process stepped to reach this state
-    std::int32_t elem;      ///< canonicalizing group element (symmetry)
-    std::uint32_t pending;  ///< pending-arena index while global < 0
+  // Seen-table cell (one 64-bit atomic): 0 is empty, otherwise
+  //   bits 63..32  hash fragment (flat_index::fragment — probe start is a
+  //                pure function of it, so between-level rehash never needs
+  //                the row)
+  //   bit 31       pending flag
+  //   bits 30..0   payload + 1: a merged global index, or while pending the
+  //                index of the level's staged entry
+  // The +1 keeps the low half nonzero so no (fragment = 0, payload = 0)
+  // state collides with "empty".
+  static constexpr std::uint32_t kPendingBit = 0x80000000u;
+  static constexpr std::uint64_t kMaxPayload = 0x7ffffffeull;
+
+  // Packed provenance, CAS-min folded on same-level duplicates. Numeric
+  // order == lexicographic (parent, via) order; elem rides along in the low
+  // bits (it is a pure function of the successor, so equal (parent, via)
+  // implies equal elem, and the tie never decides).
+  static constexpr int kViaBits = 12;
+  static constexpr int kElemBits = 12;
+
+  static std::uint64_t pack_pve(std::uint64_t parent, int via, int elem) {
+    return (parent << (kViaBits + kElemBits)) |
+           (static_cast<std::uint64_t>(via) << kElemBits) |
+           static_cast<std::uint64_t>(elem);
+  }
+
+  /// One state staged between discovery and the level merge.
+  struct pending_entry {
+    std::atomic<std::uint64_t> pve;  ///< packed provenance, CAS-min folded
+    std::uint32_t cell;              ///< cell index, for the merge rewrite
+    std::uint32_t global;            ///< assigned by the merge
   };
 
-  struct stripe {
-    std::mutex mu;
-    flat_index index;
-    std::vector<entry> entries;
-    /// Mid-level staging for fresh packed rows. Written and read only under
-    /// `mu`; cleared (capacity kept) per level.
-    std::vector<std::uint32_t> pending_words;
-    std::vector<std::uint32_t> fresh;  ///< entries discovered this level
-  };
-
+  /// Resolved successor edge (target rewritten at merge time while pending).
   struct edge_rec {
-    std::uint64_t from;     ///< global index (assigned: parents only)
-    std::uint32_t stripe;   ///< target state's stripe
-    std::uint32_t local;    ///< target state's entry within the stripe
+    std::uint32_t from;
+    std::uint32_t to;  ///< kPendingBit-tagged entry index until resolved
   };
 
   struct worker_data {
     std::vector<edge_rec> edges;
+    std::size_t edges_resolved = 0;  ///< watermark: all before it are final
+    std::vector<std::uint32_t> fresh;  ///< entry indices this worker published
+    std::vector<std::uint32_t> bad;    ///< fresh entries that violated safety
     std::uint64_t dedup_hits = 0;
     state_type scratch;  ///< reused across expansions: no per-parent allocs
     state_type canon;    ///< canonical successor buffer (symmetry)
     canonical_scratch<Machine> cs;
     std::vector<std::uint32_t> wbuf;  ///< packed successor row
+    std::vector<std::uint32_t> prow;  ///< decoded row of the expanded state
+    std::vector<std::uint32_t> cmp;   ///< eq-probe decode buffer
+    row_decode_cache dcache;
     /// Per-process undo slots for the machine mutated by step(); persistent
     /// so the save/restore round-trip copy-assigns instead of allocating.
     std::vector<Machine> saved;
-    /// Fresh states this worker found bad, as (stripe, entry) — the safety
-    /// predicate runs here, where the successor is already in cache, not in
-    /// a second pass over the merged level.
-    std::vector<std::pair<std::uint32_t, std::uint32_t>> bad;
   };
 
   std::size_t stride() const {
@@ -311,33 +381,87 @@ class parallel_explorer {
   std::size_t num_merged() const { return parents_.size(); }
 
   void reset() {
-    // Stripes exist to keep OS threads off each other's mutexes; logical
-    // workers beyond the hardware width never run concurrently (thread_pool
-    // multiplexes them), so sizing by them would only bloat the table
-    // working set. Determinism is unaffected: merge order never depends on
-    // the stripe partition.
-    const int hw = std::max(
-        1, static_cast<int>(std::thread::hardware_concurrency()));
-    nstripes_ = stripe_count_for(std::min(opt_.workers, hw));
-    stripes_.clear();
-    for (int s = 0; s < nstripes_; ++s)
-      stripes_.push_back(std::make_unique<stripe>());
     pool_.clear();
-    arena_words_.clear();
+    rows_.configure(stride(), opt_.compress_arena);
     parents_.clear();
     vias_.clear();
     elems_.clear();
     workers_.clear();
+    csr_offsets_.clear();
+    csr_sources_.clear();
+    mcache_.configure(stride());
+    mrow_.assign(stride(), 0);
+    cell_count_ = 1024;
+    cell_mask_ = cell_count_ - 1;
+    cells_ = std::make_unique<std::atomic<std::uint64_t>[]>(cell_count_);
+    for (std::size_t i = 0; i < cell_count_; ++i)
+      cells_[i].store(0, std::memory_order_relaxed);
+    pend_cap_ = 0;
+    pend_count_.store(0, std::memory_order_relaxed);
   }
 
-  /// Decode merged state `global` from the word arena into `out`, reusing
-  /// its capacity. The arena only mutates during the single-threaded merge,
-  /// and pool reads are lock-free, so concurrent loads during expansion need
-  /// no synchronization.
-  void load_state(std::uint64_t global, state_type& out) const {
+  std::size_t cell_start(std::uint32_t frag) const {
+    return static_cast<std::size_t>(
+               (frag * std::uint64_t{0x9e3779b97f4a7c15}) >> 32) &
+           cell_mask_;
+  }
+
+  static std::uint64_t make_cell(std::uint32_t frag, std::uint32_t tagged) {
+    return (std::uint64_t{frag} << 32) | (tagged + 1);
+  }
+  static std::uint32_t cell_frag(std::uint64_t cell) {
+    return static_cast<std::uint32_t>(cell >> 32);
+  }
+  /// Tagged payload: kPendingBit | entry index, or a merged global index.
+  static std::uint32_t cell_tagged(std::uint64_t cell) {
+    return static_cast<std::uint32_t>(cell) - 1;
+  }
+
+  /// Between-level capacity management: every structure a worker bumps or
+  /// CASes during the fork is sized here for the worst case (span * nprocs
+  /// discoveries), so the fork itself never reallocates anything shared.
+  void prepare_level(std::uint64_t span) {
+    const std::uint64_t upper =
+        span * static_cast<std::uint64_t>(initial_machines_.size());
+    ANONCOORD_REQUIRE(num_merged() + upper < kMaxPayload,
+                      "state index space exhausted");
+    if ((num_merged() + upper + 1) * 10 >= cell_count_ * 7) {
+      std::size_t cap = cell_count_;
+      while ((num_merged() + upper + 1) * 10 >= cap * 7) cap *= 2;
+      grow_cells(cap);
+    }
+    if (upper > pend_cap_) {
+      pend_cap_ = static_cast<std::size_t>(upper);
+      pend_ = std::make_unique<pending_entry[]>(pend_cap_);
+      pend_words_.resize(pend_cap_ * stride());
+    }
+    pend_count_.store(0, std::memory_order_relaxed);
+  }
+
+  /// Single-threaded rehash; every cell is a merged payload here (the merge
+  /// rewrote all pending cells), and fragments alone re-derive probe starts.
+  void grow_cells(std::size_t capacity) {
+    auto old = std::move(cells_);
+    const std::size_t old_count = cell_count_;
+    cell_count_ = capacity;
+    cell_mask_ = capacity - 1;
+    cells_ = std::make_unique<std::atomic<std::uint64_t>[]>(capacity);
+    for (std::size_t i = 0; i < capacity; ++i)
+      cells_[i].store(0, std::memory_order_relaxed);
+    for (std::size_t i = 0; i < old_count; ++i) {
+      const std::uint64_t cell = old[i].load(std::memory_order_relaxed);
+      if (cell == 0) continue;
+      std::size_t j = cell_start(cell_frag(cell));
+      while (cells_[j].load(std::memory_order_relaxed) != 0)
+        j = (j + 1) & cell_mask_;
+      cells_[j].store(cell, std::memory_order_relaxed);
+    }
+  }
+
+  /// Expand a packed row into component form, reusing `out`'s capacity.
+  void fill_state(const std::uint32_t* w, state_type& out) const {
     const std::size_t m = static_cast<std::size_t>(registers_);
     const std::size_t n = initial_machines_.size();
-    const std::uint32_t* w = arena_words_.data() + global * stride();
     if (out.regs.size() == m && out.procs.size() == n) {
       for (std::size_t r = 0; r < m; ++r) out.regs[r] = pool_.value(w[r]);
       for (std::size_t p = 0; p < n; ++p)
@@ -351,10 +475,11 @@ class parallel_explorer {
     }
   }
 
-  bool row_equals(const std::uint32_t* row,
-                  const std::vector<std::uint32_t>& wbuf) const {
-    return std::memcmp(row, wbuf.data(),
-                       stride() * sizeof(std::uint32_t)) == 0;
+  /// Decode merged state `global` into `out` (single-threaded callers; the
+  /// workers decode through their own caches in expand()).
+  void load_state(std::uint64_t global, state_type& out) const {
+    rows_.load(global, parents_.data(), mrow_.data(), mcache_);
+    fill_state(mrow_.data(), out);
   }
 
   void intern_initial(const state_type& init, int elem) {
@@ -362,23 +487,24 @@ class parallel_explorer {
     for (const auto& r : init.regs) wbuf.push_back(pool_.intern_value(r));
     for (const auto& p : init.procs) wbuf.push_back(pool_.intern_machine(p));
     const std::size_t h = hash_words(wbuf.data(), stride());
-    stripe& st = *stripes_[stripe_of(h, nstripes_)];
-    st.entries.push_back(entry{0, -1, -1, elem, 0});
-    st.index.insert(h, 0);
-    arena_words_.insert(arena_words_.end(), wbuf.begin(), wbuf.end());
+    const std::uint32_t frag = flat_index::fragment(h);
+    std::size_t i = cell_start(frag);
+    cells_[i].store(make_cell(frag, 0), std::memory_order_relaxed);
+    rows_.append(wbuf.data(), -1, nullptr);
     parents_.push_back(-1);
     vias_.push_back(-1);
     elems_.push_back(elem);
   }
 
   /// Expand one state: step-in-place each enabled process on a scratch copy,
-  /// pack (and under symmetry canonicalize) the successor, probe the striped
-  /// table, stage only on a miss, then undo.
+  /// pack (and under symmetry canonicalize) the successor, then find-or-
+  /// publish it in the CAS table.
   void expand(std::uint64_t g, worker_data& wd, const state_predicate& is_bad) {
     const std::size_t m = static_cast<std::size_t>(registers_);
     const bool reduce = !group_.is_trivial();
     state_type& scratch = wd.scratch;
-    load_state(g, scratch);
+    rows_.load(g, parents_.data(), wd.prow.data(), wd.dcache);
+    fill_state(wd.prow.data(), scratch);
     if (wd.saved.size() != scratch.procs.size()) wd.saved = scratch.procs;
     const int nprocs = static_cast<int>(scratch.procs.size());
     for (int p = 0; p < nprocs; ++p) {
@@ -397,8 +523,8 @@ class parallel_explorer {
       permuted_vector_memory<value_type> view(scratch.regs, perm);
       machine.step(view);
 
-      // Pack the successor row. Component interning happens here, BEFORE
-      // the stripe lock (shard mutexes and stripe mutexes never nest).
+      // Pack the successor row. Component interning happens off the seen
+      // table's critical path (its shard mutexes are the only locks left).
       int elem = 0;
       if (reduce) {
         wd.canon.regs = scratch.regs;
@@ -410,9 +536,7 @@ class parallel_explorer {
         for (const auto& q : wd.canon.procs)
           wd.wbuf.push_back(pool_.intern_machine(q));
       } else {
-        wd.wbuf.assign(
-            arena_words_.data() + g * stride(),
-            arena_words_.data() + (g + 1) * stride());
+        wd.wbuf.assign(wd.prow.begin(), wd.prow.end());
         wd.wbuf[m + static_cast<std::size_t>(p)] =
             pool_.intern_machine(machine);
         if (written >= 0)
@@ -420,54 +544,12 @@ class parallel_explorer {
               scratch.regs[static_cast<std::size_t>(written)]);
       }
 
-      const std::size_t h = hash_words(wd.wbuf.data(), stride());
-      const unsigned sidx = stripe_of(h, nstripes_);
-      stripe& st = *stripes_[sidx];
       bool inserted = false;
-      std::uint32_t local;
-      {
-        std::lock_guard lk(st.mu);
-        local = st.index.find(h, [&](std::uint32_t l) {
-          const entry& e = st.entries[l];
-          const std::uint32_t* row =
-              e.global >= 0
-                  ? arena_words_.data() +
-                        static_cast<std::size_t>(e.global) * stride()
-                  : st.pending_words.data() +
-                        static_cast<std::size_t>(e.pending) * stride();
-          return row_equals(row, wd.wbuf);
-        });
-        if (local != flat_index::npos) {
-          ++wd.dedup_hits;
-          entry& known = st.entries[local];
-          // A same-level duplicate keeps its lexicographically smallest
-          // (parent, via) discoverer — sequential BFS's first discoverer.
-          // The canonicalizing element travels with (parent, via): the
-          // schedule reconstruction needs the element of the recorded
-          // discoverer, not of whichever worker got here first.
-          if (known.global < 0 &&
-              (static_cast<std::int64_t>(g) < known.parent ||
-               (static_cast<std::int64_t>(g) == known.parent &&
-                p < known.via))) {
-            known.parent = static_cast<std::int64_t>(g);
-            known.via = p;
-            known.elem = elem;
-          }
-        } else {
-          inserted = true;
-          local = static_cast<std::uint32_t>(st.entries.size());
-          const auto pending = static_cast<std::uint32_t>(st.fresh.size());
-          st.pending_words.insert(st.pending_words.end(), wd.wbuf.begin(),
-                                  wd.wbuf.end());
-          st.entries.push_back(entry{-1, static_cast<std::int64_t>(g), p,
-                                     elem, pending});
-          st.index.insert(h, local);
-          st.fresh.push_back(local);
-        }
-        if (opt_.record_edges) wd.edges.push_back(edge_rec{g, sidx, local});
-      }
+      const std::uint32_t tagged = probe_or_publish(wd, g, p, elem, inserted);
+      if (opt_.record_edges)
+        wd.edges.push_back(edge_rec{static_cast<std::uint32_t>(g), tagged});
       if (inserted && is_bad && is_bad(reduce ? wd.canon : scratch))
-        wd.bad.push_back({sidx, local});
+        wd.bad.push_back(tagged & ~kPendingBit);
       // Undo: restore the moved machine and the overwritten register.
       machine = wd.saved[static_cast<std::size_t>(p)];
       if (written >= 0)
@@ -475,57 +557,130 @@ class parallel_explorer {
     }
   }
 
-  /// Sort this level's fresh states into sequential discovery order, move
-  /// their rows from the pending arenas into the global one, and surface the
-  /// first bad state in that order. Returns true iff a violation was found.
+  /// Find wd.wbuf in the seen table or publish it as a pending entry.
+  /// Returns the tagged payload (merged global, or kPendingBit | entry).
+  std::uint32_t probe_or_publish(worker_data& wd, std::uint64_t g, int p,
+                                 int elem, bool& inserted) {
+    const std::size_t h = hash_words(wd.wbuf.data(), stride());
+    const std::uint32_t frag = flat_index::fragment(h);
+    const std::uint64_t pve = pack_pve(g, p, elem);
+    std::uint32_t staged = kPendingBit;  // no entry staged yet
+    std::size_t i = cell_start(frag);
+    for (;;) {
+      std::uint64_t cell = cells_[i].load(std::memory_order_acquire);
+      while (cell == 0) {
+        if (staged == kPendingBit) {
+          // Stage row + provenance first; the release CAS publishes them.
+          staged = pend_count_.fetch_add(1, std::memory_order_relaxed);
+          ANONCOORD_REQUIRE(staged < pend_cap_, "pending arena overrun");
+          std::memcpy(pend_words_.data() + std::size_t{staged} * stride(),
+                      wd.wbuf.data(), stride() * sizeof(std::uint32_t));
+          pend_[staged].pve.store(pve, std::memory_order_relaxed);
+        }
+        if (cells_[i].compare_exchange_strong(
+                cell, make_cell(frag, kPendingBit | staged),
+                std::memory_order_release, std::memory_order_acquire)) {
+          // Only this worker touches the entry's plain fields before the
+          // join; the merge reads them after it.
+          pend_[staged].cell = static_cast<std::uint32_t>(i);
+          wd.fresh.push_back(staged);
+          inserted = true;
+          return kPendingBit | staged;
+        }
+        // Lost the race: `cell` now holds the winner — re-examine it, the
+        // winner may be this very state. The staged entry stays reusable
+        // (or becomes a dead hole if the state turns out to be known).
+      }
+      if (cell_frag(cell) == frag) {
+        const std::uint32_t tagged = cell_tagged(cell);
+        const std::uint32_t* row;
+        if (tagged & kPendingBit) {
+          row = pend_words_.data() +
+                std::size_t{tagged & ~kPendingBit} * stride();
+        } else {
+          rows_.load(tagged, parents_.data(), wd.cmp.data(), wd.dcache);
+          row = wd.cmp.data();
+        }
+        if (std::memcmp(row, wd.wbuf.data(),
+                        stride() * sizeof(std::uint32_t)) == 0) {
+          ++wd.dedup_hits;
+          if (tagged & kPendingBit) {
+            // Same-level duplicate: fold provenance to the lexicographically
+            // smallest (parent, via) — sequential BFS's first discoverer.
+            std::atomic<std::uint64_t>& slot =
+                pend_[tagged & ~kPendingBit].pve;
+            std::uint64_t cur = slot.load(std::memory_order_relaxed);
+            while (pve < cur &&
+                   !slot.compare_exchange_weak(cur, pve,
+                                               std::memory_order_relaxed,
+                                               std::memory_order_relaxed)) {
+            }
+          }
+          return tagged;
+        }
+      }
+      i = (i + 1) & cell_mask_;
+    }
+  }
+
+  /// Sort this level's pending states into sequential discovery order,
+  /// append their rows to the store, rewrite their cells to merged payloads,
+  /// resolve edge targets, and surface the first bad state in that order.
+  /// Returns true iff a violation was found.
   bool merge_level(result& res) {
     struct fresh_ref {
-      std::int64_t parent;
-      std::int32_t via;
-      std::uint32_t stripe;
-      std::uint32_t local;
+      std::uint64_t pve;
+      std::uint32_t eidx;
     };
     std::vector<fresh_ref> fresh;
-    for (int s = 0; s < nstripes_; ++s) {
-      stripe& st = *stripes_[static_cast<std::size_t>(s)];
-      for (std::uint32_t local : st.fresh) {
-        const entry& e = st.entries[local];
-        fresh.push_back(fresh_ref{e.parent, e.via,
-                                  static_cast<std::uint32_t>(s), local});
-      }
-    }
+    for (auto& wd : workers_)
+      for (const std::uint32_t eidx : wd.value.fresh)
+        fresh.push_back(fresh_ref{
+            pend_[eidx].pve.load(std::memory_order_relaxed), eidx});
     // (parent, via) pairs are unique — each parent/process combination has
-    // exactly one successor — so this order is total and deterministic.
+    // exactly one successor — so packed-provenance order is total and
+    // deterministic, independent of which worker published the entry.
     std::sort(fresh.begin(), fresh.end(),
               [](const fresh_ref& a, const fresh_ref& b) {
-                return a.parent != b.parent ? a.parent < b.parent
-                                            : a.via < b.via;
+                return a.pve < b.pve;
               });
     for (const fresh_ref& f : fresh) {
-      stripe& st = *stripes_[f.stripe];
-      entry& e = st.entries[f.local];
-      e.global = static_cast<std::int64_t>(num_merged());
-      const auto* row = st.pending_words.data() +
-                        static_cast<std::size_t>(e.pending) * stride();
-      arena_words_.insert(arena_words_.end(), row, row + stride());
-      parents_.push_back(e.parent);
-      vias_.push_back(e.via);
-      elems_.push_back(e.elem);
+      const auto global = static_cast<std::uint32_t>(num_merged());
+      const auto parent = static_cast<std::int64_t>(
+          f.pve >> (kViaBits + kElemBits));
+      const auto via = static_cast<std::int32_t>(
+          (f.pve >> kElemBits) & ((1u << kViaBits) - 1));
+      const auto elem = static_cast<std::int32_t>(
+          f.pve & ((1u << kElemBits) - 1));
+      rows_.load(static_cast<std::uint64_t>(parent), parents_.data(),
+                 mrow_.data(), mcache_);
+      rows_.append(pend_words_.data() + std::size_t{f.eidx} * stride(),
+                   parent, mrow_.data());
+      parents_.push_back(parent);
+      vias_.push_back(via);
+      elems_.push_back(elem);
+      pend_[f.eidx].global = global;
+      std::atomic<std::uint64_t>& cell = cells_[pend_[f.eidx].cell];
+      cell.store(make_cell(cell_frag(cell.load(std::memory_order_relaxed)),
+                           global),
+                 std::memory_order_relaxed);
     }
-    for (int s = 0; s < nstripes_; ++s) {
-      stripe& st = *stripes_[static_cast<std::size_t>(s)];
-      st.fresh.clear();          // clear() keeps capacity: no churn
-      st.pending_words.clear();
-    }
-    // The safety predicate already ran in expand(); the violation reported
-    // is the smallest merged index — the first one sequential BFS meets.
+    // Resolve this level's new edges from pending entries to globals.
     std::int64_t first_bad = -1;
     for (auto& wd : workers_) {
-      for (const auto& [sidx, local] : wd.value.bad) {
-        const std::int64_t g = stripes_[sidx]->entries[local].global;
+      if (opt_.record_edges) {
+        auto& edges = wd.value.edges;
+        for (std::size_t k = wd.value.edges_resolved; k < edges.size(); ++k)
+          if (edges[k].to & kPendingBit)
+            edges[k].to = pend_[edges[k].to & ~kPendingBit].global;
+        wd.value.edges_resolved = edges.size();
+      }
+      for (const std::uint32_t eidx : wd.value.bad) {
+        const auto g = static_cast<std::int64_t>(pend_[eidx].global);
         if (first_bad < 0 || g < first_bad) first_bad = g;
       }
       wd.value.bad.clear();
+      wd.value.fresh.clear();
     }
     if (first_bad < 0) return false;
     res.bad_state = concrete_state(first_bad);
@@ -589,17 +744,34 @@ class parallel_explorer {
   options opt_;
   symmetry_group<Machine> group_;
 
-  int nstripes_ = 1;
-  std::vector<std::unique_ptr<stripe>> stripes_;
   state_pool<Machine> pool_;
-  /// Merged states, packed: state g occupies
-  /// arena_words_[g*stride() .. (g+1)*stride()); parents_/vias_/elems_
-  /// record the BFS tree and the per-state canonicalizing element.
-  std::vector<std::uint32_t> arena_words_;
+  /// Merged states: row g in rows_; parents_/vias_/elems_ record the BFS
+  /// tree and the per-state canonicalizing element.
+  row_store rows_;
   std::vector<std::int64_t> parents_;
   std::vector<std::int32_t> vias_;
   std::vector<std::int32_t> elems_;
+
+  /// The lock-free seen table (see cell layout above) and the per-level
+  /// staging arenas its pending payloads point into.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> cells_;
+  std::size_t cell_count_ = 0;
+  std::size_t cell_mask_ = 0;
+  std::unique_ptr<pending_entry[]> pend_;
+  std::size_t pend_cap_ = 0;
+  std::atomic<std::uint32_t> pend_count_{0};
+  std::vector<std::uint32_t> pend_words_;
+
   std::vector<padded<worker_data>> workers_;
+  std::unique_ptr<padded<ws_deque>[]> deques_;
+
+  // Reverse-CSR progress structure, built lazily by check_progress and
+  // reused by subsequent calls on the same run.
+  mutable std::vector<std::uint32_t> csr_offsets_;
+  mutable std::vector<std::uint32_t> csr_sources_;
+  // Single-threaded decode scratch (merge, load_state, check_progress).
+  mutable row_decode_cache mcache_;
+  mutable std::vector<std::uint32_t> mrow_;
 };
 
 }  // namespace anoncoord

@@ -31,13 +31,17 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <mutex>
 #include <new>
+#include <vector>
 
+#include "util/arena.hpp"
 #include "util/check.hpp"
 #include "util/flat_index.hpp"
 #include "util/hash.hpp"
+#include "util/varint.hpp"
 
 namespace anoncoord {
 
@@ -189,6 +193,213 @@ class state_pool {
 
   detail::component_pool<value_type, value_hasher> values_;
   detail::component_pool<Machine, machine_hasher> machines_;
+};
+
+/// Per-reader scratch for row_store::load in compressed mode: a direct-mapped
+/// cache of recently decoded rows, keyed by state index. Decoding walks the
+/// delta chain parent-ward and stops at the first cached ancestor, so BFS
+/// locality (a state's parent sits one level up and was decoded moments ago)
+/// collapses the expected chain walk to a step or two. The cache is a bounded
+/// scratch object owned by each reader thread — it is NOT part of the
+/// per-state storage and is not charged to bytes-per-state.
+class row_decode_cache {
+ public:
+  static constexpr std::size_t kSlots = 1 << 15;  // 32768; pow2 for masking
+
+  void configure(std::size_t stride) {
+    stride_ = stride;
+    rows_.assign(kSlots * stride, 0);
+    tags_.assign(kSlots, 0);
+  }
+
+  void clear() {
+    if (!tags_.empty()) tags_.assign(tags_.size(), 0);
+  }
+
+  /// nullptr on miss; cached row words on hit.
+  const std::uint32_t* find(std::uint64_t idx) const {
+    const std::size_t slot = static_cast<std::size_t>(idx) & (kSlots - 1);
+    if (tags_[slot] != idx + 1) return nullptr;
+    return rows_.data() + slot * stride_;
+  }
+
+  void put(std::uint64_t idx, const std::uint32_t* row) {
+    const std::size_t slot = static_cast<std::size_t>(idx) & (kSlots - 1);
+    tags_[slot] = idx + 1;
+    std::memcpy(rows_.data() + slot * stride_, row,
+                stride_ * sizeof(std::uint32_t));
+  }
+
+ private:
+  std::size_t stride_ = 0;
+  std::vector<std::uint32_t> rows_;
+  std::vector<std::uint64_t> tags_;
+};
+
+/// Append-only store of packed state rows (stride = m + n words each), the
+/// seen-set payload of both explorers. Two modes:
+///
+///   * verbatim — rows kept as flat 4·stride-byte runs (the pre-compression
+///     layout); load() is a memcpy and verbatim_row() exposes the bytes for
+///     memcmp-equality. This is the opt-out path (options.compress_arena =
+///     false).
+///   * compressed — each row is encoded into a byte_arena page either as a
+///     KEYFRAME (tag varint 0, then the stride words as varints) or as a
+///     DELTA against its BFS parent's row (tag varint = patch count, then per
+///     patch a position gap varint and the new word zigzag-encoded against
+///     the overwritten word). A BFS successor differs from its parent in one
+///     machine word and at most one register word, so a typical delta is a
+///     handful of bytes. Keyframes are forced at the roots, whenever the
+///     delta chain would exceed kMaxChain (bounding decode work), and
+///     whenever the delta would not actually be smaller.
+///
+/// Decoding a compressed row needs the BFS parent array (the explorers own
+/// it) and a row_decode_cache. Appends are single-threaded; loads may run
+/// concurrently from many threads provided no append is in flight and each
+/// thread uses its own cache — the same fork-join contract as byte_arena.
+class row_store {
+ public:
+  /// Longest allowed parent-delta chain before a keyframe is forced.
+  static constexpr std::uint8_t kMaxChain = 24;
+
+  void configure(std::size_t stride, bool compress) {
+    ANONCOORD_REQUIRE(stride > 0 && stride < (std::size_t{1} << 13),
+                      "row stride out of range");
+    clear();
+    stride_ = stride;
+    compressed_ = compress;
+  }
+
+  std::size_t stride() const { return stride_; }
+  bool compressed() const { return compressed_; }
+  std::uint64_t size() const { return count_; }
+
+  /// Append one row. `parent` is the row's BFS parent index (< 0 for roots)
+  /// and `parent_row` its decoded words (nullptr forces a keyframe). Returns
+  /// the new row's index == the previous size().
+  std::uint64_t append(const std::uint32_t* row, std::int64_t parent,
+                       const std::uint32_t* parent_row) {
+    const std::uint64_t idx = count_++;
+    if (!compressed_) {
+      words_.insert(words_.end(), row, row + stride_);
+      return idx;
+    }
+    const bool can_delta = parent >= 0 && parent_row != nullptr &&
+                           depth_[static_cast<std::size_t>(parent)] < kMaxChain;
+    std::size_t npatch = 0;
+    std::size_t delta_size = 0;
+    if (can_delta) {
+      for (std::size_t i = 0; i < stride_; ++i) {
+        if (row[i] == parent_row[i]) continue;
+        ++npatch;
+        delta_size += varint_size(i) +  // upper bound on the gap varint
+                      varint_size(zigzag_encode(
+                          static_cast<std::int64_t>(row[i]) -
+                          static_cast<std::int64_t>(parent_row[i])));
+      }
+    }
+    std::size_t key_size = 0;
+    for (std::size_t i = 0; i < stride_; ++i) key_size += varint_size(row[i]);
+    const bool keyframe =
+        !can_delta || npatch == 0 ||
+        varint_size(npatch) + delta_size >= 1 + key_size;
+
+    std::uint8_t* out = arena_.reserve(1 + key_size + kMaxVarintBytes);
+    std::size_t n = 0;
+    if (keyframe) {
+      n += put_varint(out + n, 0);
+      for (std::size_t i = 0; i < stride_; ++i)
+        n += put_varint(out + n, row[i]);
+      depth_.push_back(0);
+    } else {
+      n += put_varint(out + n, npatch);
+      std::size_t prev = 0;
+      for (std::size_t i = 0; i < stride_; ++i) {
+        if (row[i] == parent_row[i]) continue;
+        n += put_varint(out + n, i - prev);
+        n += put_varint(out + n,
+                        zigzag_encode(static_cast<std::int64_t>(row[i]) -
+                                      static_cast<std::int64_t>(parent_row[i])));
+        prev = i;
+      }
+      depth_.push_back(
+          static_cast<std::uint8_t>(depth_[static_cast<std::size_t>(parent)] +
+                                    1));
+    }
+    const std::uint64_t off = arena_.commit(n);
+    ANONCOORD_REQUIRE(off <= 0xFFFFFFFFull,
+                      "compressed row arena exceeds 4 GiB; rerun with "
+                      "compress_arena disabled");
+    offs_.push_back(static_cast<std::uint32_t>(off));
+    return idx;
+  }
+
+  /// Decode row `idx` into `out` (stride words). `parents` is the explorer's
+  /// BFS parent array; `cache` must belong to the calling thread.
+  void load(std::uint64_t idx, const std::int64_t* parents, std::uint32_t* out,
+            row_decode_cache& cache) const {
+    if (!compressed_) {
+      std::memcpy(out, words_.data() + idx * stride_,
+                  stride_ * sizeof(std::uint32_t));
+      return;
+    }
+    if (const std::uint32_t* hit = cache.find(idx)) {
+      std::memcpy(out, hit, stride_ * sizeof(std::uint32_t));
+      return;
+    }
+    const std::uint8_t* in = arena_.at(offs_[static_cast<std::size_t>(idx)]);
+    const std::uint64_t npatch = get_varint(in);
+    if (npatch == 0) {  // keyframe
+      for (std::size_t i = 0; i < stride_; ++i)
+        out[i] = static_cast<std::uint32_t>(get_varint(in));
+    } else {
+      load(static_cast<std::uint64_t>(parents[static_cast<std::size_t>(idx)]),
+           parents, out, cache);  // recursion bounded by kMaxChain
+      std::size_t pos = 0;
+      for (std::uint64_t p = 0; p < npatch; ++p) {
+        pos += static_cast<std::size_t>(get_varint(in));
+        out[pos] = static_cast<std::uint32_t>(
+            static_cast<std::int64_t>(out[pos]) + zigzag_decode(get_varint(in)));
+      }
+    }
+    cache.put(idx, out);
+  }
+
+  /// Direct row bytes; verbatim mode only (memcmp-equality fast path).
+  const std::uint32_t* verbatim_row(std::uint64_t idx) const {
+    return words_.data() + idx * stride_;
+  }
+
+  /// Bytes of per-state row storage actually committed: encoded bytes plus
+  /// offset/depth side arrays in compressed mode, 4·stride per row verbatim.
+  std::uint64_t stored_bytes() const {
+    if (!compressed_) return count_ * stride_ * sizeof(std::uint32_t);
+    return arena_.used() + count_ * (sizeof(std::uint32_t) + 1);
+  }
+
+  /// Keyframe count (diagnostics: the rest are parent deltas).
+  std::uint64_t keyframes() const {
+    std::uint64_t k = 0;
+    for (const std::uint8_t d : depth_) k += (d == 0);
+    return k;
+  }
+
+  void clear() {
+    count_ = 0;
+    words_.clear();
+    arena_.clear();
+    offs_.clear();
+    depth_.clear();
+  }
+
+ private:
+  std::size_t stride_ = 0;
+  bool compressed_ = true;
+  std::uint64_t count_ = 0;
+  std::vector<std::uint32_t> words_;  // verbatim mode
+  byte_arena arena_;                  // compressed mode: encoded rows…
+  std::vector<std::uint32_t> offs_;   // …their offsets (u32: arena < 4 GiB)…
+  std::vector<std::uint8_t> depth_;   // …and delta-chain depths (keyframe = 0)
 };
 
 }  // namespace anoncoord

@@ -78,6 +78,48 @@ concept process_symmetric_machine =
       { canonical_less(m, m) } -> std::same_as<bool>;
     };
 
+/// True iff the initial machine tuple is invariant, up to identifier
+/// renaming, under EVERY process permutation — the precondition for folding
+/// naming assignments across process permutations (naming_orbit_classes):
+/// there, unlike in-run symmetry reduction, the group is all of S_n, so the
+/// machines themselves must be copies of one program differing only in id.
+/// Transpositions generate S_n, so checking each swapped pair suffices.
+/// Always false for machine types without the process_symmetric_machine
+/// opt-in, and for tuples with duplicate ids (renaming is ill-defined).
+template <class Machine>
+bool process_interchangeable_initial(const std::vector<Machine>& initial) {
+  if constexpr (!process_symmetric_machine<Machine>) {
+    return false;
+  } else {
+    using value_type = typename Machine::value_type;
+    const int n = static_cast<int>(initial.size());
+    std::vector<value_type> ids;
+    ids.reserve(static_cast<std::size_t>(n));
+    for (const Machine& mch : initial) ids.push_back(mch.id());
+    const auto eq = [](const Machine& a, const Machine& b) {
+      return !canonical_less(a, b) && !canonical_less(b, a);
+    };
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        const value_type a = ids[static_cast<std::size_t>(i)];
+        const value_type b = ids[static_cast<std::size_t>(j)];
+        if (a == b) return false;
+        const auto swap_ids = [&](const value_type& v) -> value_type {
+          if (v == a) return b;
+          if (v == b) return a;
+          return v;
+        };
+        if (!eq(initial[static_cast<std::size_t>(i)].renamed(swap_ids),
+                initial[static_cast<std::size_t>(j)]) ||
+            !eq(initial[static_cast<std::size_t>(j)].renamed(swap_ids),
+                initial[static_cast<std::size_t>(i)]))
+          return false;
+      }
+    }
+    return true;
+  }
+}
+
 /// Reusable buffers for canonicalize(); one per worker in the parallel
 /// explorer so canonicalization allocates nothing steady-state.
 template <class Machine>

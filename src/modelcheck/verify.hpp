@@ -199,9 +199,16 @@ struct naming_sweep_report {
   std::uint64_t violated = 0;    ///< configurations with a violation
   std::uint64_t incomplete = 0;  ///< configurations that hit a cap
   std::uint64_t total_states = 0;
+  /// Weighted totals the reduced sweep certifies for the FULL (m!)^n
+  /// enumeration: each verified config stands for weight x m! raw naming
+  /// tuples (weight > 1 only in process-quotient mode). With no reduction
+  /// these equal configs / violated.
+  std::uint64_t full_configs = 0;
+  std::uint64_t full_violated = 0;
   double wall_seconds = 0.0;
   /// Per-config violation flags, in the enumerator's deterministic order
-  /// (all_naming_assignments / naming_orbit_representatives).
+  /// (all_naming_assignments / naming_orbit_representatives /
+  /// naming_orbit_classes).
   std::vector<char> verdicts;
 };
 
@@ -216,24 +223,56 @@ struct naming_sweep_report {
 /// member of an orbit, and the reduced sweep decides the full one at 1/m!
 /// the cost. The orbit-equivalence test machine-checks this claim
 /// exhaustively for small m.
+///
+/// `process_quotient` additionally folds orbit representatives that differ
+/// only by WHICH process holds which numbering (naming_orbit_classes): each
+/// verified class then stands for weight x m! raw tuples, reported in
+/// full_configs / full_violated. That fold is sound only when permuting
+/// processes cannot change the verdict, so it REQUIREs an initial tuple
+/// that is symmetric up to identifier renaming
+/// (process_interchangeable_initial) — and, like explore_options.symmetry,
+/// trusts the predicate to be renaming-invariant. The class canonicalizer
+/// is polynomial (cycle-structure keys, n! candidates), which is what makes
+/// the full m = 6 and m = 7 sweeps (at n = 2) decidable: 398 and 2636
+/// classes instead of 6! = 720 and 7! = 5040 representatives.
 template <class Machine>
 naming_sweep_report verify_naming_sweep(
     int registers, const std::vector<Machine>& initial,
     const config_predicate<Machine>& is_bad, bool orbit_representatives_only,
-    const verify_options& opt = {}) {
+    const verify_options& opt = {}, bool process_quotient = false) {
   stopwatch timer;
   const int n = static_cast<int>(initial.size());
-  const std::vector<naming_assignment> namings =
-      orbit_representatives_only
-          ? naming_orbit_representatives(n, registers)
-          : all_naming_assignments(n, registers);
+  const std::uint64_t per_rep =
+      orbit_representatives_only ? naming_orbit_size(registers) : 1;
+  std::vector<weighted_naming> sweep;
+  if (process_quotient) {
+    ANONCOORD_REQUIRE(orbit_representatives_only,
+                      "process quotient refines the orbit-representative "
+                      "sweep; enable orbit_representatives_only");
+    ANONCOORD_REQUIRE(process_interchangeable_initial(initial),
+                      "process quotient needs a process-symmetric machine "
+                      "tuple (one program, distinct ids)");
+    sweep = naming_orbit_classes(n, registers);
+  } else {
+    const std::vector<naming_assignment> namings =
+        orbit_representatives_only
+            ? naming_orbit_representatives(n, registers)
+            : all_naming_assignments(n, registers);
+    sweep.reserve(namings.size());
+    for (const naming_assignment& naming : namings)
+      sweep.push_back({naming, 1});
+  }
   naming_sweep_report out;
-  for (const naming_assignment& naming : namings) {
-    model_config<Machine> cfg{registers, naming, initial};
+  for (const weighted_naming& wn : sweep) {
+    model_config<Machine> cfg{registers, wn.naming, initial};
     const verify_report rep = verify_config(cfg, is_bad, opt);
     ++out.configs;
+    out.full_configs += wn.weight * per_rep;
     out.total_states += rep.states;
-    if (rep.violated) ++out.violated;
+    if (rep.violated) {
+      ++out.violated;
+      out.full_violated += wn.weight * per_rep;
+    }
     // A violated run stops early by design; "incomplete" means a cap was
     // hit without reaching a verdict.
     if (!rep.complete && !rep.violated) ++out.incomplete;

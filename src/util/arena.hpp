@@ -1,0 +1,94 @@
+// Append-only paged byte arena for the compressed state stores.
+//
+// A byte_arena hands out stable offsets into fixed-size pages that are
+// allocated once and never moved. Rows are kept contiguous: an append that
+// would straddle a page boundary skips to a fresh page, so a decoder sees
+// one flat span per row. The skipped tail bytes are bounded by
+// max-row-size per page and are charged to bytes() — the bench's
+// bytes-per-state figure includes them.
+//
+// Thread-safety contract (the parallel explorer's discipline): appends are
+// single-threaded, and concurrent readers are only allowed while no append
+// is in flight — the explorer appends exclusively inside the single-threaded
+// level merge, whose fork-join barrier orders every append before every
+// worker read of the next level. The arena itself carries no synchronization.
+//
+// This is deliberately NOT a general allocator: nothing is ever freed short
+// of clear(), offsets are 64-bit and strictly increasing, and the only
+// mutation after an append completes is further appends.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace anoncoord {
+
+class byte_arena {
+ public:
+  static constexpr int kPageBits = 16;  // 64 KiB pages
+  static constexpr std::size_t kPageSize = std::size_t{1} << kPageBits;
+
+  byte_arena() = default;
+  byte_arena(const byte_arena&) = delete;
+  byte_arena& operator=(const byte_arena&) = delete;
+
+  /// Copy `len` bytes in; returns the stable offset of the row. Rows never
+  /// straddle pages, so `len` must fit one page.
+  std::uint64_t append(const std::uint8_t* data, std::size_t len) {
+    std::uint8_t* dst = reserve(len);
+    std::memcpy(dst, data, len);
+    return commit(len);
+  }
+
+  /// Reserve a contiguous span of up to `max_len` bytes for in-place
+  /// encoding; pair with commit(actual_len <= max_len). The span stays
+  /// private to the writer until commit() returns its offset.
+  std::uint8_t* reserve(std::size_t max_len) {
+    ANONCOORD_REQUIRE(max_len <= kPageSize, "arena row larger than a page");
+    std::size_t page = static_cast<std::size_t>(head_ >> kPageBits);
+    const std::size_t off = static_cast<std::size_t>(head_) & (kPageSize - 1);
+    if (off + max_len > kPageSize) {
+      head_ = static_cast<std::uint64_t>(++page) << kPageBits;
+    }
+    if (page >= pages_.size())
+      pages_.push_back(std::make_unique<std::uint8_t[]>(kPageSize));
+    return pages_[page].get() + (static_cast<std::size_t>(head_) &
+                                 (kPageSize - 1));
+  }
+
+  /// Finish the row started by reserve(); returns its offset.
+  std::uint64_t commit(std::size_t len) {
+    const std::uint64_t at = head_;
+    head_ += len;
+    return at;
+  }
+
+  /// Read pointer for a committed offset.
+  const std::uint8_t* at(std::uint64_t offset) const {
+    return pages_[static_cast<std::size_t>(offset >> kPageBits)].get() +
+           (static_cast<std::size_t>(offset) & (kPageSize - 1));
+  }
+
+  /// Total footprint: committed bytes plus page-tail padding.
+  std::uint64_t bytes() const {
+    return static_cast<std::uint64_t>(pages_.size()) * kPageSize;
+  }
+
+  /// High-water offset (committed bytes including skipped page tails).
+  std::uint64_t used() const { return head_; }
+
+  void clear() {
+    pages_.clear();
+    head_ = 0;
+  }
+
+ private:
+  std::vector<std::unique_ptr<std::uint8_t[]>> pages_;
+  std::uint64_t head_ = 0;
+};
+
+}  // namespace anoncoord

@@ -87,6 +87,48 @@ inline std::vector<permutation> all_permutations(int m) {
   return out;
 }
 
+/// Cycle-structure canonical form of `p`, flattened to one integer key.
+/// Each cycle is rotated to lead with its minimal element (the "minimal
+/// rotation" presentation), cycles are listed longest first with ties broken
+/// by leading element, and each is emitted as (length, elements...). Keys are
+/// injective — the cycles reconstruct p — so equal keys mean equal
+/// permutations; but comparing keys lexicographically orders permutations
+/// first by cycle structure (the conjugacy invariant) and only then by
+/// content, which is the refined tie-break the naming-orbit classes use to
+/// pick canonical representatives in polynomial time instead of by brute
+/// force over conjugates.
+inline std::vector<int> canonical_cycle_key(const permutation& p) {
+  ANONCOORD_REQUIRE(is_permutation_of_iota(p), "not a permutation");
+  const int m = static_cast<int>(p.size());
+  std::vector<std::vector<int>> cycles;
+  std::vector<bool> seen(p.size(), false);
+  for (int j = 0; j < m; ++j) {
+    if (seen[static_cast<std::size_t>(j)]) continue;
+    // Scanning j ascending, the first unvisited element of a cycle is its
+    // minimum, so starting there IS the minimal rotation.
+    std::vector<int> cyc;
+    int at = j;
+    do {
+      seen[static_cast<std::size_t>(at)] = true;
+      cyc.push_back(at);
+      at = p[static_cast<std::size_t>(at)];
+    } while (at != j);
+    cycles.push_back(std::move(cyc));
+  }
+  std::sort(cycles.begin(), cycles.end(),
+            [](const std::vector<int>& a, const std::vector<int>& b) {
+              if (a.size() != b.size()) return a.size() > b.size();
+              return a.front() < b.front();
+            });
+  std::vector<int> key;
+  key.reserve(2 * p.size());
+  for (const std::vector<int>& cyc : cycles) {
+    key.push_back(static_cast<int>(cyc.size()));
+    key.insert(key.end(), cyc.begin(), cyc.end());
+  }
+  return key;
+}
+
 /// All m rotations of {0, .., m-1}.
 inline std::vector<permutation> all_rotations(int m) {
   std::vector<permutation> out;

@@ -1,0 +1,66 @@
+// LEB128 varints and zigzag mapping for the compressed state arenas.
+//
+// The model checkers' stored rows are short runs of 32-bit pool ids whose
+// typical values are tiny: register-value ids number in the dozens and
+// machine-state ids in the thousands even when the state space runs to
+// millions. Encoding them as base-128 varints — and encoding *patched* words
+// as zigzagged deltas against the overwritten word, since a machine's
+// successor state id tends to be near its predecessor's — is what gets a
+// stored state under the 12-byte budget. Encode/decode are branch-light
+// single-pass loops over raw byte pointers; callers own the buffers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace anoncoord {
+
+/// Upper bound on the encoded size of one 64-bit varint.
+inline constexpr std::size_t kMaxVarintBytes = 10;
+
+/// Append `v` to `out` as a little-endian base-128 varint; returns the
+/// number of bytes written (1..10). `out` must have kMaxVarintBytes free.
+inline std::size_t put_varint(std::uint8_t* out, std::uint64_t v) noexcept {
+  std::size_t n = 0;
+  while (v >= 0x80) {
+    out[n++] = static_cast<std::uint8_t>(v) | 0x80;
+    v >>= 7;
+  }
+  out[n++] = static_cast<std::uint8_t>(v);
+  return n;
+}
+
+/// Decode one varint from `in`, advancing it past the encoded bytes.
+inline std::uint64_t get_varint(const std::uint8_t*& in) noexcept {
+  std::uint64_t v = 0;
+  int shift = 0;
+  for (;;) {
+    const std::uint8_t b = *in++;
+    v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) return v;
+    shift += 7;
+  }
+}
+
+/// Encoded size of `v` without writing it.
+inline std::size_t varint_size(std::uint64_t v) noexcept {
+  std::size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+/// Map a signed delta onto small unsigned values: 0, -1, 1, -2, 2, ...
+inline std::uint64_t zigzag_encode(std::int64_t v) noexcept {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+inline std::int64_t zigzag_decode(std::uint64_t v) noexcept {
+  return static_cast<std::int64_t>(v >> 1) ^
+         -static_cast<std::int64_t>(v & 1);
+}
+
+}  // namespace anoncoord

@@ -103,6 +103,31 @@ TEST(Theorem31Regression, EvenMDeadlocksThroughParallelEngine) {
   }
 }
 
+TEST(Theorem31Regression, EvenOddBoundaryAtLargeM) {
+  // The even/odd boundary at the largest sizes the suite decides
+  // exhaustively. At m = 6 every rotation stride deadlocks — stride 3 is
+  // Theorem 3.1's m/2 witness, stride 1 shows the failure is not
+  // stride-specific (about 1.4M states each). At m = 7 the system verifies
+  // clean again; stride 3 is the cheapest odd-m instance (5.6M states).
+  for (int stride : {3, 1}) {
+    naming_assignment naming(
+        {identity_permutation(6), rotation_permutation(6, stride)});
+    const auto res = check_anon_mutex_parallel(6, naming, {1, 2},
+                                               /*workers=*/2,
+                                               /*max_states=*/4'000'000);
+    ASSERT_TRUE(res.complete) << "m=6 stride=" << stride;
+    EXPECT_TRUE(res.mutual_exclusion) << "ME never breaks for Fig. 1";
+    EXPECT_FALSE(res.progress) << "m=6 stride=" << stride;
+    EXPECT_GT(res.stuck_states, 0u);
+    ASSERT_FALSE(res.counterexample.empty());
+  }
+  naming_assignment naming7(
+      {identity_permutation(7), rotation_permutation(7, 3)});
+  const auto ok = check_anon_mutex(7, naming7, {1, 2},
+                                   /*max_states=*/8'000'000);
+  EXPECT_TRUE(ok.ok()) << "m=7 stride=3: " << ok.verdict();
+}
+
 TEST(Theorem31Regression, GoldenDeadlockScheduleReplaysToStuckState) {
   // Replaying the golden schedule must land in a state from which neither
   // process can reach the CS even running alone — a genuine deadlock.

@@ -1,0 +1,417 @@
+// Unit tests for the memory-lean storage layer: LEB128 varints, the paged
+// byte arena, the delta-compressed row store with its decode cache, the
+// Chase-Lev work-stealing deque, and flat_index edge cases.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "modelcheck/state_pool.hpp"
+#include "util/arena.hpp"
+#include "util/check.hpp"
+#include "util/flat_index.hpp"
+#include "util/hash.hpp"
+#include "util/rng.hpp"
+#include "util/varint.hpp"
+#include "util/work_steal.hpp"
+
+namespace anoncoord {
+namespace {
+
+// ---------------------------------------------------------------------------
+// varint.hpp
+// ---------------------------------------------------------------------------
+
+TEST(VarintTest, RoundTripsBoundaryValues) {
+  const std::uint64_t values[] = {0,
+                                  1,
+                                  0x7f,
+                                  0x80,
+                                  0x3fff,
+                                  0x4000,
+                                  0xffffffffull,
+                                  0x100000000ull,
+                                  ~std::uint64_t{0}};
+  std::uint8_t buf[kMaxVarintBytes];
+  for (const std::uint64_t v : values) {
+    const std::size_t n = put_varint(buf, v);
+    EXPECT_EQ(n, varint_size(v)) << v;
+    EXPECT_LE(n, kMaxVarintBytes);
+    const std::uint8_t* in = buf;
+    EXPECT_EQ(get_varint(in), v);
+    EXPECT_EQ(in, buf + n) << "decoder must consume exactly what was written";
+  }
+}
+
+TEST(VarintTest, SizeGrowsAtSevenBitBoundaries) {
+  EXPECT_EQ(varint_size(0x7f), 1u);
+  EXPECT_EQ(varint_size(0x80), 2u);
+  EXPECT_EQ(varint_size(0x3fff), 2u);
+  EXPECT_EQ(varint_size(0x4000), 3u);
+  EXPECT_EQ(varint_size(~std::uint64_t{0}), kMaxVarintBytes);
+}
+
+TEST(VarintTest, ZigzagMapsSmallMagnitudesToSmallCodes) {
+  EXPECT_EQ(zigzag_encode(0), 0u);
+  EXPECT_EQ(zigzag_encode(-1), 1u);
+  EXPECT_EQ(zigzag_encode(1), 2u);
+  EXPECT_EQ(zigzag_encode(-2), 3u);
+  for (const std::int64_t v : {std::int64_t{0}, std::int64_t{-1},
+                               std::int64_t{12345}, std::int64_t{-12345},
+                               std::numeric_limits<std::int64_t>::min(),
+                               std::numeric_limits<std::int64_t>::max()})
+    EXPECT_EQ(zigzag_decode(zigzag_encode(v)), v);
+}
+
+// ---------------------------------------------------------------------------
+// arena.hpp
+// ---------------------------------------------------------------------------
+
+TEST(ByteArenaTest, AppendReadRoundTrip) {
+  byte_arena a;
+  std::vector<std::uint64_t> offs;
+  std::vector<std::vector<std::uint8_t>> rows;
+  xoshiro256 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    std::vector<std::uint8_t> row(1 + rng.below(100));
+    for (auto& b : row) b = static_cast<std::uint8_t>(rng());
+    offs.push_back(a.append(row.data(), row.size()));
+    rows.push_back(std::move(row));
+  }
+  for (std::size_t i = 0; i < rows.size(); ++i)
+    EXPECT_EQ(0, std::memcmp(a.at(offs[i]), rows[i].data(), rows[i].size()));
+}
+
+TEST(ByteArenaTest, RowsNeverStraddlePages) {
+  byte_arena a;
+  // Fill to just short of a page boundary, then append a row that cannot
+  // fit in the tail: it must start on the next page, contiguous.
+  const std::size_t fill = byte_arena::kPageSize - 10;
+  std::vector<std::uint8_t> pad(fill, 0xAA);
+  a.append(pad.data(), pad.size());
+  std::vector<std::uint8_t> row(100, 0xBB);
+  const std::uint64_t off = a.append(row.data(), row.size());
+  EXPECT_EQ(off >> byte_arena::kPageBits, 1u) << "row must skip to page 1";
+  EXPECT_EQ(off & (byte_arena::kPageSize - 1), 0u);
+  EXPECT_EQ(0, std::memcmp(a.at(off), row.data(), row.size()));
+  // The skipped tail still counts as used bytes (charged to footprint).
+  EXPECT_EQ(a.used(), off + row.size());
+  EXPECT_EQ(a.bytes(), 2 * byte_arena::kPageSize);
+}
+
+TEST(ByteArenaTest, ReserveCommitEncodesInPlace) {
+  byte_arena a;
+  std::uint8_t* dst = a.reserve(16);
+  dst[0] = 1;
+  dst[1] = 2;
+  const std::uint64_t off = a.commit(2);
+  EXPECT_EQ(a.at(off)[0], 1);
+  EXPECT_EQ(a.at(off)[1], 2);
+  EXPECT_EQ(a.used(), 2u);
+  a.clear();
+  EXPECT_EQ(a.used(), 0u);
+}
+
+TEST(ByteArenaTest, OversizedRowRejected) {
+  byte_arena a;
+  EXPECT_THROW(a.reserve(byte_arena::kPageSize + 1), precondition_error);
+}
+
+// ---------------------------------------------------------------------------
+// state_pool.hpp: row_store + row_decode_cache
+// ---------------------------------------------------------------------------
+
+// Build a random BFS-shaped row forest: roots are keyframes, children
+// differ from their parent in a few words. Returns (rows, parents).
+struct row_forest {
+  std::size_t stride;
+  std::vector<std::vector<std::uint32_t>> rows;
+  std::vector<std::int64_t> parents;
+};
+
+row_forest make_forest(std::size_t stride, int count, std::uint64_t seed) {
+  row_forest f{stride, {}, {}};
+  xoshiro256 rng(seed);
+  for (int i = 0; i < count; ++i) {
+    if (i < 3) {  // roots
+      std::vector<std::uint32_t> row(stride);
+      for (auto& w : row) w = static_cast<std::uint32_t>(rng.below(1 << 20));
+      f.rows.push_back(std::move(row));
+      f.parents.push_back(-1);
+    } else {
+      const auto parent = static_cast<std::size_t>(rng.below(i));
+      std::vector<std::uint32_t> row = f.rows[parent];
+      const int patches = 1 + static_cast<int>(rng.below(3));
+      for (int p = 0; p < patches; ++p)
+        row[rng.below(stride)] += static_cast<std::uint32_t>(rng.below(7));
+      f.rows.push_back(std::move(row));
+      f.parents.push_back(static_cast<std::int64_t>(parent));
+    }
+  }
+  return f;
+}
+
+TEST(RowStoreTest, CompressedRoundTripsAgainstVerbatim) {
+  const row_forest f = make_forest(7, 4000, 11);
+  row_store comp, verb;
+  comp.configure(f.stride, /*compress=*/true);
+  verb.configure(f.stride, /*compress=*/false);
+  row_decode_cache cache;
+  cache.configure(f.stride);
+  std::vector<std::uint32_t> prow(f.stride);
+  for (std::size_t i = 0; i < f.rows.size(); ++i) {
+    const std::int64_t parent = f.parents[i];
+    const std::uint32_t* parent_row = nullptr;
+    if (parent >= 0) {
+      comp.load(static_cast<std::uint64_t>(parent), f.parents.data(),
+                prow.data(), cache);
+      parent_row = prow.data();
+    }
+    comp.append(f.rows[i].data(), parent, parent_row);
+    verb.append(f.rows[i].data(), parent, parent_row);
+  }
+  EXPECT_EQ(comp.size(), f.rows.size());
+  EXPECT_GT(comp.keyframes(), 0u);
+  EXPECT_LT(comp.keyframes(), f.rows.size());
+  EXPECT_LT(comp.stored_bytes(), verb.stored_bytes());
+  // Decode every row through a FRESH cache (hit and miss paths both land
+  // on identical words).
+  row_decode_cache cold;
+  cold.configure(f.stride);
+  std::vector<std::uint32_t> out(f.stride);
+  for (std::size_t i = 0; i < f.rows.size(); ++i) {
+    comp.load(i, f.parents.data(), out.data(), cold);
+    EXPECT_EQ(out, f.rows[i]) << "row " << i;
+    verb.load(i, f.parents.data(), out.data(), cold);
+    EXPECT_EQ(out, f.rows[i]) << "row " << i;
+  }
+}
+
+TEST(RowStoreTest, DeltaChainsAreDepthBounded) {
+  // A single long chain of single-word increments: depths must saturate at
+  // kMaxChain via forced keyframes, never beyond.
+  const std::size_t stride = 4;
+  row_store rs;
+  rs.configure(stride, true);
+  row_decode_cache cache;
+  cache.configure(stride);
+  std::vector<std::int64_t> parents;
+  std::vector<std::uint32_t> row(stride, 5);
+  rs.append(row.data(), -1, nullptr);
+  parents.push_back(-1);
+  std::vector<std::uint32_t> prow(stride);
+  for (int i = 1; i < 200; ++i) {
+    rs.load(static_cast<std::uint64_t>(i - 1), parents.data(), prow.data(),
+            cache);
+    row = prow;
+    row[0] += 1;
+    rs.append(row.data(), i - 1, prow.data());
+    parents.push_back(i - 1);
+  }
+  // 200 rows in chains of kMaxChain need at least ceil(200/25) keyframes.
+  EXPECT_GE(rs.keyframes(), 200u / (row_store::kMaxChain + 1));
+  // Decoding the tail with a cold cache must stay correct (bounded
+  // recursion into the nearest keyframe).
+  row_decode_cache cold;
+  cold.configure(stride);
+  std::vector<std::uint32_t> out(stride);
+  rs.load(199, parents.data(), out.data(), cold);
+  EXPECT_EQ(out[0], 5u + 199u);
+}
+
+TEST(RowStoreTest, StrideBoundsEnforced) {
+  row_store rs;
+  EXPECT_THROW(rs.configure(0, true), precondition_error);
+  EXPECT_THROW(rs.configure(std::size_t{1} << 13, true), precondition_error);
+  EXPECT_NO_THROW(rs.configure((std::size_t{1} << 13) - 1, true));
+}
+
+TEST(RowDecodeCacheTest, TagDistinguishesAliasedSlots) {
+  row_decode_cache cache;
+  cache.configure(2);
+  const std::uint32_t a[2] = {1, 2};
+  cache.put(0, a);
+  EXPECT_NE(cache.find(0), nullptr);
+  // Index kSlots aliases slot 0 but carries a different tag: miss, and
+  // after put() the old index misses instead.
+  EXPECT_EQ(cache.find(row_decode_cache::kSlots), nullptr);
+  const std::uint32_t b[2] = {3, 4};
+  cache.put(row_decode_cache::kSlots, b);
+  EXPECT_EQ(cache.find(0), nullptr);
+  ASSERT_NE(cache.find(row_decode_cache::kSlots), nullptr);
+  EXPECT_EQ(cache.find(row_decode_cache::kSlots)[0], 3u);
+}
+
+// ---------------------------------------------------------------------------
+// work_steal.hpp
+// ---------------------------------------------------------------------------
+
+TEST(WsDequeTest, OwnerPopsLifoThiefStealsFifo) {
+  ws_deque d;
+  d.reset(8);
+  for (std::uint64_t v = 1; v <= 3; ++v) d.push(v);
+  std::uint64_t v = 0;
+  EXPECT_TRUE(d.steal(v));
+  EXPECT_EQ(v, 1u);  // oldest from the top
+  EXPECT_TRUE(d.pop(v));
+  EXPECT_EQ(v, 3u);  // newest from the bottom
+  EXPECT_TRUE(d.pop(v));
+  EXPECT_EQ(v, 2u);
+  EXPECT_FALSE(d.pop(v));
+  EXPECT_FALSE(d.steal(v));
+  EXPECT_TRUE(d.empty());
+}
+
+TEST(WsDequeTest, ResetRoundsCapacityAndReusesBuffer) {
+  ws_deque d;
+  d.reset(100);  // rounds to 128
+  for (std::uint64_t v = 0; v < 128; ++v) d.push(v);
+  EXPECT_THROW(d.push(128), precondition_error);
+  d.reset(4);  // shrink request keeps the larger buffer
+  EXPECT_TRUE(d.empty());
+  for (std::uint64_t v = 0; v < 128; ++v) d.push(v);
+  std::uint64_t v = 0;
+  EXPECT_TRUE(d.pop(v));
+  EXPECT_EQ(v, 127u);
+}
+
+TEST(WsDequeTest, ConcurrentStealsPartitionTheItems) {
+  // One owner popping, three thieves stealing: every item is taken exactly
+  // once (sums match) and nothing is lost to the last-item CAS races.
+  constexpr int kItems = 20000;
+  constexpr int kThieves = 3;
+  ws_deque d;
+  d.reset(kItems);
+  for (std::uint64_t v = 1; v <= kItems; ++v) d.push(v);
+  std::atomic<std::uint64_t> stolen_sum{0};
+  std::atomic<std::uint64_t> stolen_count{0};
+  std::vector<std::thread> thieves;
+  for (int t = 0; t < kThieves; ++t) {
+    thieves.emplace_back([&] {
+      std::uint64_t v = 0;
+      int misses = 0;
+      while (misses < 1000) {
+        if (d.steal(v)) {
+          stolen_sum.fetch_add(v, std::memory_order_relaxed);
+          stolen_count.fetch_add(1, std::memory_order_relaxed);
+          misses = 0;
+        } else if (d.empty()) {
+          ++misses;  // spurious failures retry; persistent empty exits
+        }
+      }
+    });
+  }
+  std::uint64_t own_sum = 0, own_count = 0, v = 0;
+  while (d.pop(v)) {
+    own_sum += v;
+    ++own_count;
+  }
+  for (auto& th : thieves) th.join();
+  EXPECT_EQ(own_count + stolen_count.load(), kItems);
+  EXPECT_EQ(own_sum + stolen_sum.load(),
+            std::uint64_t{kItems} * (kItems + 1) / 2);
+  EXPECT_TRUE(d.empty());
+}
+
+// ---------------------------------------------------------------------------
+// flat_index.hpp edge cases
+// ---------------------------------------------------------------------------
+
+TEST(FlatIndexTest, EmptyIndexFindsNothing) {
+  flat_index idx;
+  const auto never = [](std::uint32_t) { return true; };
+  EXPECT_EQ(idx.find(0, never), flat_index::npos);
+  EXPECT_EQ(idx.find(hash_words(nullptr, 0), never), flat_index::npos);
+  EXPECT_EQ(idx.used, 0u);
+}
+
+TEST(FlatIndexTest, SingleBucketCollisionsResolveByCallback) {
+  // Keys that collide into one probe chain (same hash, distinct records):
+  // the fragment matches every time, so only the eq callback separates them.
+  flat_index idx;
+  const std::size_t h = 12345;
+  for (std::uint32_t local = 0; local < 8; ++local) idx.insert(h, local);
+  for (std::uint32_t want = 0; want < 8; ++want) {
+    const auto eq = [&](std::uint32_t local) { return local == want; };
+    EXPECT_EQ(idx.find(h, eq), want);
+  }
+  const auto none = [](std::uint32_t local) { return local == 99; };
+  EXPECT_EQ(idx.find(h, none), flat_index::npos);
+}
+
+TEST(FlatIndexTest, GrowthBoundaryKeepsEveryEntryFindable) {
+  // The table grows at used*10 >= cells*7; walk well past several doublings
+  // and verify every key before and after each rehash.
+  flat_index idx;
+  std::vector<std::size_t> hashes;
+  std::size_t last_capacity = idx.cells.size();
+  int rehashes = 0;
+  for (std::uint32_t i = 0; i < 2000; ++i) {
+    hashes.push_back(static_cast<std::size_t>(mix64(i)) | 1);
+    idx.insert(hashes.back(), i);
+    if (idx.cells.size() != last_capacity) {
+      ++rehashes;
+      last_capacity = idx.cells.size();
+      for (std::uint32_t j = 0; j <= i; ++j) {
+        const auto eq = [&](std::uint32_t local) { return local == j; };
+        ASSERT_EQ(idx.find(hashes[j], eq), j)
+            << "entry lost at rehash to " << last_capacity;
+      }
+    }
+  }
+  EXPECT_GE(rehashes, 3) << "test never crossed a growth boundary";
+  EXPECT_EQ(idx.used, 2000u);
+}
+
+TEST(FlatIndexTest, LookupDuringInsertFromConcurrentReaders) {
+  // flat_index is single-writer and unsynchronized by design; its users
+  // (state pool shards, seen tables) serialize operations with a lock.
+  // Model that contract: a writer inserting batches and reader threads
+  // doing lookups interleave under a mutex, across several rehashes, and
+  // every already-published entry stays findable.
+  flat_index idx;
+  std::mutex mu;
+  std::atomic<std::uint32_t> published{0};
+  std::atomic<bool> done{false};
+  const auto key = [](std::uint32_t i) { return static_cast<std::size_t>(mix64(std::uint64_t{i} * 2654435761u)); };
+  std::vector<std::thread> readers;
+  std::atomic<std::uint64_t> lookups{0};
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      xoshiro256 rng(99 + static_cast<std::uint64_t>(
+                              std::hash<std::thread::id>{}(
+                                  std::this_thread::get_id())));
+      while (!done.load(std::memory_order_acquire)) {
+        const std::uint32_t hi = published.load(std::memory_order_acquire);
+        if (hi == 0) continue;
+        const auto i = static_cast<std::uint32_t>(rng.below(hi));
+        std::lock_guard<std::mutex> lock(mu);
+        const auto eq = [&](std::uint32_t local) { return local == i; };
+        ASSERT_EQ(idx.find(key(i), eq), i);
+        lookups.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::uint32_t i = 0; i < 5000; ++i) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      idx.insert(key(i), i);
+    }
+    published.store(i + 1, std::memory_order_release);
+  }
+  // On a single core the writer can finish before any reader is scheduled;
+  // keep the table live until every reader has exercised the full index.
+  while (lookups.load(std::memory_order_relaxed) < 300)
+    std::this_thread::yield();
+  done.store(true, std::memory_order_release);
+  for (auto& r : readers) r.join();
+  EXPECT_GE(lookups.load(), 300u);
+}
+
+}  // namespace
+}  // namespace anoncoord

@@ -20,6 +20,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <set>
 #include <thread>
 #include <vector>
 
@@ -492,6 +493,147 @@ TEST(NamingOrbitTest, SweepOverRepresentativesDecidesFullSweep) {
   // Free action: each orbit contributes exactly m! = 2 identical verdicts.
   EXPECT_EQ(full.violated, orbit.violated * naming_orbit_size(2));
   EXPECT_GT(orbit.violated, 0u);  // three racers on two registers break ME
+}
+
+TEST(NamingOrbitTest, OrbitSizeOverflowGuard) {
+  EXPECT_EQ(naming_orbit_size(20), 2'432'902'008'176'640'000ull);
+  EXPECT_THROW(naming_orbit_size(21), precondition_error);
+  EXPECT_THROW(naming_orbit_representatives(2, 21), precondition_error);
+}
+
+TEST(NamingOrbitTest, CycleKeyIsInjectiveAndCycleStructured) {
+  // Fixed points come out as unit cycles in ascending index order.
+  EXPECT_EQ(canonical_cycle_key(identity_permutation(4)),
+            (std::vector<int>{1, 0, 1, 1, 1, 2, 1, 3}));
+  // A full rotation is one cycle, minimally rotated to start at 0.
+  EXPECT_EQ(canonical_cycle_key(rotation_permutation(4, 1)),
+            (std::vector<int>{4, 0, 1, 2, 3}));
+  // Longest cycle first: the transposition (0 1) precedes the fixed points.
+  EXPECT_EQ(canonical_cycle_key(permutation{1, 0, 2, 3}),
+            (std::vector<int>{2, 0, 1, 1, 2, 1, 3}));
+  // The key determines the permutation.
+  std::set<std::vector<int>> keys;
+  for (const auto& p : all_permutations(4))
+    keys.insert(canonical_cycle_key(p));
+  EXPECT_EQ(keys.size(), 24u);
+}
+
+TEST(NamingOrbitTest, SymmetricCanonicalIsInvariantUnderBothActions) {
+  // n = 2, m = 3: the combined action is global register relabeling times
+  // process reordering; the canonical form must be constant on each orbit
+  // and a fixed point of its own canonicalization.
+  for (const auto& naming : all_naming_assignments(2, 3)) {
+    const auto canon = canonical_naming_symmetric(naming);
+    EXPECT_EQ(canon.of(0), identity_permutation(3));
+    EXPECT_EQ(canonical_naming_symmetric(canon), canon);
+    for (const auto& pi : all_permutations(3))
+      EXPECT_EQ(canonical_naming_symmetric(apply_global_permutation(naming,
+                                                                    pi)),
+                canon);
+    const naming_assignment swapped({naming.of(1), naming.of(0)});
+    EXPECT_EQ(canonical_naming_symmetric(swapped), canon);
+  }
+}
+
+TEST(NamingOrbitTest, ClassesRefineRepresentativesWithExactWeights) {
+  // At n = 2 the class count is (m! + #involutions(m)) / 2 and the weights
+  // must partition the m! orbit representatives.
+  const struct {
+    int m;
+    std::size_t classes;
+  } rows[] = {{2, 2}, {3, 5}, {4, 17}, {5, 73}, {6, 398}, {7, 2636}};
+  for (const auto& row : rows) {
+    const auto classes = naming_orbit_classes(2, row.m);
+    EXPECT_EQ(classes.size(), row.classes) << "m=" << row.m;
+    std::uint64_t total = 0;
+    for (const auto& wc : classes) {
+      EXPECT_EQ(wc.naming.of(0), identity_permutation(row.m));
+      total += wc.weight;
+    }
+    EXPECT_EQ(total, naming_orbit_size(row.m)) << "m=" << row.m;
+  }
+  // n = 3, m = 3: weights partition the (m!)^2 = 36 representatives.
+  const auto c33 = naming_orbit_classes(3, 3);
+  EXPECT_EQ(c33.size(), 10u);
+  std::uint64_t total = 0;
+  for (const auto& wc : c33) total += wc.weight;
+  EXPECT_EQ(total, 36u);
+}
+
+TEST(NamingOrbitTest, ProcessInterchangeableDetection) {
+  EXPECT_TRUE(process_interchangeable_initial(machines(3, 2)));
+  EXPECT_TRUE(process_interchangeable_initial(machines(2, 3)));
+  std::vector<anon_mutex> dup;
+  dup.emplace_back(static_cast<process_id>(1), 2);
+  dup.emplace_back(static_cast<process_id>(1), 2);
+  EXPECT_FALSE(process_interchangeable_initial(dup));
+  // No canonical_less: not a process-symmetric machine, so never foldable.
+  std::vector<race_machine> rm;
+  rm.emplace_back(static_cast<process_id>(1));
+  rm.emplace_back(static_cast<process_id>(2));
+  EXPECT_FALSE(process_interchangeable_initial(rm));
+}
+
+TEST(NamingOrbitTest, WeightedClassSweepMatchesFullEnumeration) {
+  const config_predicate<anon_mutex> pred =
+      [](const std::vector<process_id>&, const std::vector<anon_mutex>& ps) {
+        int c = 0;
+        for (const auto& p : ps) c += p.in_critical_section() ? 1 : 0;
+        return c >= 2;
+      };
+  verify_options opt;
+  opt.max_states = 500'000;
+  // n = 3 racers on m = 2 registers: mutual exclusion breaks for some
+  // namings, so the weighted totals have something nontrivial to agree on.
+  const auto full = verify_naming_sweep(2, machines(2, 3), pred, false, opt);
+  const auto orbit = verify_naming_sweep(2, machines(2, 3), pred, true, opt);
+  const auto quot =
+      verify_naming_sweep(2, machines(2, 3), pred, true, opt, true);
+  // With no reduction the weighted totals degenerate to the raw counters.
+  EXPECT_EQ(full.full_configs, full.configs);
+  EXPECT_EQ(full.full_violated, full.violated);
+  // Orbit representatives: 4 reps x m! = the full 8 assignments.
+  EXPECT_EQ(orbit.configs, 4u);
+  EXPECT_EQ(orbit.full_configs, 8u);
+  // Process quotient on top: 2 classes (all-identical tuple; the rest).
+  EXPECT_EQ(quot.configs, 2u);
+  EXPECT_EQ(quot.full_configs, 8u);
+  EXPECT_EQ(quot.incomplete, 0u);
+  // All three decide the same full sweep.
+  EXPECT_GT(full.violated, 0u);
+  EXPECT_EQ(orbit.full_violated, full.violated);
+  EXPECT_EQ(quot.full_violated, full.violated);
+
+  // m = 4, n = 2 spot check: 17 classes stand in for 24 representatives
+  // and must report identical weighted totals.
+  const auto orbit4 = verify_naming_sweep(4, machines(4, 2), pred, true, opt);
+  const auto quot4 =
+      verify_naming_sweep(4, machines(4, 2), pred, true, opt, true);
+  EXPECT_EQ(orbit4.configs, 24u);
+  EXPECT_EQ(quot4.configs, 17u);
+  EXPECT_EQ(orbit4.full_configs, quot4.full_configs);
+  EXPECT_EQ(orbit4.full_violated, quot4.full_violated);
+  EXPECT_EQ(quot4.incomplete, 0u);
+}
+
+TEST(NamingOrbitTest, ProcessQuotientPreconditions) {
+  const config_predicate<anon_mutex> pred =
+      [](const std::vector<process_id>&, const std::vector<anon_mutex>&) {
+        return false;
+      };
+  verify_options opt;
+  opt.max_states = 1000;
+  // The quotient refines the representative sweep; it cannot be combined
+  // with full enumeration.
+  EXPECT_THROW(
+      verify_naming_sweep(2, machines(2, 2), pred, false, opt, true),
+      precondition_error);
+  // Duplicate ids make the tuple non-interchangeable.
+  std::vector<anon_mutex> dup;
+  dup.emplace_back(static_cast<process_id>(1), 2);
+  dup.emplace_back(static_cast<process_id>(1), 2);
+  EXPECT_THROW(verify_naming_sweep(2, dup, pred, true, opt, true),
+               precondition_error);
 }
 
 // ---------------------------------------------------------------------------

@@ -20,11 +20,17 @@ REQUIRED = {
     "schema": str,
     "name": str,
     "obs_enabled": bool,
+    "peak_rss_bytes": int,
     "config": dict,
     "repetitions": int,
     "results": list,
     "metrics": dict,
 }
+
+# Result series with a fixed unit contract: memory footprints must be
+# reported in bytes (and be positive — a zero bytes-per-state figure means
+# the bench divided by a missing state count).
+BYTES_SERIES = ("bytes_per_stored_state",)
 
 
 def check_result(entry: object, where: str) -> list[str]:
@@ -50,6 +56,13 @@ def check_result(entry: object, where: str) -> list[str]:
         if not lo <= entry[key] <= hi:
             errors.append(f"{where}: result {name!r} {key}={entry[key]} "
                           f"outside [{lo}, {hi}]")
+    if name in BYTES_SERIES:
+        if entry["unit"] != "B":
+            errors.append(f"{where}: result {name!r} unit {entry['unit']!r} "
+                          "!= 'B'")
+        if lo <= 0:
+            errors.append(f"{where}: result {name!r} min {lo} is not "
+                          "positive")
     return errors
 
 
@@ -72,6 +85,8 @@ def check_report(path: Path) -> list[str]:
         errors.append(f"{path}: schema {doc['schema']!r} != {SCHEMA!r}")
     if doc["repetitions"] < 1:
         errors.append(f"{path}: repetitions {doc['repetitions']} < 1")
+    if doc["peak_rss_bytes"] < 0:
+        errors.append(f"{path}: peak_rss_bytes {doc['peak_rss_bytes']} < 0")
     for entry in doc["results"]:
         errors.extend(check_result(entry, str(path)))
     for section in ("counters", "histograms"):

@@ -10,11 +10,20 @@ runs is usually a mistake.
 
 With --fail-threshold-pct=N the exit status is 1 when any time-like series
 (unit "s", "ms" or "us") regressed — candidate median above baseline — by
-more than N percent. Without it the tool is purely informational and only
-fails on unreadable/invalid input.
+more than N percent.
+
+With --fail-deterministic-pct=N the exit status is 1 when any
+DETERMINISTIC series — counts (no unit) and byte footprints (unit "B"),
+e.g. state-space sizes and bytes-per-stored-state — moved in EITHER
+direction by more than N percent. These series are reproducible bit-for-bit
+for a given binary, so N=0 is the normal gate and stays meaningful on noisy
+or single-core runners where time thresholds cannot be trusted.
+
+Without either flag the tool is purely informational and only fails on
+unreadable/invalid input.
 
 Usage: tools/compare_bench_json.py BASELINE.json CANDIDATE.json
-           [--fail-threshold-pct=N]
+           [--fail-threshold-pct=N] [--fail-deterministic-pct=N]
 """
 
 import json
@@ -23,6 +32,7 @@ from pathlib import Path
 
 SCHEMA = "anoncoord-bench-v1"
 TIME_UNITS = {"s", "ms", "us"}
+DETERMINISTIC_UNITS = {"", "B"}
 
 
 def load(path: Path) -> dict:
@@ -52,10 +62,13 @@ def fmt(value: float) -> str:
 
 def main(argv: list[str]) -> int:
     threshold = None
+    det_threshold = None
     paths = []
     for arg in argv:
         if arg.startswith("--fail-threshold-pct="):
             threshold = float(arg.split("=", 1)[1])
+        elif arg.startswith("--fail-deterministic-pct="):
+            det_threshold = float(arg.split("=", 1)[1])
         elif arg.startswith("--"):
             raise SystemExit(f"unknown option {arg!r}")
         else:
@@ -92,20 +105,26 @@ def main(argv: list[str]) -> int:
               f"{fmt(delta):>12}  {pct_str:>8}  {unit}")
         if (threshold is not None and unit in TIME_UNITS and b > 0
                 and pct > threshold):
-            regressions.append((name, pct))
+            regressions.append((name, pct, "slowed by"))
+        if (det_threshold is not None and unit in DETERMINISTIC_UNITS
+                and (c != b if b == 0 else abs(pct) > det_threshold)):
+            regressions.append((name, pct, "moved by"))
     for name in sorted(set(base) - set(cand)):
         print(f"only in baseline:  {name}")
     for name in sorted(set(cand) - set(base)):
         print(f"only in candidate: {name}")
 
     if regressions:
-        for name, pct in regressions:
-            print(f"REGRESSION: {name} slowed by {pct:.1f}% "
-                  f"(> {threshold}%)", file=sys.stderr)
+        for name, pct, verb in regressions:
+            print(f"REGRESSION: {name} {verb} {pct:.1f}%", file=sys.stderr)
         return 1
+    gates = []
+    if threshold is not None:
+        gates.append(f"no time regression > {threshold}%")
+    if det_threshold is not None:
+        gates.append(f"no deterministic drift > {det_threshold}%")
     print(f"compared {len(shared)} shared series"
-          + (f", no time regression > {threshold}%" if threshold is not None
-             else ""))
+          + (", " + ", ".join(gates) if gates else ""))
     return 0
 
 
