@@ -31,11 +31,24 @@
 // the compressed footprint must stay <= 12 B per stored state; any
 // disagreement makes the bench exit nonzero.
 //
+// Part 6 — out-of-core spilling: the reference config re-verified with the
+// compressed arena capped at one third of its measured in-memory footprint,
+// on both BFS engines. Verdicts, state counts and counterexamples must be
+// bit-identical to the in-memory runs and the arena's resident high-water
+// mark must stay under budget + slack; any divergence exits nonzero.
+// spill_pages / spill_bytes / resident high-water land in the JSON metrics
+// counters (not result series — they are not deterministic across engines).
+//
 // With --sweep-m=6 (or 7) also runs the full weighted naming sweep at that
 // m through the polynomial orbit classes — minutes of work, off by default.
+// The sweep runs on --sweep-workers threads and, with --sweep-checkpoint, is
+// resumable: each completed orbit class appends a journal record, and an
+// interrupted run (--sweep-max-classes caps classes per invocation) picks up
+// where it stopped with identical weighted totals.
 //
 //   ./bench_modelcheck_scaling [--m=5] [--stride=2] [--depth=21] [--reps=3]
-//                              [--sweep-m=0]
+//                              [--sweep-m=0] [--sweep-workers=1]
+//                              [--sweep-checkpoint=FILE] [--sweep-max-classes=0]
 #include <algorithm>
 #include <functional>
 #include <iostream>
@@ -47,6 +60,7 @@
 #include "mem/naming.hpp"
 #include "modelcheck/mutex_check.hpp"
 #include "modelcheck/verify.hpp"
+#include "util/arena.hpp"
 #include "util/cli.hpp"
 #include "util/permutation.hpp"
 #include "util/stopwatch.hpp"
@@ -78,6 +92,13 @@ int main(int argc, char** argv) {
   args.define("sweep-m", "0",
               "if >= 2, also run the full weighted naming sweep at this m "
               "(m = 6 takes minutes)");
+  args.define("sweep-workers", "1",
+              "worker threads for the --sweep-m orbit-class jobs");
+  args.define("sweep-checkpoint", "",
+              "journal file making the --sweep-m sweep resumable");
+  args.define("sweep-max-classes", "0",
+              "verify at most this many classes per invocation (0 = all; "
+              "use with --sweep-checkpoint to split a long sweep)");
   if (!args.parse(argc, argv)) {
     std::cout << args.help("bench_modelcheck_scaling");
     return 0;
@@ -87,6 +108,11 @@ int main(int argc, char** argv) {
   const int depth = static_cast<int>(args.get_int("depth"));
   const int reps = std::max(1, static_cast<int>(args.get_int("reps")));
   const int sweep_quotient_m = static_cast<int>(args.get_int("sweep-m"));
+  const int sweep_workers =
+      std::max(1, static_cast<int>(args.get_int("sweep-workers")));
+  const std::string sweep_checkpoint = args.get("sweep-checkpoint");
+  const std::uint64_t sweep_max_classes =
+      static_cast<std::uint64_t>(args.get_int("sweep-max-classes"));
   benchjson::bench_reporter report("bench_modelcheck_scaling");
   report.config("m", m);
   report.config("stride", stride);
@@ -442,6 +468,101 @@ int main(int argc, char** argv) {
   report.metric("arena_bytes_bound_met", arena_bytes_ok ? 1 : 0);
 
   // -------------------------------------------------------------------
+  // Part 6: out-of-core spilling. Measure the in-memory compressed arena
+  // footprint on the reference config, cap the resident budget at a third
+  // of it, and re-verify on both engines: bit-identical results, real
+  // spill traffic, and an arena high-water mark that respects the budget.
+  // -------------------------------------------------------------------
+  const auto oc_mach = detail::mutex_machines(m, naming, {1, 2});
+  bool spill_match = true;
+  bool spill_budget_held = true;
+  std::uint64_t spill_budget = 0;
+  arena_spill_stats worst_spill{};
+  {
+    ascii_table spill_table({"engine", "states", "verdict", "spill-pages",
+                             "spill-KB", "resident-hw-KB", "ms"});
+    mutex_check_result mem_res;
+    std::uint64_t inmem_bytes = 0;
+    double mem_t = 0;
+    {
+      stopwatch t;
+      explorer<anon_mutex>::options eopt;
+      eopt.max_states = 8'000'000;
+      eopt.compress_arena = true;
+      explorer<anon_mutex> e(m, naming, oc_mach, eopt);
+      mem_res = detail::run_mutex_check(e);
+      inmem_bytes = e.stored_row_bytes();
+      mem_t = t.elapsed_seconds();
+      spill_table.add("seq in-memory", mem_res.num_states, mem_res.verdict(),
+                      std::uint64_t{0}, 0.0, 0.0, mem_t * 1e3);
+    }
+    spill_budget = inmem_bytes / 3;
+    // Budget overshoot allowance: the open head page rides over, and reads
+    // between two budget-enforcement points (page advances; level merges on
+    // the parallel engine) fault pages in without evicting.
+    const std::uint64_t slack = 8 * byte_arena::kPageSize;
+    struct spill_engine {
+      const char* name;
+      int workers;  // 0 = sequential explorer
+    };
+    for (const spill_engine se :
+         {spill_engine{"seq spill", 0}, spill_engine{"par spill", 2}}) {
+      mutex_check_result res;
+      arena_spill_stats st{};
+      stopwatch t;
+      if (se.workers == 0) {
+        explorer<anon_mutex>::options eopt;
+        eopt.max_states = 8'000'000;
+        eopt.compress_arena = true;
+        eopt.spill_budget_bytes = spill_budget;
+        explorer<anon_mutex> e(m, naming, oc_mach, eopt);
+        res = detail::run_mutex_check(e);
+        st = e.spill_stats();
+      } else {
+        parallel_explorer<anon_mutex>::options popt;
+        popt.max_states = 8'000'000;
+        popt.compress_arena = true;
+        popt.workers = se.workers;
+        popt.spill_budget_bytes = spill_budget;
+        parallel_explorer<anon_mutex> e(m, naming, oc_mach, popt);
+        res = detail::run_mutex_check(e);
+        st = e.spill_stats();
+      }
+      const double t_run = t.elapsed_seconds();
+      spill_match = spill_match && res.verdict() == mem_res.verdict() &&
+                    res.num_states == mem_res.num_states &&
+                    res.counterexample == mem_res.counterexample &&
+                    st.spilled_pages > 0;
+      spill_budget_held =
+          spill_budget_held && st.resident_hw_bytes <= spill_budget + slack;
+      if (st.spilled_pages > worst_spill.spilled_pages) worst_spill = st;
+      spill_table.add(se.name, res.num_states, res.verdict(),
+                      st.spilled_pages,
+                      static_cast<double>(st.spill_bytes) / 1024.0,
+                      static_cast<double>(st.resident_hw_bytes) / 1024.0,
+                      t_run * 1e3);
+      report.sample(std::string("spill_seconds/") +
+                        (se.workers ? "parallel" : "seq"),
+                    t_run, "s");
+    }
+    std::cout << spill_table.render() << "\n";
+    std::cout << "out-of-core: budget " << spill_budget / 1024
+              << " KB (in-memory footprint " << inmem_bytes / 1024
+              << " KB / 3), verdicts/states/counterexamples bit-identical "
+              << "with real spilling: " << (spill_match ? "yes" : "NO — BUG")
+              << ", resident high-water within budget+slack: "
+              << (spill_budget_held ? "yes" : "NO — BUG") << "\n\n";
+    // Counters, not result series: spill traffic depends on the engine and
+    // worker interleaving, so it must stay out of the deterministic gate.
+    report.metric("spill_pages", worst_spill.spilled_pages);
+    report.metric("spill_bytes", worst_spill.spill_bytes);
+    report.metric("spill_resident_hw_bytes", worst_spill.resident_hw_bytes);
+    report.metric("spill_budget_bytes", spill_budget);
+    report.metric("spill_verdicts_match", spill_match ? 1 : 0);
+    report.metric("spill_budget_held", spill_budget_held ? 1 : 0);
+  }
+
+  // -------------------------------------------------------------------
   // Optional: full weighted naming sweep at --sweep-m via the polynomial
   // orbit classes (process quotient). m = 6 decides all 6!^2 = 518,400
   // naming tuples through 398 verified classes.
@@ -452,19 +573,30 @@ int main(int argc, char** argv) {
     qprocs.emplace_back(2, sweep_quotient_m);
     verify_options qopt;
     qopt.max_states = 8'000'000;
+    sweep_schedule_options qsched;
+    qsched.workers = sweep_workers;
+    qsched.checkpoint_path = sweep_checkpoint;
+    qsched.max_classes = sweep_max_classes;
     const naming_sweep_report q = verify_naming_sweep(
-        sweep_quotient_m, qprocs, two_in_cs, true, qopt, true);
+        sweep_quotient_m, qprocs, two_in_cs, true, qopt, true, qsched);
     std::cout << "weighted sweep m=" << sweep_quotient_m << ": " << q.configs
               << " classes decide " << q.full_configs
               << " full naming tuples; violated=" << q.violated << " ("
               << q.full_violated << " weighted), incomplete=" << q.incomplete
               << ", states=" << q.total_states << ", "
-              << q.wall_seconds << " s\n\n";
+              << q.wall_seconds << " s";
+    if (!sweep_checkpoint.empty())
+      std::cout << " [workers=" << sweep_workers << ", resumed "
+                << q.resumed_classes << " classes from checkpoint, "
+                << q.pending_classes << " left pending]";
+    std::cout << "\n\n";
     report.sample("weighted_sweep_classes",
                   static_cast<double>(q.configs));
     report.sample("weighted_sweep_full_configs",
                   static_cast<double>(q.full_configs));
     report.sample("weighted_sweep_seconds", q.wall_seconds, "s");
+    report.metric("resumed_classes", q.resumed_classes);
+    report.metric("pending_classes", q.pending_classes);
   }
 
   const double schedule_reduction =
@@ -480,9 +612,12 @@ int main(int argc, char** argv) {
             << reduction_n2 << "x@n=2 (n! ceiling) / " << reduction_n3
             << "x@n=3 (target >= 3x)  naming-sweep-speedup=" << sweep_speedup
             << "x (target >= 5x)  arena-bytes-per-state=" << compressed_bps
-            << " (target <= 12)  verdicts-match="
+            << " (target <= 12)  out-of-core-budget=" << spill_budget / 1024
+            << "KB (identical=" << (spill_match ? "yes" : "NO")
+            << ", budget-held=" << (spill_budget_held ? "yes" : "NO")
+            << ")  verdicts-match="
             << (verdicts_match && identical && symmetry_verdicts_match &&
-                        sweep_verdicts_match && arena_match
+                        sweep_verdicts_match && arena_match && spill_match
                     ? "yes"
                     : "NO")
             << "\n";
@@ -491,12 +626,13 @@ int main(int argc, char** argv) {
   report.sample("bytes_per_stored_state", compressed_bps, "B");
   report.metric("verdicts_match",
                 verdicts_match && identical && symmetry_verdicts_match &&
-                        sweep_verdicts_match && arena_match
+                        sweep_verdicts_match && arena_match && spill_match
                     ? 1
                     : 0);
   report.write();
   return identical && verdicts_match && symmetry_verdicts_match &&
-                 sweep_verdicts_match && arena_match && arena_bytes_ok
+                 sweep_verdicts_match && arena_match && arena_bytes_ok &&
+                 spill_match && spill_budget_held
              ? 0
              : 1;
 }

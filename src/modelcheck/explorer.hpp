@@ -42,6 +42,7 @@
 #include <cstring>
 #include <functional>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "mem/naming.hpp"
@@ -143,6 +144,13 @@ class explorer {
     /// counts, and schedules either way; this only trades decode work for a
     /// ~2.5x smaller per-state footprint. Opt out for maximum raw speed.
     bool compress_arena = true;
+    /// Out-of-core mode (compressed arena only): resident budget in bytes
+    /// for the row arena; cold pages spill to an unlinked temp file under
+    /// spill_dir ("" = $TMPDIR or /tmp) and fault back on decode misses.
+    /// Verdicts, counts and counterexamples are bit-identical to in-memory
+    /// runs. 0 keeps everything resident.
+    std::uint64_t spill_budget_bytes = 0;
+    std::string spill_dir;
   };
 
   struct result {
@@ -360,6 +368,9 @@ class explorer {
   /// where the notion does not apply).
   std::uint64_t keyframe_rows() const { return rows_.keyframes(); }
 
+  /// Spill counters from the backing arena (all zero when spilling is off).
+  arena_spill_stats spill_stats() const { return rows_.spill_stats(); }
+
  private:
   std::size_t stride() const {
     return static_cast<std::size_t>(registers_) + initial_machines_.size();
@@ -367,7 +378,12 @@ class explorer {
 
   void reset() {
     pool_.clear();
-    rows_.configure(stride(), opt_.compress_arena);
+    row_store_options ropt;
+    if (opt_.compress_arena) {
+      ropt.spill.budget_bytes = opt_.spill_budget_bytes;
+      ropt.spill.dir = opt_.spill_dir;
+    }
+    rows_.configure(stride(), opt_.compress_arena, ropt);
     dcache_.configure(stride());
     index_.clear();
     parent_.clear();

@@ -55,6 +55,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -93,6 +94,11 @@ class parallel_explorer {
     bool symmetry = false;
     /// Compressed row store; same contract as explorer::options.
     bool compress_arena = true;
+    /// Out-of-core mode; same contract as explorer::options. The budget is
+    /// enforced on the append path (level merges), so within a level the
+    /// resident set can transiently exceed it by the workers' fault-ins.
+    std::uint64_t spill_budget_bytes = 0;
+    std::string spill_dir;
   };
 
   struct result {
@@ -317,6 +323,9 @@ class parallel_explorer {
   /// where the notion does not apply).
   std::uint64_t keyframe_rows() const { return rows_.keyframes(); }
 
+  /// Spill counters from the backing arena (all zero when spilling is off).
+  arena_spill_stats spill_stats() const { return rows_.spill_stats(); }
+
  private:
   // Seen-table cell (one 64-bit atomic): 0 is empty, otherwise
   //   bits 63..32  hash fragment (flat_index::fragment — probe start is a
@@ -382,7 +391,13 @@ class parallel_explorer {
 
   void reset() {
     pool_.clear();
-    rows_.configure(stride(), opt_.compress_arena);
+    row_store_options ropt;
+    if (opt_.compress_arena) {
+      ropt.spill.budget_bytes = opt_.spill_budget_bytes;
+      ropt.spill.dir = opt_.spill_dir;
+    }
+    rows_.configure(stride(), opt_.compress_arena, ropt);
+    prev_span_ = 0;
     parents_.clear();
     vias_.clear();
     elems_.clear();
@@ -421,15 +436,30 @@ class parallel_explorer {
   /// CASes during the fork is sized here for the worst case (span * nprocs
   /// discoveries), so the fork itself never reallocates anything shared.
   void prepare_level(std::uint64_t span) {
-    const std::uint64_t upper =
-        span * static_cast<std::uint64_t>(initial_machines_.size());
+    const std::uint64_t nprocs =
+        static_cast<std::uint64_t>(initial_machines_.size());
+    const std::uint64_t upper = span * nprocs;
     ANONCOORD_REQUIRE(num_merged() + upper < kMaxPayload,
                       "state index space exhausted");
-    if ((num_merged() + upper + 1) * 10 >= cell_count_ * 7) {
+    const std::uint64_t need = num_merged() + upper + 1;
+    if (need * 10 >= cell_count_ * 7) {
+      // Reserve-hint sizing: `span` is exactly the previous level's insert
+      // count, and BFS levels grow by a roughly constant branching ratio, so
+      // one rehash is sized to also cover the extrapolated next level. The
+      // old scheme grew only to this level's worst case by doubling from the
+      // old capacity, which re-placed every cell again at the very next
+      // level of a fast-growing space.
+      const std::uint64_t ratio16 =
+          prev_span_ > 0
+              ? std::max<std::uint64_t>(span * 16 / prev_span_, 16)
+              : 16;  // flat until we have two levels to extrapolate from
+      const std::uint64_t next_span_est =
+          std::min(span * std::min(ratio16, 16 * nprocs) / 16, upper);
       std::size_t cap = cell_count_;
-      while ((num_merged() + upper + 1) * 10 >= cap * 7) cap *= 2;
+      while ((need + next_span_est * nprocs) * 10 >= cap * 7) cap *= 2;
       grow_cells(cap);
     }
+    prev_span_ = span;
     if (upper > pend_cap_) {
       pend_cap_ = static_cast<std::size_t>(upper);
       pend_ = std::make_unique<pending_entry[]>(pend_cap_);
@@ -682,6 +712,9 @@ class parallel_explorer {
       wd.value.bad.clear();
       wd.value.fresh.clear();
     }
+    // Level boundary = append path: safe point to enforce the resident
+    // budget before the workers fork again (no reader holds arena pointers).
+    rows_.spill_over_budget();
     if (first_bad < 0) return false;
     res.bad_state = concrete_state(first_bad);
     res.bad_schedule = concrete_schedule(first_bad);
@@ -757,6 +790,7 @@ class parallel_explorer {
   std::unique_ptr<std::atomic<std::uint64_t>[]> cells_;
   std::size_t cell_count_ = 0;
   std::size_t cell_mask_ = 0;
+  std::uint64_t prev_span_ = 0;  ///< previous level's frontier (rehash hint)
   std::unique_ptr<pending_entry[]> pend_;
   std::size_t pend_cap_ = 0;
   std::atomic<std::uint32_t> pend_count_{0};

@@ -257,15 +257,40 @@ class row_decode_cache {
 /// it) and a row_decode_cache. Appends are single-threaded; loads may run
 /// concurrently from many threads provided no append is in flight and each
 /// thread uses its own cache — the same fork-join contract as byte_arena.
+///
+/// Offsets are 64-bit but stored block-relative to stay at 4 B per row: one
+/// u64 base per kOffBlock rows plus a u32 delta. This replaces the old
+/// whole-arena u32 cap (fail-fast at 4 GiB) — the arena can now grow past
+/// 4 GiB, and with spilling enabled (row_store_options) it no longer has to
+/// be resident either.
+
+/// Tuning for a row_store's backing arena. Defaults reproduce the in-memory
+/// behaviour; a nonzero spill budget turns on out-of-core paging. page_bits
+/// is exposed so tests can drive the spill machinery with tiny pages.
+struct row_store_options {
+  arena_spill_options spill;
+  int page_bits = byte_arena::kPageBits;
+};
+
 class row_store {
  public:
   /// Longest allowed parent-delta chain before a keyframe is forced.
   static constexpr std::uint8_t kMaxChain = 24;
+  /// Rows per offset block: a block spans < 4 GiB of arena (each row consumes
+  /// at most two pages including the skipped tail), so the u32 delta fits.
+  static constexpr int kOffBlockBits = 12;
+  static constexpr std::uint64_t kOffBlock = std::uint64_t{1} << kOffBlockBits;
 
   void configure(std::size_t stride, bool compress) {
+    configure(stride, compress, row_store_options{});
+  }
+
+  void configure(std::size_t stride, bool compress,
+                 const row_store_options& opt) {
     ANONCOORD_REQUIRE(stride > 0 && stride < (std::size_t{1} << 13),
                       "row stride out of range");
     clear();
+    arena_.configure(opt.page_bits, opt.spill);
     stride_ = stride;
     compressed_ = compress;
   }
@@ -327,17 +352,30 @@ class row_store {
                                     1));
     }
     const std::uint64_t off = arena_.commit(n);
-    ANONCOORD_REQUIRE(off <= 0xFFFFFFFFull,
-                      "compressed row arena exceeds 4 GiB; rerun with "
-                      "compress_arena disabled");
-    offs_.push_back(static_cast<std::uint32_t>(off));
+    if ((offs_.size() & (kOffBlock - 1)) == 0) off_bases_.push_back(off);
+    const std::uint64_t rel = off - off_bases_.back();
+    ANONCOORD_REQUIRE(rel <= 0xFFFFFFFFull,
+                      "arena offset block spans over 4 GiB (page size too "
+                      "large for block-relative offsets)");
+    offs_.push_back(static_cast<std::uint32_t>(rel));
     return idx;
   }
 
   /// Decode row `idx` into `out` (stride words). `parents` is the explorer's
-  /// BFS parent array; `cache` must belong to the calling thread.
+  /// BFS parent array; `cache` must belong to the calling thread. In spill
+  /// mode a decode-cache miss prefetches the whole delta chain's pages first:
+  /// the recursion consumes the chain keyframe-first, which would otherwise
+  /// fault pages one at a time in reverse order of use.
   void load(std::uint64_t idx, const std::int64_t* parents, std::uint32_t* out,
             row_decode_cache& cache) const {
+    if (compressed_ && arena_.spill_enabled() && cache.find(idx) == nullptr)
+      prefetch_chain(idx, parents, cache);
+    load_impl(idx, parents, out, cache);
+  }
+
+ private:
+  void load_impl(std::uint64_t idx, const std::int64_t* parents,
+                 std::uint32_t* out, row_decode_cache& cache) const {
     if (!compressed_) {
       std::memcpy(out, words_.data() + idx * stride_,
                   stride_ * sizeof(std::uint32_t));
@@ -347,14 +385,15 @@ class row_store {
       std::memcpy(out, hit, stride_ * sizeof(std::uint32_t));
       return;
     }
-    const std::uint8_t* in = arena_.at(offs_[static_cast<std::size_t>(idx)]);
+    const std::uint8_t* in = arena_.at(offset_of(idx));
     const std::uint64_t npatch = get_varint(in);
     if (npatch == 0) {  // keyframe
       for (std::size_t i = 0; i < stride_; ++i)
         out[i] = static_cast<std::uint32_t>(get_varint(in));
     } else {
-      load(static_cast<std::uint64_t>(parents[static_cast<std::size_t>(idx)]),
-           parents, out, cache);  // recursion bounded by kMaxChain
+      load_impl(
+          static_cast<std::uint64_t>(parents[static_cast<std::size_t>(idx)]),
+          parents, out, cache);  // recursion bounded by kMaxChain
       std::size_t pos = 0;
       for (std::uint64_t p = 0; p < npatch; ++p) {
         pos += static_cast<std::size_t>(get_varint(in));
@@ -365,6 +404,28 @@ class row_store {
     cache.put(idx, out);
   }
 
+  std::uint64_t offset_of(std::uint64_t idx) const {
+    return off_bases_[static_cast<std::size_t>(idx >> kOffBlockBits)] +
+           offs_[static_cast<std::size_t>(idx)];
+  }
+
+  /// Collect the delta chain's offsets (stopping where decoding will: at a
+  /// keyframe or a cached ancestor) and fault their pages in one pass.
+  void prefetch_chain(std::uint64_t idx, const std::int64_t* parents,
+                      const row_decode_cache& cache) const {
+    std::uint64_t offs[kMaxChain + 1];
+    std::size_t n = 0;
+    std::uint64_t cur = idx;
+    for (;;) {
+      offs[n++] = offset_of(cur);
+      if (depth_[static_cast<std::size_t>(cur)] == 0) break;  // keyframe
+      cur = static_cast<std::uint64_t>(parents[static_cast<std::size_t>(cur)]);
+      if (cache.find(cur) != nullptr) break;
+    }
+    arena_.prefetch(offs, n);
+  }
+
+ public:
   /// Direct row bytes; verbatim mode only (memcmp-equality fast path).
   const std::uint32_t* verbatim_row(std::uint64_t idx) const {
     return words_.data() + idx * stride_;
@@ -374,7 +435,8 @@ class row_store {
   /// offset/depth side arrays in compressed mode, 4·stride per row verbatim.
   std::uint64_t stored_bytes() const {
     if (!compressed_) return count_ * stride_ * sizeof(std::uint32_t);
-    return arena_.used() + count_ * (sizeof(std::uint32_t) + 1);
+    return arena_.used() + count_ * (sizeof(std::uint32_t) + 1) +
+           off_bases_.size() * sizeof(std::uint64_t);
   }
 
   /// Keyframe count (diagnostics: the rest are parent deltas).
@@ -384,11 +446,30 @@ class row_store {
     return k;
   }
 
+  bool spill_enabled() const { return arena_.spill_enabled(); }
+  arena_spill_stats spill_stats() const { return arena_.spill_stats(); }
+
+  /// Enforce the arena's resident budget now; append-path only (same
+  /// contract as append()). The explorers call this at level boundaries.
+  void spill_over_budget() { arena_.spill_over_budget(); }
+
+  /// Test hook: pad the arena so subsequent rows land at or past
+  /// `target_offset` (exercising offsets beyond 2^32 without writing
+  /// gigabytes). Only legal at an offset-block boundary, where the next
+  /// appended row starts a fresh block and re-bases the u32 deltas.
+  void pad_arena_for_test(std::uint64_t target_offset) {
+    ANONCOORD_REQUIRE(compressed_, "pad_arena_for_test needs compressed mode");
+    ANONCOORD_REQUIRE((offs_.size() & (kOffBlock - 1)) == 0,
+                      "pad_arena_for_test only at an offset-block boundary");
+    arena_.pad_to(target_offset);
+  }
+
   void clear() {
     count_ = 0;
     words_.clear();
     arena_.clear();
     offs_.clear();
+    off_bases_.clear();
     depth_.clear();
   }
 
@@ -398,7 +479,8 @@ class row_store {
   std::uint64_t count_ = 0;
   std::vector<std::uint32_t> words_;  // verbatim mode
   byte_arena arena_;                  // compressed mode: encoded rows…
-  std::vector<std::uint32_t> offs_;   // …their offsets (u32: arena < 4 GiB)…
+  std::vector<std::uint32_t> offs_;   // …their block-relative offsets…
+  std::vector<std::uint64_t> off_bases_;  // …one base per kOffBlock rows…
   std::vector<std::uint8_t> depth_;   // …and delta-chain depths (keyframe = 0)
 };
 

@@ -10,8 +10,14 @@
 // scaling bench and the differential tests consume.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <cstdio>
+#include <fstream>
 #include <functional>
+#include <memory>
+#include <mutex>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -20,7 +26,10 @@
 #include "modelcheck/parallel_explorer.hpp"
 #include "modelcheck/systematic.hpp"
 #include "obs/metrics.hpp"
+#include "util/padded.hpp"
 #include "util/stopwatch.hpp"
+#include "util/thread_pool.hpp"
+#include "util/work_steal.hpp"
 
 namespace anoncoord {
 
@@ -56,6 +65,12 @@ struct verify_options {
   /// Dominance-cache pruning for the systematic engines (see
   /// systematic_tester::options::state_cache).
   bool state_cache = false;
+  /// Out-of-core mode for the BFS engines (see explorer::options): resident
+  /// budget for the compressed row arena, 0 = fully in-memory. In a
+  /// scheduled sweep this is the PER-JOB budget — every class's engine gets
+  /// its own arena and spill file.
+  std::uint64_t spill_budget_bytes = 0;
+  std::string spill_dir;
 };
 
 /// Uniform per-run statistics. For BFS engines `states` counts distinct
@@ -71,6 +86,8 @@ struct verify_report {
   std::uint64_t schedules = 0;
   std::uint64_t sleep_pruned = 0;
   std::uint64_t cache_pruned = 0;
+  std::uint64_t spill_pages = 0;  ///< arena pages written out-of-core
+  std::uint64_t spill_bytes = 0;  ///< bytes written to the spill file
   double wall_seconds = 0.0;
   std::vector<int> violating_schedule;
 
@@ -107,6 +124,8 @@ verify_report verify_config(const model_config<Machine>& cfg,
       typename explorer<Machine>::options eopt;
       eopt.max_states = opt.max_states;
       eopt.symmetry = opt.symmetry;
+      eopt.spill_budget_bytes = opt.spill_budget_bytes;
+      eopt.spill_dir = opt.spill_dir;
       explorer<Machine> e(cfg.registers, cfg.naming, cfg.initial, eopt);
       const auto res = e.explore(as_state_pred);
       out.complete = res.complete;
@@ -115,6 +134,9 @@ verify_report verify_config(const model_config<Machine>& cfg,
       out.edges = res.num_edges;
       out.dedup_hits = res.dedup_hits;
       out.violating_schedule = res.bad_schedule;
+      const arena_spill_stats spill = e.spill_stats();
+      out.spill_pages = spill.spilled_pages;
+      out.spill_bytes = spill.spill_bytes;
       break;
     }
     case verify_engine::parallel_bfs: {
@@ -123,6 +145,8 @@ verify_report verify_config(const model_config<Machine>& cfg,
       popt.max_states = opt.max_states;
       popt.record_edges = false;  // safety-only entry point
       popt.symmetry = opt.symmetry;
+      popt.spill_budget_bytes = opt.spill_budget_bytes;
+      popt.spill_dir = opt.spill_dir;
       parallel_explorer<Machine> e(cfg.registers, cfg.naming, cfg.initial,
                                    popt);
       const auto res = e.explore(as_state_pred);
@@ -132,6 +156,9 @@ verify_report verify_config(const model_config<Machine>& cfg,
       out.edges = res.num_edges;
       out.dedup_hits = res.dedup_hits;
       out.violating_schedule = res.bad_schedule;
+      const arena_spill_stats spill = e.spill_stats();
+      out.spill_pages = spill.spilled_pages;
+      out.spill_bytes = spill.spill_bytes;
       break;
     }
     case verify_engine::systematic:
@@ -186,6 +213,8 @@ inline obs::json_value to_json(const verify_report& report) {
   out.set("schedules", report.schedules);
   out.set("sleep_pruned", report.sleep_pruned);
   out.set("cache_pruned", report.cache_pruned);
+  out.set("spill_pages", report.spill_pages);
+  out.set("spill_bytes", report.spill_bytes);
   out.set("wall_seconds", report.wall_seconds);
   obs::json_value sched = obs::json_value::make_array();
   for (int p : report.violating_schedule) sched.push_back(p);
@@ -193,12 +222,28 @@ inline obs::json_value to_json(const verify_report& report) {
   return out;
 }
 
+/// Orchestration for verify_naming_sweep: orbit classes run as independent
+/// jobs on a work-stealing pool, a checkpoint journal makes an interrupted
+/// sweep resumable, and max_classes caps how many fresh classes one run
+/// verifies (the deterministic "kill" used by tests and the CI resume
+/// smoke). Per-job memory budgets ride in verify_options — each class's
+/// engine gets its own arena (and spill file) sized by spill_budget_bytes.
+/// With workers > 1 the bad-state predicate runs concurrently, so it must be
+/// thread-safe (stateless predicates, the common case, trivially are).
+struct sweep_schedule_options {
+  int workers = 1;
+  std::string checkpoint_path;    ///< "" = no checkpointing
+  std::uint64_t max_classes = 0;  ///< 0 = verify every pending class
+};
+
 /// Aggregate over a full- or orbit-reduced naming sweep (below).
 struct naming_sweep_report {
   std::uint64_t configs = 0;     ///< configurations verified
   std::uint64_t violated = 0;    ///< configurations with a violation
   std::uint64_t incomplete = 0;  ///< configurations that hit a cap
   std::uint64_t total_states = 0;
+  std::uint64_t resumed_classes = 0;  ///< classes loaded from the checkpoint
+  std::uint64_t pending_classes = 0;  ///< classes left undone (max_classes)
   /// Weighted totals the reduced sweep certifies for the FULL (m!)^n
   /// enumeration: each verified config stands for weight x m! raw naming
   /// tuples (weight > 1 only in process-quotient mode). With no reduction
@@ -208,9 +253,60 @@ struct naming_sweep_report {
   double wall_seconds = 0.0;
   /// Per-config violation flags, in the enumerator's deterministic order
   /// (all_naming_assignments / naming_orbit_representatives /
-  /// naming_orbit_classes).
+  /// naming_orbit_classes). Classes left pending by max_classes are skipped;
+  /// a completed (possibly resumed) sweep always has one entry per config.
   std::vector<char> verdicts;
 };
+
+namespace detail {
+
+/// Per-class outcome, either freshly verified or loaded from a checkpoint.
+struct sweep_class_record {
+  bool done = false;
+  bool violated = false;
+  bool complete = false;
+  std::uint64_t states = 0;
+};
+
+/// Checkpoint header line: binds the journal to one sweep's exact shape, so
+/// resuming against the wrong sweep fails fast instead of merging garbage.
+inline std::string sweep_ckpt_header(int registers, int processes,
+                                     std::size_t classes, bool orbit,
+                                     bool quotient) {
+  std::ostringstream os;
+  os << "anoncoord-sweep-ckpt-v1 registers=" << registers
+     << " processes=" << processes << " classes=" << classes
+     << " orbit=" << (orbit ? 1 : 0) << " quotient=" << (quotient ? 1 : 0);
+  return os.str();
+}
+
+/// Replay a checkpoint journal into `recs`; returns the classes resumed.
+/// A malformed line (the torn tail of a killed run's last write) is skipped
+/// — that class is simply verified again, which cannot change the totals.
+inline std::uint64_t load_sweep_checkpoint(
+    const std::string& path, const std::string& header,
+    std::vector<sweep_class_record>& recs) {
+  std::ifstream in(path);
+  ANONCOORD_REQUIRE(in.is_open(), "cannot read sweep checkpoint " + path);
+  std::string line;
+  ANONCOORD_REQUIRE(std::getline(in, line) && line == header,
+                    "sweep checkpoint does not match this sweep: " + path);
+  std::uint64_t resumed = 0;
+  while (std::getline(in, line)) {
+    unsigned long long idx = 0, violated = 0, complete = 0, states = 0;
+    if (std::sscanf(line.c_str(),
+                    "class=%llu violated=%llu complete=%llu states=%llu",
+                    &idx, &violated, &complete, &states) != 4)
+      continue;
+    if (idx >= recs.size() || recs[idx].done) continue;
+    recs[idx] = sweep_class_record{true, violated != 0, complete != 0,
+                                   static_cast<std::uint64_t>(states)};
+    ++resumed;
+  }
+  return resumed;
+}
+
+}  // namespace detail
 
 /// Verify `initial` under EVERY naming assignment of `registers` physical
 /// registers — or, with orbit_representatives_only, under one representative
@@ -239,7 +335,8 @@ template <class Machine>
 naming_sweep_report verify_naming_sweep(
     int registers, const std::vector<Machine>& initial,
     const config_predicate<Machine>& is_bad, bool orbit_representatives_only,
-    const verify_options& opt = {}, bool process_quotient = false) {
+    const verify_options& opt = {}, bool process_quotient = false,
+    const sweep_schedule_options& sched = {}) {
   stopwatch timer;
   const int n = static_cast<int>(initial.size());
   const std::uint64_t per_rep =
@@ -262,21 +359,137 @@ naming_sweep_report verify_naming_sweep(
     for (const naming_assignment& naming : namings)
       sweep.push_back({naming, 1});
   }
+
   naming_sweep_report out;
-  for (const weighted_naming& wn : sweep) {
-    model_config<Machine> cfg{registers, wn.naming, initial};
+  std::vector<detail::sweep_class_record> recs(sweep.size());
+  const std::string header = detail::sweep_ckpt_header(
+      registers, n, sweep.size(), orbit_representatives_only,
+      process_quotient);
+  bool had_checkpoint = false;
+  bool torn_tail = false;
+  if (!sched.checkpoint_path.empty()) {
+    std::ifstream probe(sched.checkpoint_path, std::ios::binary);
+    had_checkpoint = probe.is_open();
+    if (had_checkpoint) {
+      probe.seekg(0, std::ios::end);
+      if (probe.tellg() > 0) {
+        probe.seekg(-1, std::ios::end);
+        char last = 0;
+        probe.get(last);
+        torn_tail = last != '\n';
+      }
+    }
+  }
+  if (had_checkpoint)
+    out.resumed_classes =
+        detail::load_sweep_checkpoint(sched.checkpoint_path, header, recs);
+
+  std::ofstream journal;
+  std::mutex journal_mu;
+  if (!sched.checkpoint_path.empty()) {
+    journal.open(sched.checkpoint_path, std::ios::app);
+    ANONCOORD_REQUIRE(journal.is_open(),
+                      "cannot open sweep checkpoint " + sched.checkpoint_path);
+    if (!had_checkpoint) journal << header << '\n' << std::flush;
+    // A torn trailing record (the previous run died mid-write) is skipped by
+    // the loader; terminate it so the next append starts on a fresh line
+    // instead of gluing onto the fragment.
+    if (torn_tail) journal << '\n' << std::flush;
+  }
+
+  // The pending job list, truncated by max_classes. Truncation in class
+  // order keeps the "interrupted" prefix deterministic, and because the
+  // totals below aggregate by class index, interrupt + resume reproduces an
+  // uninterrupted run's weighted totals exactly.
+  std::vector<std::uint64_t> todo;
+  for (std::size_t i = 0; i < sweep.size(); ++i)
+    if (!recs[i].done) todo.push_back(i);
+  if (sched.max_classes != 0 && todo.size() > sched.max_classes)
+    todo.resize(static_cast<std::size_t>(sched.max_classes));
+
+  const auto run_class = [&](std::uint64_t idx) {
+    const auto i = static_cast<std::size_t>(idx);
+    model_config<Machine> cfg{registers, sweep[i].naming, initial};
     const verify_report rep = verify_config(cfg, is_bad, opt);
+    recs[i].done = true;
+    recs[i].violated = rep.violated;
+    recs[i].complete = rep.complete;
+    recs[i].states = rep.states;
+    if (journal.is_open()) {
+      std::lock_guard lk(journal_mu);
+      journal << "class=" << idx << " violated=" << (rep.violated ? 1 : 0)
+              << " complete=" << (rep.complete ? 1 : 0)
+              << " states=" << rep.states << '\n'
+              << std::flush;
+    }
+  };
+
+  const int nworkers =
+      std::max(1, std::min(sched.workers, static_cast<int>(todo.size())));
+  if (nworkers <= 1) {
+    for (const std::uint64_t idx : todo) run_class(idx);
+  } else {
+    // Classes are independent jobs: seed per-worker Chase-Lev deques with
+    // contiguous slices and let dry workers steal — the same discipline as
+    // the parallel explorer's frontier, at job granularity.
+    auto deques =
+        std::make_unique<padded<ws_deque>[]>(static_cast<std::size_t>(nworkers));
+    for (int w = 0; w < nworkers; ++w) {
+      const std::size_t lo =
+          todo.size() * static_cast<std::size_t>(w) /
+          static_cast<std::size_t>(nworkers);
+      const std::size_t hi =
+          todo.size() * static_cast<std::size_t>(w + 1) /
+          static_cast<std::size_t>(nworkers);
+      ws_deque& d = deques[static_cast<std::size_t>(w)].value;
+      d.reset(hi - lo);
+      for (std::size_t k = hi; k > lo; --k) d.push(todo[k - 1]);
+    }
+    thread_pool pool(nworkers);
+    pool.run([&](int w) {
+      ws_deque& own = deques[static_cast<std::size_t>(w)].value;
+      std::uint64_t idx = 0;
+      for (;;) {
+        if (own.pop(idx)) {
+          run_class(idx);
+          continue;
+        }
+        bool stole = false;
+        bool maybe_work = false;
+        for (int k = 1; k < nworkers && !stole; ++k) {
+          ws_deque& victim =
+              deques[static_cast<std::size_t>((w + k) % nworkers)].value;
+          if (victim.steal(idx)) stole = true;
+          else if (!victim.empty()) maybe_work = true;
+        }
+        if (stole) {
+          run_class(idx);
+          continue;
+        }
+        if (!maybe_work && own.empty()) return;
+      }
+    });
+  }
+
+  // Aggregate by class index, not completion order — the totals are a pure
+  // function of which classes are done, so any interrupt/resume split that
+  // eventually covers every class yields identical weighted results.
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    if (!recs[i].done) {
+      ++out.pending_classes;
+      continue;
+    }
     ++out.configs;
-    out.full_configs += wn.weight * per_rep;
-    out.total_states += rep.states;
-    if (rep.violated) {
+    out.full_configs += sweep[i].weight * per_rep;
+    out.total_states += recs[i].states;
+    if (recs[i].violated) {
       ++out.violated;
-      out.full_violated += wn.weight * per_rep;
+      out.full_violated += sweep[i].weight * per_rep;
     }
     // A violated run stops early by design; "incomplete" means a cap was
     // hit without reaching a verdict.
-    if (!rep.complete && !rep.violated) ++out.incomplete;
-    out.verdicts.push_back(rep.violated ? 1 : 0);
+    if (!recs[i].complete && !recs[i].violated) ++out.incomplete;
+    out.verdicts.push_back(recs[i].violated ? 1 : 0);
   }
   out.wall_seconds = timer.elapsed_seconds();
   return out;

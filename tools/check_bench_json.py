@@ -7,6 +7,12 @@ required top-level keys and types, per-result summary-statistic sanity
 section is the registry-snapshot shape ({"counters": {...},
 "histograms": {...}}).
 
+Out-of-core counters get extra scrutiny when present: spill_pages,
+spill_bytes, resumed_classes and pending_classes must be non-negative
+integers, and spill traffic must be internally consistent (spill_bytes and
+spill_pages are zero together, and a spilled page wrote at least one byte,
+so spill_bytes >= spill_pages).
+
 Usage: tools/check_bench_json.py BENCH_*.json
 Exit status 0 when every report validates, 1 otherwise.
 """
@@ -93,10 +99,46 @@ def check_report(path: Path) -> list[str]:
         if not isinstance(doc["metrics"].get(section), dict):
             errors.append(f"{path}: metrics.{section} missing or not an "
                           "object")
-    for name, value in doc["metrics"].get("counters", {}).items():
-        if not isinstance(value, int) or value < 0:
+    counters = doc["metrics"].get("counters", {})
+    for name, value in counters.items():
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
             errors.append(f"{path}: counter {name!r} = {value!r} is not a "
                           "non-negative integer")
+    errors.extend(check_spill_counters(counters, str(path)))
+    return errors
+
+
+# Out-of-core counters (bench_modelcheck_scaling part 6 and the resumable
+# --sweep-m sweep). Optional — older reports predate them — but when present
+# they must be well-formed non-negative integers.
+SPILL_COUNTERS = ("spill_pages", "spill_bytes", "resumed_classes",
+                  "pending_classes")
+
+
+def check_spill_counters(counters: object, where: str) -> list[str]:
+    if not isinstance(counters, dict):
+        return []
+    errors = []
+    ok = {}
+    for name in SPILL_COUNTERS:
+        if name not in counters:
+            continue
+        value = counters[name]
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            errors.append(f"{where}: counter {name!r} = {value!r} is not a "
+                          "non-negative integer")
+        else:
+            ok[name] = value
+    if "spill_pages" in ok and "spill_bytes" in ok:
+        pages, nbytes = ok["spill_pages"], ok["spill_bytes"]
+        if (pages == 0) != (nbytes == 0):
+            errors.append(f"{where}: spill_pages={pages} and "
+                          f"spill_bytes={nbytes} disagree about whether "
+                          "anything spilled")
+        elif nbytes < pages:
+            errors.append(f"{where}: spill_bytes={nbytes} < "
+                          f"spill_pages={pages} (each spilled page writes "
+                          "at least one byte)")
     return errors
 
 

@@ -19,6 +19,14 @@ direction by more than N percent. These series are reproducible bit-for-bit
 for a given binary, so N=0 is the normal gate and stays meaningful on noisy
 or single-core runners where time thresholds cannot be trusted.
 
+Metrics counters (the "metrics.counters" map: spill_pages, resumed_classes,
+obs registry counters, ...) are compared informationally after the result
+series. They never gate: counters like spill traffic and resumed-class
+counts legitimately differ between runs. A counter present only in the
+candidate — the normal state right after a bench grows a new metric, before
+the baseline is regenerated — is reported as "new metric, skip" instead of
+failing the comparison.
+
 Without either flag the tool is purely informational and only fails on
 unreadable/invalid input.
 
@@ -58,6 +66,18 @@ def medians(doc: dict) -> dict:
 
 def fmt(value: float) -> str:
     return f"{value:.6g}"
+
+
+def counters(doc: dict) -> dict:
+    """The metrics.counters map, tolerating reports without one."""
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict):
+        return {}
+    counts = metrics.get("counters")
+    if not isinstance(counts, dict):
+        return {}
+    return {str(k): v for k, v in counts.items()
+            if isinstance(v, (int, float)) and not isinstance(v, bool)}
 
 
 def main(argv: list[str]) -> int:
@@ -113,6 +133,19 @@ def main(argv: list[str]) -> int:
         print(f"only in baseline:  {name}")
     for name in sorted(set(cand) - set(base)):
         print(f"only in candidate: {name}")
+
+    # Counters: informational only. A candidate counter with no baseline
+    # value is a freshly-added metric, not a comparison failure.
+    base_ctr, cand_ctr = counters(base_doc), counters(cand_doc)
+    for name in sorted(cand_ctr):
+        if name not in base_ctr:
+            print(f"new metric, skip: {name} = {fmt(cand_ctr[name])} "
+                  "(no baseline value)")
+        elif base_ctr[name] != cand_ctr[name]:
+            print(f"counter changed:  {name} = {fmt(base_ctr[name])} -> "
+                  f"{fmt(cand_ctr[name])}")
+    for name in sorted(set(base_ctr) - set(cand_ctr)):
+        print(f"counter only in baseline: {name}")
 
     if regressions:
         for name, pct, verb in regressions:
