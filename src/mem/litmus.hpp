@@ -1,0 +1,576 @@
+// Litmus-shape machinery: the differential bridge between the paper's
+// atomic-register model and what weakened hardware orderings actually allow.
+//
+// A litmus shape is a tiny fixed program (store-buffering, message-passing,
+// load-buffering, IRIW) with a designated *forbidden* outcome — forbidden
+// under sequential consistency, i.e. under the model every theorem in this
+// repo assumes. The same shape is evaluated four independent ways:
+//
+//   1. litmus_allowed_outcomes(shape, discipline) — an axiomatic oracle.
+//      seq_cst enumerates sb-respecting interleavings (= SC semantics);
+//      acq_rel / relaxed enumerate reads-from assignments and filter them
+//      through a simplified C++-style happens-before model (sb ∪, for
+//      acq_rel only, release→acquire synchronizes-with on reads-from pairs;
+//      loads may not read hb-later or hb-overwritten stores). Simplified —
+//      no sc-fences, no per-location mo beyond the overwrite axiom — but
+//      exact on these four shapes, which the tests pin.
+//   2. litmus_tso_outcomes(shape, cap) — an operational x86-TSO explorer:
+//      per-thread FIFO store buffers with own-store forwarding and
+//      nondeterministic flushes. cap = 0 degenerates to SC (differential
+//      anchor against path 1); unbounded cap is the classic TSO column
+//      (SB observable, MP/LB/IRIW not).
+//   3. run_litmus_hw<Policy>(shape, iters) — the real thing: hardware
+//      threads hammering a shared_register_file compiled under the policy.
+//      Observed outcomes must be CONTAINED in the oracle's allowed set
+//      (one-sided: hardware is never required to exhibit a weak outcome —
+//      this container may be 1-core x86, where most never appear).
+//   4. litmus_machines(shape) under the model checker — the shapes as step
+//      machines, so verify_config's exhaustive SC exploration can be
+//      diffed against oracle path 1's seq_cst set outcome-for-outcome.
+//
+// tso_solo_entry_witness() extends path 2 to the paper's algorithms: it
+// drives each mutex machine against a private never-flushed store buffer —
+// a legal TSO execution prefix in which no store has reached memory — and
+// reports whether every contender enters the critical section, the
+// deterministic "mutual exclusion breaks under store buffering" witness.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "mem/memory_order_policy.hpp"
+#include "mem/shared_register_file.hpp"
+#include "runtime/step_machine.hpp"
+#include "util/check.hpp"
+
+namespace anoncoord {
+
+/// One instruction of a litmus thread: a store of `value` to `loc`, or a
+/// load of `loc` into outcome slot `slot`.
+struct litmus_op {
+  bool is_store = false;
+  int loc = 0;
+  std::uint64_t value = 0;
+  int slot = -1;
+
+  friend bool operator==(const litmus_op&, const litmus_op&) = default;
+};
+
+inline litmus_op litmus_store(int loc, std::uint64_t value) {
+  return {true, loc, value, -1};
+}
+inline litmus_op litmus_load(int loc, int slot) {
+  return {false, loc, 0, slot};
+}
+
+/// A complete execution's observable result: one value per load slot.
+using litmus_outcome = std::vector<std::uint64_t>;
+
+struct litmus_shape {
+  std::string name;
+  int locations = 0;
+  int slots = 0;
+  std::vector<std::vector<litmus_op>> threads;
+  std::function<bool(const litmus_outcome&)> forbidden;
+  std::string forbidden_desc;  ///< human-readable forbidden outcome
+};
+
+// ---------------------------------------------------------------------------
+// The four classic shapes. All locations start at 0.
+// ---------------------------------------------------------------------------
+
+/// Store buffering: Wx=1; Ry || Wy=1; Rx. Forbidden: both loads see 0.
+inline litmus_shape make_sb() {
+  litmus_shape s;
+  s.name = "SB";
+  s.locations = 2;
+  s.slots = 2;
+  s.threads = {{litmus_store(0, 1), litmus_load(1, 0)},
+               {litmus_store(1, 1), litmus_load(0, 1)}};
+  s.forbidden = [](const litmus_outcome& o) { return o[0] == 0 && o[1] == 0; };
+  s.forbidden_desc = "r0=0 r1=0";
+  return s;
+}
+
+/// Message passing: Wdata=1; Wflag=1 || Rflag; Rdata.
+/// Forbidden: flag seen set but data seen stale.
+inline litmus_shape make_mp() {
+  litmus_shape s;
+  s.name = "MP";
+  s.locations = 2;  // 0 = data, 1 = flag
+  s.slots = 2;
+  s.threads = {{litmus_store(0, 1), litmus_store(1, 1)},
+               {litmus_load(1, 0), litmus_load(0, 1)}};
+  s.forbidden = [](const litmus_outcome& o) { return o[0] == 1 && o[1] == 0; };
+  s.forbidden_desc = "rflag=1 rdata=0";
+  return s;
+}
+
+/// Load buffering: Rx; Wy=1 || Ry; Wx=1. Forbidden: both loads see 1
+/// (each load observing the OTHER thread's later store).
+inline litmus_shape make_lb() {
+  litmus_shape s;
+  s.name = "LB";
+  s.locations = 2;
+  s.slots = 2;
+  s.threads = {{litmus_load(0, 0), litmus_store(1, 1)},
+               {litmus_load(1, 1), litmus_store(0, 1)}};
+  s.forbidden = [](const litmus_outcome& o) { return o[0] == 1 && o[1] == 1; };
+  s.forbidden_desc = "r0=1 r1=1";
+  return s;
+}
+
+/// Independent reads of independent writes: Wx=1 || Wy=1 || Rx; Ry || Ry; Rx.
+/// Forbidden: the two readers see the writes in opposite orders.
+inline litmus_shape make_iriw() {
+  litmus_shape s;
+  s.name = "IRIW";
+  s.locations = 2;
+  s.slots = 4;
+  s.threads = {{litmus_store(0, 1)},
+               {litmus_store(1, 1)},
+               {litmus_load(0, 0), litmus_load(1, 1)},
+               {litmus_load(1, 2), litmus_load(0, 3)}};
+  s.forbidden = [](const litmus_outcome& o) {
+    return o[0] == 1 && o[1] == 0 && o[2] == 1 && o[3] == 0;
+  };
+  s.forbidden_desc = "r0=1 r1=0 r2=1 r3=0";
+  return s;
+}
+
+inline std::vector<litmus_shape> litmus_all_shapes() {
+  return {make_sb(), make_mp(), make_lb(), make_iriw()};
+}
+
+// ---------------------------------------------------------------------------
+// Path 1a: SC semantics by enumerating sb-respecting interleavings.
+// ---------------------------------------------------------------------------
+
+inline std::set<litmus_outcome> litmus_sc_outcomes(const litmus_shape& shape) {
+  std::set<litmus_outcome> out;
+  std::vector<std::size_t> pc(shape.threads.size(), 0);
+  std::vector<std::uint64_t> mem(static_cast<std::size_t>(shape.locations), 0);
+  litmus_outcome result(static_cast<std::size_t>(shape.slots), 0);
+
+  auto rec = [&](auto&& self) -> void {
+    bool stepped = false;
+    for (std::size_t t = 0; t < shape.threads.size(); ++t) {
+      if (pc[t] >= shape.threads[t].size()) continue;
+      stepped = true;
+      const litmus_op op = shape.threads[t][pc[t]];
+      ++pc[t];
+      std::uint64_t saved;
+      if (op.is_store) {
+        saved = mem[static_cast<std::size_t>(op.loc)];
+        mem[static_cast<std::size_t>(op.loc)] = op.value;
+      } else {
+        saved = result[static_cast<std::size_t>(op.slot)];
+        result[static_cast<std::size_t>(op.slot)] =
+            mem[static_cast<std::size_t>(op.loc)];
+      }
+      self(self);
+      if (op.is_store)
+        mem[static_cast<std::size_t>(op.loc)] = saved;
+      else
+        result[static_cast<std::size_t>(op.slot)] = saved;
+      --pc[t];
+    }
+    if (!stepped) out.insert(result);
+  };
+  rec(rec);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Path 1b: axiomatic oracle for the weakened disciplines.
+// ---------------------------------------------------------------------------
+
+/// Outcomes permitted by a simplified C++ memory model: enumerate every
+/// reads-from assignment, build hb = (sb ∪ sw)+ where sw exists only when
+/// `release_acquire` (each reads-from edge synchronizes), and keep the
+/// assignment iff hb is acyclic, no load reads an hb-later store, no load
+/// reads a store hb-overwritten before it, and no init-read has a same-loc
+/// store hb-before it.
+inline std::set<litmus_outcome> litmus_axiomatic_outcomes(
+    const litmus_shape& shape, bool release_acquire) {
+  struct event {
+    int thread;
+    int pos;
+    litmus_op op;
+  };
+  std::vector<event> events;
+  for (std::size_t t = 0; t < shape.threads.size(); ++t)
+    for (std::size_t i = 0; i < shape.threads[t].size(); ++i)
+      events.push_back({static_cast<int>(t), static_cast<int>(i),
+                        shape.threads[t][i]});
+  const std::size_t n = events.size();
+
+  std::vector<std::size_t> loads, stores;
+  for (std::size_t i = 0; i < n; ++i)
+    (events[i].op.is_store ? stores : loads).push_back(i);
+
+  // Candidate sources per load: -1 = the initial 0, else a store event id.
+  std::vector<std::vector<int>> candidates(loads.size());
+  for (std::size_t li = 0; li < loads.size(); ++li) {
+    candidates[li].push_back(-1);
+    for (std::size_t s : stores)
+      if (events[s].op.loc == events[loads[li]].op.loc)
+        candidates[li].push_back(static_cast<int>(s));
+  }
+
+  std::set<litmus_outcome> out;
+  std::vector<std::size_t> choice(loads.size(), 0);
+  while (true) {
+    std::vector<std::vector<bool>> hb(n, std::vector<bool>(n, false));
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < n; ++j)
+        if (events[i].thread == events[j].thread && events[i].pos < events[j].pos)
+          hb[i][j] = true;  // sb
+    if (release_acquire) {
+      for (std::size_t li = 0; li < loads.size(); ++li) {
+        const int src = candidates[li][choice[li]];
+        if (src >= 0) hb[static_cast<std::size_t>(src)][loads[li]] = true;
+      }
+    }
+    for (std::size_t k = 0; k < n; ++k)  // transitive closure
+      for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+          if (hb[i][k] && hb[k][j]) hb[i][j] = true;
+
+    bool valid = true;
+    for (std::size_t i = 0; i < n && valid; ++i)
+      if (hb[i][i]) valid = false;  // hb cycle
+    for (std::size_t li = 0; li < loads.size() && valid; ++li) {
+      const std::size_t l = loads[li];
+      const int src = candidates[li][choice[li]];
+      if (src >= 0) {
+        const auto s = static_cast<std::size_t>(src);
+        if (hb[l][s]) valid = false;  // reading from the future
+        for (std::size_t s2 : stores)
+          if (s2 != s && events[s2].op.loc == events[l].op.loc &&
+              hb[s][s2] && hb[s2][l])
+            valid = false;  // source hb-overwritten before the load
+      } else {
+        for (std::size_t s2 : stores)
+          if (events[s2].op.loc == events[l].op.loc && hb[s2][l])
+            valid = false;  // init unreadable past an hb-earlier store
+      }
+    }
+
+    if (valid) {
+      litmus_outcome o(static_cast<std::size_t>(shape.slots), 0);
+      for (std::size_t li = 0; li < loads.size(); ++li) {
+        const int src = candidates[li][choice[li]];
+        o[static_cast<std::size_t>(events[loads[li]].op.slot)] =
+            src < 0 ? 0 : events[static_cast<std::size_t>(src)].op.value;
+      }
+      out.insert(std::move(o));
+    }
+
+    std::size_t d = 0;  // odometer over the candidate product
+    while (d < loads.size() && ++choice[d] == candidates[d].size())
+      choice[d++] = 0;
+    if (d == loads.size()) break;
+  }
+  return out;
+}
+
+inline std::set<litmus_outcome> litmus_allowed_outcomes(
+    const litmus_shape& shape, memory_discipline d) {
+  switch (d) {
+    case memory_discipline::seq_cst: return litmus_sc_outcomes(shape);
+    case memory_discipline::acq_rel:
+      return litmus_axiomatic_outcomes(shape, true);
+    case memory_discipline::relaxed:
+      return litmus_axiomatic_outcomes(shape, false);
+  }
+  return {};
+}
+
+inline bool litmus_forbidden_reachable(const litmus_shape& shape,
+                                       memory_discipline d) {
+  for (const auto& o : litmus_allowed_outcomes(shape, d))
+    if (shape.forbidden(o)) return true;
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Path 2: operational x86-TSO (per-thread FIFO store buffers).
+// ---------------------------------------------------------------------------
+
+/// Outcomes reachable under the store-buffer machine: writes enter the
+/// writer's FIFO, flush to memory at nondeterministic points, and the writer
+/// forwards its own newest buffered value on read. `buffer_cap` < 0 means
+/// unbounded (full TSO); 0 bypasses the buffers entirely, which is exactly
+/// SC — the cross-check anchor against litmus_sc_outcomes().
+inline std::set<litmus_outcome> litmus_tso_outcomes(const litmus_shape& shape,
+                                                    int buffer_cap = -1) {
+  struct tso_state {
+    std::vector<std::size_t> pc;
+    std::vector<std::vector<std::pair<int, std::uint64_t>>> buf;
+    std::vector<std::uint64_t> mem;
+    litmus_outcome res;
+  };
+  std::set<litmus_outcome> out;
+  tso_state init;
+  init.pc.assign(shape.threads.size(), 0);
+  init.buf.assign(shape.threads.size(), {});
+  init.mem.assign(static_cast<std::size_t>(shape.locations), 0);
+  init.res.assign(static_cast<std::size_t>(shape.slots), 0);
+
+  auto rec = [&](auto&& self, const tso_state& st) -> void {
+    bool acted = false;
+    for (std::size_t t = 0; t < shape.threads.size(); ++t) {
+      if (st.pc[t] < shape.threads[t].size()) {
+        acted = true;
+        tso_state next = st;
+        const litmus_op& op = shape.threads[t][st.pc[t]];
+        if (op.is_store) {
+          if (buffer_cap == 0) {
+            next.mem[static_cast<std::size_t>(op.loc)] = op.value;
+          } else {
+            if (buffer_cap > 0 &&
+                next.buf[t].size() == static_cast<std::size_t>(buffer_cap)) {
+              const auto [loc, v] = next.buf[t].front();
+              next.buf[t].erase(next.buf[t].begin());
+              next.mem[static_cast<std::size_t>(loc)] = v;
+            }
+            next.buf[t].emplace_back(op.loc, op.value);
+          }
+        } else {
+          std::uint64_t v = st.mem[static_cast<std::size_t>(op.loc)];
+          for (auto it = st.buf[t].rbegin(); it != st.buf[t].rend(); ++it)
+            if (it->first == op.loc) {  // own-store forwarding, newest wins
+              v = it->second;
+              break;
+            }
+          next.res[static_cast<std::size_t>(op.slot)] = v;
+        }
+        ++next.pc[t];
+        self(self, next);
+      }
+      if (!st.buf[t].empty()) {
+        acted = true;
+        tso_state next = st;
+        const auto [loc, v] = next.buf[t].front();
+        next.buf[t].erase(next.buf[t].begin());
+        next.mem[static_cast<std::size_t>(loc)] = v;
+        self(self, next);
+      }
+    }
+    if (!acted) out.insert(st.res);
+  };
+  rec(rec, init);
+  return out;
+}
+
+inline bool litmus_forbidden_reachable_tso(const litmus_shape& shape,
+                                           int buffer_cap = -1) {
+  for (const auto& o : litmus_tso_outcomes(shape, buffer_cap))
+    if (shape.forbidden(o)) return true;
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Path 3: the shapes on real hardware threads.
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+/// Sense-reversing spin barrier; yields while waiting so the runner behaves
+/// on single-core hosts. The seq_cst arrival RMWs double as the
+/// happens-before edges that make the plain slot/reset accesses around each
+/// phase race-free.
+class litmus_barrier {
+ public:
+  explicit litmus_barrier(int parties) : parties_(parties) {}
+
+  void arrive_and_wait(bool& local_sense) {
+    local_sense = !local_sense;
+    if (count_.fetch_add(1, std::memory_order_seq_cst) + 1 == parties_) {
+      count_.store(0, std::memory_order_relaxed);
+      sense_.store(local_sense, std::memory_order_seq_cst);
+    } else {
+      while (sense_.load(std::memory_order_seq_cst) != local_sense)
+        std::this_thread::yield();
+    }
+  }
+
+ private:
+  int parties_;
+  std::atomic<int> count_{0};
+  std::atomic<bool> sense_{false};
+};
+
+}  // namespace detail
+
+/// Run the shape `iterations` times on real threads over a register file
+/// compiled with `Policy`; returns outcome → occurrence count. Callers
+/// assert CONTAINMENT in the oracle's allowed set, never presence of weak
+/// outcomes: hardware (especially a 1-core x86 host) routinely exhibits only
+/// the SC subset of what the policy formally permits.
+template <memory_discipline Policy>
+std::map<litmus_outcome, std::uint64_t> run_litmus_hw(
+    const litmus_shape& shape, std::uint64_t iterations) {
+  ANONCOORD_REQUIRE(!shape.threads.empty(), "shape needs threads");
+  shared_register_file<std::uint64_t, Policy> mem(shape.locations);
+  const int workers = static_cast<int>(shape.threads.size());
+  detail::litmus_barrier barrier(workers + 1);
+  litmus_outcome slots(static_cast<std::size_t>(shape.slots), 0);
+  std::map<litmus_outcome, std::uint64_t> hist;
+
+  {
+    std::vector<std::jthread> threads;
+    threads.reserve(static_cast<std::size_t>(workers));
+    for (int t = 0; t < workers; ++t) {
+      threads.emplace_back([&, t] {
+        bool sense = false;
+        for (std::uint64_t it = 0; it < iterations; ++it) {
+          barrier.arrive_and_wait(sense);  // round open: memory is zeroed
+          for (const litmus_op& op :
+               shape.threads[static_cast<std::size_t>(t)]) {
+            if (op.is_store)
+              mem.write(op.loc, op.value);
+            else
+              slots[static_cast<std::size_t>(op.slot)] = mem.read(op.loc);
+          }
+          barrier.arrive_and_wait(sense);  // round closed
+        }
+      });
+    }
+    bool sense = false;
+    for (std::uint64_t it = 0; it < iterations; ++it) {
+      barrier.arrive_and_wait(sense);
+      barrier.arrive_and_wait(sense);
+      // Collect and reset strictly between rounds; workers are blocked on
+      // the next round-open barrier until this thread arrives there.
+      ++hist[slots];
+      for (auto& s : slots) s = 0;
+      for (int loc = 0; loc < shape.locations; ++loc) mem.write(loc, 0);
+    }
+  }
+  return hist;
+}
+
+// ---------------------------------------------------------------------------
+// Path 4: the shapes as step machines for the model checker.
+// ---------------------------------------------------------------------------
+
+/// One litmus thread as a step machine; results land in a full-width
+/// outcome vector (slots owned by other threads stay 0), so the global
+/// outcome is the elementwise OR across machines.
+class litmus_machine {
+ public:
+  using value_type = std::uint64_t;
+
+  litmus_machine() = default;
+  litmus_machine(const litmus_shape& shape, int thread)
+      : ops_(shape.threads[static_cast<std::size_t>(thread)]),
+        results_(static_cast<std::size_t>(shape.slots), 0) {}
+
+  op_desc peek() const {
+    if (done()) return {op_kind::none, -1};
+    const litmus_op& op = ops_[pc_];
+    return {op.is_store ? op_kind::write : op_kind::read, op.loc};
+  }
+
+  template <class Mem>
+  void step(Mem& mem) {
+    if (done()) return;
+    const litmus_op& op = ops_[pc_];
+    if (op.is_store)
+      mem.write(op.loc, op.value);
+    else
+      results_[static_cast<std::size_t>(op.slot)] = mem.read(op.loc);
+    ++pc_;
+  }
+
+  bool done() const { return pc_ >= ops_.size(); }
+  const litmus_outcome& results() const { return results_; }
+
+  friend bool operator==(const litmus_machine&,
+                         const litmus_machine&) = default;
+
+  std::size_t hash() const {
+    std::size_t h = pc_ * 0x9e3779b97f4a7c15ULL;
+    for (const auto v : results_)
+      h = (h ^ static_cast<std::size_t>(v)) * 0x100000001b3ULL;
+    return h;
+  }
+
+ private:
+  std::vector<litmus_op> ops_;
+  litmus_outcome results_;
+  std::size_t pc_ = 0;
+};
+
+inline std::vector<litmus_machine> litmus_machines(const litmus_shape& shape) {
+  std::vector<litmus_machine> out;
+  out.reserve(shape.threads.size());
+  for (std::size_t t = 0; t < shape.threads.size(); ++t)
+    out.emplace_back(shape, static_cast<int>(t));
+  return out;
+}
+
+inline litmus_outcome litmus_merge_results(
+    const std::vector<litmus_machine>& machines) {
+  ANONCOORD_REQUIRE(!machines.empty(), "no machines to merge");
+  litmus_outcome o(machines.front().results().size(), 0);
+  for (const auto& m : machines)
+    for (std::size_t i = 0; i < o.size(); ++i) o[i] |= m.results()[i];
+  return o;
+}
+
+// ---------------------------------------------------------------------------
+// TSO witness for the paper's algorithms.
+// ---------------------------------------------------------------------------
+
+/// A private never-flushing store buffer over an all-zero memory: the
+/// extreme TSO execution prefix in which NO store has reached shared memory
+/// yet. Reads forward the owner's buffered writes; everyone else's writes
+/// are invisible.
+template <class V>
+class unflushed_tso_view {
+ public:
+  using value_type = V;
+
+  explicit unflushed_tso_view(int size)
+      : vals_(static_cast<std::size_t>(size), V{}) {}
+
+  int size() const { return static_cast<int>(vals_.size()); }
+  V read(int i) const { return vals_[static_cast<std::size_t>(i)]; }
+  void write(int i, V v) { vals_[static_cast<std::size_t>(i)] = v; }
+
+ private:
+  std::vector<V> vals_;
+};
+
+/// Drive each mutex machine against its own unflushed buffer and report
+/// whether EVERY contender reaches the critical section — mutual exclusion
+/// observably broken under store buffering, since this is a single legal
+/// TSO history in which all of them are inside at once. Deterministic: no
+/// threads, no timing.
+template <class Machine>
+bool tso_solo_entry_witness(int registers, std::vector<Machine> machines,
+                            std::uint64_t max_steps_each = 100'000) {
+  for (auto& machine : machines) {
+    unflushed_tso_view<typename Machine::value_type> view(registers);
+    std::uint64_t steps = 0;
+    while (!machine.in_critical_section() && steps < max_steps_each &&
+           machine.peek().kind != op_kind::none) {
+      machine.step(view);
+      ++steps;
+    }
+    if (!machine.in_critical_section()) return false;
+  }
+  return true;
+}
+
+}  // namespace anoncoord

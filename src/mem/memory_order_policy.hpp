@@ -1,0 +1,67 @@
+// The memory-order policy: how atomic-register operations map onto C++
+// memory orders when the algorithms run on real hardware.
+//
+// The paper's model gives *atomic registers*: every read and write is
+// linearizable and all operations on all registers appear in one total
+// order. On a real CPU that total order is a choice, not a given — it is
+// exactly what memory_order_seq_cst buys, and what the weaker disciplines
+// give up:
+//
+//   seq_cst — the model-faithful default. One total order over all
+//             operations on all registers; every theorem's hypothesis is
+//             met verbatim.
+//   acq_rel — release stores / acquire loads. Per-register coherence and
+//             happens-before through each individual register survive, but
+//             there is no total order ACROSS registers: store-buffering
+//             (SB) and IRIW anomalies become possible. Message-passing
+//             (MP) shapes still hold, so data published before a register
+//             write is visible after the matching read.
+//   relaxed — per-register coherence only. No happens-before at all:
+//             even MP fails, and any non-atomic data "protected" by the
+//             registers is a data race.
+//
+// The litmus suite (mem/litmus.hpp, tests/litmus_test.cpp) pins which
+// shapes and which paper algorithms survive each discipline; the matrix is
+// documented in docs/CONTENTION_LAB.md.
+#pragma once
+
+#include <atomic>
+
+namespace anoncoord {
+
+enum class memory_discipline {
+  seq_cst,
+  acq_rel,
+  relaxed,
+};
+
+inline const char* to_string(memory_discipline d) {
+  switch (d) {
+    case memory_discipline::seq_cst: return "seq_cst";
+    case memory_discipline::acq_rel: return "acq_rel";
+    case memory_discipline::relaxed: return "relaxed";
+  }
+  return "?";
+}
+
+/// The C++ order a policy applies to register loads.
+constexpr std::memory_order discipline_load_order(memory_discipline d) {
+  switch (d) {
+    case memory_discipline::seq_cst: return std::memory_order_seq_cst;
+    case memory_discipline::acq_rel: return std::memory_order_acquire;
+    case memory_discipline::relaxed: return std::memory_order_relaxed;
+  }
+  return std::memory_order_seq_cst;
+}
+
+/// The C++ order a policy applies to register stores.
+constexpr std::memory_order discipline_store_order(memory_discipline d) {
+  switch (d) {
+    case memory_discipline::seq_cst: return std::memory_order_seq_cst;
+    case memory_discipline::acq_rel: return std::memory_order_release;
+    case memory_discipline::relaxed: return std::memory_order_relaxed;
+  }
+  return std::memory_order_seq_cst;
+}
+
+}  // namespace anoncoord

@@ -1,11 +1,11 @@
-// Memory-ordering-parameterized register file — the ablation knob behind the
-// paper's §1 aside that memory-anonymous algorithms, being insensitive to
+// Bare memory-ordering-parameterized register file — the ablation knob behind
+// the paper's §1 aside that memory-anonymous algorithms, being insensitive to
 // access order, "may need to use only a small number of memory barriers".
 //
-// shared_register_file (the default) gives every operation seq_cst order,
-// which is what the atomic-register model formally requires (operations on
-// ALL registers appear in one total order). This file exposes weaker
-// disciplines so bench_ablation can price the fences:
+// shared_register_file takes the same memory_discipline policy but carries
+// observability hooks and per-cell counters; this file is the uninstrumented
+// variant bench_ablation uses to price the fences themselves, with nothing
+// else on the access path:
 //
 //   seq_cst   — the model-faithful default;
 //   acq_rel   — release stores / acquire loads: per-register coherence and
@@ -21,25 +21,11 @@
 #include <atomic>
 #include <vector>
 
+#include "mem/memory_order_policy.hpp"
 #include "util/check.hpp"
 #include "util/padded.hpp"
 
 namespace anoncoord {
-
-enum class memory_discipline {
-  seq_cst,
-  acq_rel,
-  relaxed,
-};
-
-inline const char* to_string(memory_discipline d) {
-  switch (d) {
-    case memory_discipline::seq_cst: return "seq_cst";
-    case memory_discipline::acq_rel: return "acq_rel";
-    case memory_discipline::relaxed: return "relaxed";
-  }
-  return "?";
-}
 
 /// A register file over lock-free atomics whose load/store orders are fixed
 /// at compile time. Interface-compatible with shared_register_file.
@@ -60,35 +46,19 @@ class ordered_register_file {
 
   V read(int physical) const {
     check_index(physical);
-    return regs_[static_cast<std::size_t>(physical)].value.load(load_order());
+    return regs_[static_cast<std::size_t>(physical)].value.load(
+        discipline_load_order(Discipline));
   }
 
   void write(int physical, V v) {
     check_index(physical);
-    regs_[static_cast<std::size_t>(physical)].value.store(v, store_order());
+    regs_[static_cast<std::size_t>(physical)].value.store(
+        v, discipline_store_order(Discipline));
   }
 
   static constexpr memory_discipline discipline() { return Discipline; }
 
  private:
-  static constexpr std::memory_order load_order() {
-    switch (Discipline) {
-      case memory_discipline::seq_cst: return std::memory_order_seq_cst;
-      case memory_discipline::acq_rel: return std::memory_order_acquire;
-      case memory_discipline::relaxed: return std::memory_order_relaxed;
-    }
-    return std::memory_order_seq_cst;
-  }
-
-  static constexpr std::memory_order store_order() {
-    switch (Discipline) {
-      case memory_discipline::seq_cst: return std::memory_order_seq_cst;
-      case memory_discipline::acq_rel: return std::memory_order_release;
-      case memory_discipline::relaxed: return std::memory_order_relaxed;
-    }
-    return std::memory_order_seq_cst;
-  }
-
   void check_index(int physical) const {
     ANONCOORD_REQUIRE(physical >= 0 && physical < size(),
                       "register index out of range");

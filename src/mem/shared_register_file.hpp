@@ -1,14 +1,25 @@
 // Thread-shared register file: real atomic MWMR registers.
 //
 // Atomic-register semantics in the paper = linearizable single-word reads and
-// writes. We realize them two ways depending on the payload:
+// writes in one total order over all registers. We realize them two ways
+// depending on the payload:
 //
 //   * word-sized trivially-copyable payloads (the Fig. 1 mutex uses plain
-//     process ids) live in a lock-free std::atomic<V> with seq_cst ordering;
+//     process ids) live in a lock-free std::atomic<V>;
 //   * larger payloads (consensus/renaming records with history sets) live
 //     behind std::atomic<std::shared_ptr<const V>>, which still makes every
 //     read and write an individually linearizable operation on that register
 //     — exactly the granularity the model grants.
+//
+// The memory ordering is a compile-time policy (mem/memory_order_policy.hpp),
+// defaulting to the model-faithful seq_cst. The weaker disciplines —
+// acq_rel (release stores / acquire loads) and relaxed (coherence only) —
+// deliberately break the model's single-total-order hypothesis so the litmus
+// suite (mem/litmus.hpp) can show which algorithm properties survive the
+// weakening and which demonstrably fail; docs/CONTENTION_LAB.md has the
+// matrix. Boxed registers clamp relaxed up to acq_rel: a relaxed pointer
+// store would make every read of the pointee a data race, which is a memory
+// bug, not a measurable weak-memory behaviour.
 //
 // Each register sits on its own cache line so the plasticity experiment
 // (DESIGN.md E9) measures genuine per-register contention.
@@ -19,6 +30,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "mem/memory_order_policy.hpp"
 #include "mem/register_file.hpp"
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
@@ -30,11 +42,11 @@ namespace anoncoord {
 namespace detail {
 
 /// Lock-free register for word-sized payloads.
-template <class V>
+template <class V, memory_discipline Policy>
 class trivial_register {
  public:
-  V read() const { return value_.load(std::memory_order_seq_cst); }
-  void write(V v) { value_.store(v, std::memory_order_seq_cst); }
+  V read() const { return value_.load(discipline_load_order(Policy)); }
+  void write(V v) { value_.store(v, discipline_store_order(Policy)); }
 
  private:
   std::atomic<V> value_{V{}};
@@ -42,17 +54,24 @@ class trivial_register {
 
 /// Linearizable register for arbitrary payloads via atomic shared_ptr.
 /// A null pointer denotes the initial value V{} so construction stays cheap.
-template <class V>
+/// The effective policy never drops below acq_rel: the pointee is plain
+/// memory, so publishing it through a relaxed store would be a data race on
+/// every subsequent read.
+template <class V, memory_discipline Policy>
 class boxed_register {
+  static constexpr memory_discipline effective =
+      Policy == memory_discipline::relaxed ? memory_discipline::acq_rel
+                                           : Policy;
+
  public:
   V read() const {
-    auto p = value_.load(std::memory_order_seq_cst);
+    auto p = value_.load(discipline_load_order(effective));
     return p ? *p : V{};
   }
 
   void write(V v) {
     value_.store(std::make_shared<const V>(std::move(v)),
-                 std::memory_order_seq_cst);
+                 discipline_store_order(effective));
   }
 
  private:
@@ -70,16 +89,16 @@ inline constexpr bool use_trivial_register = [] {
     return false;
 }();
 
-template <class V>
+template <class V, memory_discipline Policy>
 using register_impl = std::conditional_t<use_trivial_register<V>,
-                                         trivial_register<V>,
-                                         boxed_register<V>>;
+                                         trivial_register<V, Policy>,
+                                         boxed_register<V, Policy>>;
 
 }  // namespace detail
 
 /// An array of atomic registers shareable between threads.
 /// read()/write() are safe to call concurrently from any thread.
-template <class V>
+template <class V, memory_discipline Policy = memory_discipline::seq_cst>
 class shared_register_file {
  public:
   using value_type = V;
@@ -117,6 +136,11 @@ class shared_register_file {
     return detail::use_trivial_register<V>;
   }
 
+  /// The memory-order policy this instantiation was compiled with. Boxed
+  /// payloads execute relaxed as acq_rel (see boxed_register); this reports
+  /// the requested policy either way.
+  static constexpr memory_discipline policy() { return Policy; }
+
   /// Snapshot of the per-physical-register operation counts. Non-zero only
   /// while observability is on; counts are exact once writer threads have
   /// joined (relaxed increments, summed after the fact).
@@ -141,7 +165,7 @@ class shared_register_file {
   }
 
   // vectors are sized once at construction; elements are never moved after.
-  std::vector<padded<detail::register_impl<V>>> regs_;
+  std::vector<padded<detail::register_impl<V, Policy>>> regs_;
   // Counters live apart from the registers so instrumentation never adds
   // false sharing to the measured cells.
   mutable std::vector<padded<atomic_cell_counters>> per_cell_;

@@ -1,0 +1,189 @@
+// Futex parking for the threaded runtime: bounded spin, then sleep in the
+// kernel until another thread publishes a register write.
+//
+// Pure spinning is the right model for obstruction-freedom (progress needs a
+// solo window, and a spinner takes it the instant it opens) but burns a full
+// core per waiting thread. Production mutexes park instead: spin a short
+// bounded while — most waits are short — then `futex_wait` on a word the
+// publisher bumps. The classic lost-wakeup race (publisher checks for
+// waiters before the waiter reaches the kernel) is closed by the futex
+// protocol itself: `futex_wait(word, expected)` atomically re-validates the
+// word inside the kernel and returns immediately when a publish already
+// happened. On the user side both parties use seq_cst RMWs in the
+// Dekker-style pattern — parker: waiters++ then load epoch; publisher:
+// epoch++ then load waiters — so at least one of them always sees the other.
+//
+// A short futex timeout serves as a belt against protocol bugs: a timed-out
+// parker just re-spins, converting a hypothetical lost wakeup into bounded
+// extra latency, counted in `park_timeouts` so tests can assert it stays
+// rare. Non-Linux builds fall back to std::atomic::wait/notify_all, which
+// has the same validate-inside-wait guarantee.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <utility>
+
+#include "obs/metrics.hpp"
+
+#if defined(__linux__)
+#include <linux/futex.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <ctime>
+#endif
+
+namespace anoncoord {
+
+/// How a threaded harness waits when a machine cannot make progress.
+enum class wait_mode {
+  spin,   ///< randomized-backoff / busy spinning (the historical behaviour)
+  futex,  ///< bounded spin, then park in the kernel until a write publishes
+};
+
+inline const char* to_string(wait_mode w) {
+  switch (w) {
+    case wait_mode::spin: return "spin";
+    case wait_mode::futex: return "futex";
+  }
+  return "?";
+}
+
+/// Counters a park_event accumulates over its lifetime. Exact once all
+/// participating threads have joined.
+struct park_stats {
+  std::uint64_t parks = 0;          ///< times a thread slept in the kernel
+  std::uint64_t wakes = 0;          ///< publishes that issued a wake
+  std::uint64_t park_timeouts = 0;  ///< parks that ended by timeout belt
+  std::uint64_t spin_wins = 0;      ///< waits resolved within the spin bound
+};
+
+/// A single wake-on-publish event shared by every thread of a harness run.
+/// The epoch counts publishes; parkers sleep until it moves.
+class park_event {
+  static_assert(sizeof(std::atomic<std::uint32_t>) == sizeof(std::uint32_t),
+                "futex word must be exactly the atomic representation");
+  static_assert(std::atomic<std::uint32_t>::is_always_lock_free,
+                "futex word must be lock-free");
+
+ public:
+  /// Snapshot the epoch BEFORE inspecting the state you are about to wait
+  /// on; pass the snapshot to park() so publishes in between are not lost.
+  std::uint32_t epoch() const {
+    return epoch_.load(std::memory_order_seq_cst);
+  }
+
+  /// Announce that shared state changed; wakes every parked thread.
+  void publish() {
+    epoch_.fetch_add(1, std::memory_order_seq_cst);
+    if (waiters_.load(std::memory_order_seq_cst) != 0) {
+      wakes_.fetch_add(1, std::memory_order_relaxed);
+      ANONCOORD_OBS_COUNT("futex.wakes", 1);
+      wake_all();
+    }
+  }
+
+  /// Wait until the epoch moves past `observed`: spin up to `spin_limit`
+  /// probes, then sleep in the kernel. May return spuriously (timeout belt);
+  /// callers re-check their own predicate and call park() again.
+  void park(std::uint32_t observed, unsigned spin_limit) {
+    for (unsigned i = 0; i < spin_limit; ++i) {
+      if (epoch_.load(std::memory_order_seq_cst) != observed) {
+        spin_wins_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      cpu_relax();
+    }
+    waiters_.fetch_add(1, std::memory_order_seq_cst);
+    if (epoch_.load(std::memory_order_seq_cst) == observed) {
+      parks_.fetch_add(1, std::memory_order_relaxed);
+      ANONCOORD_OBS_COUNT("futex.parks", 1);
+      wait_for_change(observed);
+    } else {
+      spin_wins_.fetch_add(1, std::memory_order_relaxed);
+    }
+    waiters_.fetch_sub(1, std::memory_order_seq_cst);
+  }
+
+  park_stats stats() const {
+    return {parks_.load(std::memory_order_relaxed),
+            wakes_.load(std::memory_order_relaxed),
+            timeouts_.load(std::memory_order_relaxed),
+            spin_wins_.load(std::memory_order_relaxed)};
+  }
+
+ private:
+  static void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#elif defined(__aarch64__)
+    asm volatile("yield" ::: "memory");
+#endif
+  }
+
+  void wait_for_change(std::uint32_t observed) {
+#if defined(__linux__) && defined(SYS_futex)
+    // 10 ms timeout: long enough that a healthy run parks without churning,
+    // short enough that even a lost wakeup costs only a latency blip.
+    timespec ts{};
+    ts.tv_sec = 0;
+    ts.tv_nsec = 10'000'000;
+    const long rc =
+        syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(&epoch_),
+                FUTEX_WAIT_PRIVATE, observed, &ts, nullptr, 0);
+    if (rc == -1 && errno == ETIMEDOUT) {
+      timeouts_.fetch_add(1, std::memory_order_relaxed);
+      ANONCOORD_OBS_COUNT("futex.park_timeouts", 1);
+    }
+#else
+    // No timeout in the portable path; std::atomic::wait validates the
+    // value before blocking, which closes the lost-wakeup window the same
+    // way FUTEX_WAIT does.
+    epoch_.wait(observed, std::memory_order_seq_cst);
+#endif
+  }
+
+  void wake_all() {
+#if defined(__linux__) && defined(SYS_futex)
+    syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(&epoch_),
+            FUTEX_WAKE_PRIVATE, INT32_MAX, nullptr, nullptr, 0);
+#else
+    epoch_.notify_all();
+#endif
+  }
+
+  std::atomic<std::uint32_t> epoch_{0};
+  std::atomic<std::uint32_t> waiters_{0};
+  std::atomic<std::uint64_t> parks_{0};
+  std::atomic<std::uint64_t> wakes_{0};
+  std::atomic<std::uint64_t> timeouts_{0};
+  std::atomic<std::uint64_t> spin_wins_{0};
+};
+
+/// Memory adapter that publishes to a park_event after every write, so a
+/// parked thread wakes exactly when the shared state it watches can have
+/// changed. Reads are forwarded untouched.
+template <class Mem>
+class publishing_memory {
+ public:
+  using value_type = typename Mem::value_type;
+
+  publishing_memory(Mem& mem, park_event& event)
+      : mem_(&mem), event_(&event) {}
+
+  int size() const { return mem_->size(); }
+  value_type read(int index) const { return mem_->read(index); }
+
+  void write(int index, value_type v) {
+    mem_->write(index, std::move(v));
+    event_->publish();
+  }
+
+ private:
+  Mem* mem_;
+  park_event* event_;
+};
+
+}  // namespace anoncoord

@@ -3,21 +3,35 @@
 // The deterministic simulator explores chosen interleavings; this driver
 // exposes the algorithms to genuine hardware concurrency (preemption, cache
 // effects, weak timing). Obstruction-free algorithms only guarantee progress
-// when a process eventually runs alone, so contended runs use a polite
-// randomized backoff — the standard practical companion of
-// obstruction-freedom (Herlihy–Luchangco–Moir) — which makes livelock
-// probabilistically vanishing without changing any safety property.
+// when a process eventually runs alone, so contended runs need a waiting
+// policy. Two are offered (threaded_options::wait):
+//
+//   spin  — polite randomized backoff, the standard practical companion of
+//           obstruction-freedom (Herlihy–Luchangco–Moir); livelock becomes
+//           probabilistically vanishing without changing safety.
+//   futex — bounded spin then kernel parking (runtime/futex_park.hpp): every
+//           register write publishes a wake, so a stalled machine sleeps
+//           instead of burning its core. Verdict-identical to spinning —
+//           parking only changes WHEN a thread takes its next step, which
+//           asynchronous schedulers already quantify over.
+//
+// The register memory-order policy (mem/memory_order_policy.hpp) threads
+// through as a template parameter so the litmus suite can run the same
+// harness under seq_cst / acq_rel / relaxed registers and compare verdicts.
 #pragma once
 
 #include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
+#include "mem/memory_order_policy.hpp"
 #include "mem/naming.hpp"
 #include "mem/shared_register_file.hpp"
 #include "obs/metrics.hpp"
+#include "runtime/futex_park.hpp"
 #include "runtime/step_machine.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
@@ -54,6 +68,18 @@ class contention_backoff {
   unsigned attempt_ = 0;
 };
 
+/// Knobs for the threaded harnesses. The defaults reproduce the historical
+/// spinning behaviour exactly.
+struct threaded_options {
+  wait_mode wait = wait_mode::spin;
+  /// Epoch probes before a futex-mode waiter parks in the kernel.
+  unsigned park_spin_limit = 128;
+  /// Steps a futex-mode waiter drives between park decisions; 0 picks
+  /// 4 * registers, enough to traverse any read-only cycle of the Fig. 1
+  /// machine (period m or 2m) and observe that no register changed.
+  std::uint64_t park_window_steps = 0;
+};
+
 /// Step `machine` against `mem` until `until(machine)` holds or the budget
 /// runs out. Returns the number of steps taken.
 template <class Machine, class Mem, class Pred>
@@ -85,6 +111,30 @@ std::uint64_t release(Machine& machine, Mem& mem,
                      [](const Machine& m) { return m.in_remainder(); });
 }
 
+/// acquire() with futex parking: drive in windows; when a full window leaves
+/// the machine bit-identical (it is read-only cycling on unchanged
+/// registers), park until some thread publishes a write. The epoch is
+/// snapshotted BEFORE the window, so a publish during the window makes
+/// park() return immediately — no lost wakeups. The machine's own writes
+/// publish too (mem is a publishing_memory), so self-progress never parks.
+template <class Machine, class Mem>
+std::uint64_t acquire_parking(Machine& machine, Mem& mem, park_event& event,
+                              std::uint64_t window, unsigned spin_limit) {
+  std::uint64_t steps = 0;
+  while (!machine.in_critical_section()) {
+    const std::uint32_t epoch = event.epoch();
+    const Machine before = machine;
+    for (std::uint64_t k = 0; k < window && !machine.in_critical_section();
+         ++k) {
+      machine.step(mem);
+      ++steps;
+    }
+    if (!machine.in_critical_section() && machine == before)
+      event.park(epoch, spin_limit);
+  }
+  return steps;
+}
+
 // ---------------------------------------------------------------------------
 // Mutual-exclusion stress harness.
 // ---------------------------------------------------------------------------
@@ -94,29 +144,62 @@ struct mutex_stress_result {
   std::uint64_t total_entries = 0;  ///< CS entries across all threads
   std::uint64_t canary = 0;         ///< non-atomic counter incremented in CS
   std::uint64_t total_steps = 0;    ///< register operations across threads
+  park_stats parking;               ///< futex-mode counters (zero when spin)
 };
+
+namespace detail {
+
+/// The CS canary. Under the model-faithful seq_cst policy it is a plain
+/// uint64_t — a genuine data race detector: canary != entries witnesses a
+/// mutual-exclusion failure, and TSan flags the race itself. Under weakened
+/// policies mutual exclusion is EXPECTED to be breakable, so the canary
+/// increments atomically (relaxed): the count still diverges from entries on
+/// overlap with high probability, but the run stays UB-free and TSan-clean —
+/// tests record the weak-mode counts instead of asserting on them.
+template <memory_discipline Policy>
+struct cs_canary {
+  std::atomic<std::uint64_t> value{0};
+  void bump() { value.fetch_add(1, std::memory_order_relaxed); }
+  std::uint64_t get() const { return value.load(std::memory_order_relaxed); }
+};
+
+template <>
+struct cs_canary<memory_discipline::seq_cst> {
+  std::uint64_t value = 0;
+  void bump() { ++value; }  // data race iff mutual exclusion is broken
+  std::uint64_t get() const { return value; }
+};
+
+}  // namespace detail
 
 /// Run mutex machines (one per thread) against real shared registers; each
 /// thread performs `iterations` critical sections. The CS body increments a
-/// deliberately non-atomic canary and checks an occupancy counter, so a
+/// canary (see detail::cs_canary) and checks an occupancy counter, so a
 /// mutual-exclusion failure shows up both as `violations > 0` and (with high
 /// probability) as `canary != total_entries`.
-template <class Machine>
+template <memory_discipline Policy = memory_discipline::seq_cst,
+          class Machine>
 mutex_stress_result run_mutex_stress(std::vector<Machine> machines,
                                      int registers,
                                      const naming_assignment& naming,
-                                     std::uint64_t iterations) {
+                                     std::uint64_t iterations,
+                                     threaded_options options = {}) {
   ANONCOORD_REQUIRE(!machines.empty(), "need at least one machine");
   ANONCOORD_REQUIRE(naming.processes() == static_cast<int>(machines.size()),
                     "naming assignment and machine count disagree");
 
-  using file = shared_register_file<typename Machine::value_type>;
+  using file = shared_register_file<typename Machine::value_type, Policy>;
   file mem(registers);
+  park_event event;
+  const std::uint64_t window =
+      options.park_window_steps != 0
+          ? options.park_window_steps
+          : 4 * static_cast<std::uint64_t>(registers);
 
   std::atomic<int> occupancy{0};
   std::atomic<std::uint64_t> violations{0};
   std::atomic<std::uint64_t> total_steps{0};
-  std::uint64_t canary = 0;  // written only inside the CS
+  detail::cs_canary<Policy> canary;
 
   {
     std::vector<std::jthread> threads;
@@ -124,18 +207,26 @@ mutex_stress_result run_mutex_stress(std::vector<Machine> machines,
     for (std::size_t t = 0; t < machines.size(); ++t) {
       threads.emplace_back([&, t] {
         naming_view<file> view(mem, naming.of(static_cast<int>(t)));
+        publishing_memory<naming_view<file>> pub(view, event);
         Machine& machine = machines[t];
         std::uint64_t steps = 0;
         for (std::uint64_t it = 0; it < iterations; ++it) {
-          const std::uint64_t acquire_steps = acquire(machine, view);
+          std::uint64_t acquire_steps;
+          if (options.wait == wait_mode::futex) {
+            acquire_steps = acquire_parking(machine, pub, event, window,
+                                            options.park_spin_limit);
+          } else {
+            acquire_steps = acquire(machine, view);
+          }
           steps += acquire_steps;
           ANONCOORD_OBS_RECORD("mutex.acquire_steps", acquire_steps);
           ANONCOORD_OBS_COUNT("mutex.cs_entries", 1);
           const int inside = occupancy.fetch_add(1) + 1;
           if (inside > 1) violations.fetch_add(1);
-          ++canary;  // data race iff mutual exclusion is broken
+          canary.bump();
           occupancy.fetch_sub(1);
-          steps += release(machine, view);
+          steps += options.wait == wait_mode::futex ? release(machine, pub)
+                                                    : release(machine, view);
         }
         if constexpr (requires(const Machine& m) { m.losses(); }) {
           ANONCOORD_OBS_COUNT("mutex.doorway_retries", machine.losses());
@@ -148,8 +239,89 @@ mutex_stress_result run_mutex_stress(std::vector<Machine> machines,
   mutex_stress_result res;
   res.violations = violations.load();
   res.total_entries = iterations * machines.size();
-  res.canary = canary;
+  res.canary = canary.get();
   res.total_steps = total_steps.load();
+  res.parking = event.stats();
+  return res;
+}
+
+/// Wall-clock variant for throughput benching: every thread performs
+/// critical sections until `budget` elapses (each finishes its in-flight
+/// iteration, so entries differ per thread). Per-acquire latency goes to the
+/// obs histogram "contention.acquire_ns". Termination is safe in futex mode:
+/// a parked waiter is woken by the departing partner's exit-protocol writes
+/// and then runs solo, where obstruction-freedom guarantees entry.
+template <memory_discipline Policy = memory_discipline::seq_cst,
+          class Machine>
+mutex_stress_result run_mutex_stress_timed(std::vector<Machine> machines,
+                                           int registers,
+                                           const naming_assignment& naming,
+                                           std::chrono::nanoseconds budget,
+                                           threaded_options options = {}) {
+  ANONCOORD_REQUIRE(!machines.empty(), "need at least one machine");
+  ANONCOORD_REQUIRE(naming.processes() == static_cast<int>(machines.size()),
+                    "naming assignment and machine count disagree");
+
+  using clock = std::chrono::steady_clock;
+  using file = shared_register_file<typename Machine::value_type, Policy>;
+  file mem(registers);
+  park_event event;
+  const std::uint64_t window =
+      options.park_window_steps != 0
+          ? options.park_window_steps
+          : 4 * static_cast<std::uint64_t>(registers);
+
+  std::atomic<int> occupancy{0};
+  std::atomic<std::uint64_t> violations{0};
+  std::atomic<std::uint64_t> total_steps{0};
+  std::atomic<std::uint64_t> total_entries{0};
+  detail::cs_canary<Policy> canary;
+  const auto deadline = clock::now() + budget;
+
+  {
+    std::vector<std::jthread> threads;
+    threads.reserve(machines.size());
+    for (std::size_t t = 0; t < machines.size(); ++t) {
+      threads.emplace_back([&, t] {
+        naming_view<file> view(mem, naming.of(static_cast<int>(t)));
+        publishing_memory<naming_view<file>> pub(view, event);
+        Machine& machine = machines[t];
+        std::uint64_t steps = 0;
+        std::uint64_t entries = 0;
+        while (clock::now() < deadline) {
+          const auto t0 = clock::now();
+          if (options.wait == wait_mode::futex) {
+            steps += acquire_parking(machine, pub, event, window,
+                                     options.park_spin_limit);
+          } else {
+            steps += acquire(machine, view);
+          }
+          ANONCOORD_OBS_RECORD(
+              "contention.acquire_ns",
+              static_cast<std::uint64_t>(
+                  std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      clock::now() - t0)
+                      .count()));
+          ++entries;
+          const int inside = occupancy.fetch_add(1) + 1;
+          if (inside > 1) violations.fetch_add(1);
+          canary.bump();
+          occupancy.fetch_sub(1);
+          steps += options.wait == wait_mode::futex ? release(machine, pub)
+                                                    : release(machine, view);
+        }
+        total_entries.fetch_add(entries);
+        total_steps.fetch_add(steps);
+      });
+    }
+  }  // join
+
+  mutex_stress_result res;
+  res.violations = violations.load();
+  res.total_entries = total_entries.load();
+  res.canary = canary.get();
+  res.total_steps = total_steps.load();
+  res.parking = event.stats();
   return res;
 }
 
@@ -160,25 +332,31 @@ mutex_stress_result run_mutex_stress(std::vector<Machine> machines,
 struct oneshot_thread_result {
   bool all_done = false;
   std::vector<std::uint64_t> steps;  ///< per-thread register operations
+  park_stats parking;                ///< futex-mode counters (zero when spin)
 };
 
 /// Run one-shot machines (done() becomes true exactly once) on real threads
-/// until every machine terminates. Contended retries back off politely so
-/// obstruction-free algorithms terminate in practice. `backoff_window` is
-/// how many steps a thread takes between backoff decisions.
-template <class Machine>
+/// until every machine terminates. In spin mode, contended retries back off
+/// politely so obstruction-free algorithms terminate in practice
+/// (`backoff_window` is how many steps a thread takes between backoff
+/// decisions); in futex mode a thread whose window left its machine
+/// bit-identical parks until a register write publishes.
+template <memory_discipline Policy = memory_discipline::seq_cst,
+          class Machine>
 oneshot_thread_result run_oneshot_threads(std::vector<Machine>& machines,
                                           int registers,
                                           const naming_assignment& naming,
                                           std::uint64_t max_steps_per_thread,
                                           std::uint64_t backoff_window = 256,
-                                          std::uint64_t seed = 42) {
+                                          std::uint64_t seed = 42,
+                                          threaded_options options = {}) {
   ANONCOORD_REQUIRE(!machines.empty(), "need at least one machine");
   ANONCOORD_REQUIRE(naming.processes() == static_cast<int>(machines.size()),
                     "naming assignment and machine count disagree");
 
-  using file = shared_register_file<typename Machine::value_type>;
+  using file = shared_register_file<typename Machine::value_type, Policy>;
   file mem(registers);
+  park_event event;
 
   oneshot_thread_result res;
   res.steps.assign(machines.size(), 0);
@@ -189,16 +367,29 @@ oneshot_thread_result run_oneshot_threads(std::vector<Machine>& machines,
     for (std::size_t t = 0; t < machines.size(); ++t) {
       threads.emplace_back([&, t] {
         naming_view<file> view(mem, naming.of(static_cast<int>(t)));
+        publishing_memory<naming_view<file>> pub(view, event);
         Machine& machine = machines[t];
         contention_backoff backoff(seed + t);
         std::uint64_t steps = 0;
         while (!machine.done() && steps < max_steps_per_thread) {
+          const std::uint32_t epoch = event.epoch();
+          const Machine before = machine;
           for (std::uint64_t k = 0;
                k < backoff_window && !machine.done(); ++k) {
-            machine.step(view);
+            if (options.wait == wait_mode::futex)
+              machine.step(pub);
+            else
+              machine.step(view);
             ++steps;
           }
-          if (!machine.done()) backoff.lose();
+          if (machine.done()) break;
+          if (options.wait == wait_mode::futex) {
+            // Park only when the whole window changed nothing — the machine
+            // is cycling on stale reads and needs another thread to write.
+            if (machine == before) event.park(epoch, options.park_spin_limit);
+          } else {
+            backoff.lose();
+          }
         }
         res.steps[t] = steps;
         ANONCOORD_OBS_RECORD("oneshot.steps_to_done", steps);
@@ -216,6 +407,7 @@ oneshot_thread_result run_oneshot_threads(std::vector<Machine>& machines,
 
   res.all_done = true;
   for (const auto& m : machines) res.all_done = res.all_done && m.done();
+  res.parking = event.stats();
   return res;
 }
 

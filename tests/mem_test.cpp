@@ -156,6 +156,54 @@ TEST(SharedRegisterFileTest, BoundsChecked) {
   EXPECT_THROW(f.write(2, 1), precondition_error);
 }
 
+TEST(SharedRegisterFileTest, PolicyParameterIsExposedAndDefaultsSeqCst) {
+  static_assert(shared_register_file<std::uint64_t>::policy() ==
+                memory_discipline::seq_cst);
+  using weak =
+      shared_register_file<std::uint64_t, memory_discipline::relaxed>;
+  static_assert(weak::policy() == memory_discipline::relaxed);
+}
+
+TEST(SharedRegisterFileTest, WeakPoliciesStillReadBackWrites) {
+  // Single-threaded coherence holds under every discipline; the policies
+  // differ only in cross-thread ordering (covered by litmus_test.cpp).
+  shared_register_file<std::uint64_t, memory_discipline::acq_rel> ar(2);
+  ar.write(0, 7);
+  EXPECT_EQ(ar.read(0), 7u);
+  shared_register_file<std::uint64_t, memory_discipline::relaxed> rx(2);
+  rx.write(1, 9);
+  EXPECT_EQ(rx.read(1), 9u);
+  EXPECT_EQ(rx.read(0), 0u);
+}
+
+TEST(SharedRegisterFileTest, BoxedPayloadAcceptsRelaxedPolicy) {
+  // Relaxed boxed registers execute as acq_rel internally (a relaxed
+  // pointer publish would race on the pointee); the requested policy is
+  // still what the accessor reports.
+  using boxed =
+      shared_register_file<renaming_record, memory_discipline::relaxed>;
+  static_assert(boxed::policy() == memory_discipline::relaxed);
+  boxed f(1);
+  renaming_record r{3, 4, 2, {}};
+  f.write(0, r);
+  EXPECT_EQ(f.read(0), r);
+}
+
+TEST(SharedRegisterFileTest, DisciplineOrderMappingIsPinned) {
+  static_assert(discipline_load_order(memory_discipline::seq_cst) ==
+                std::memory_order_seq_cst);
+  static_assert(discipline_store_order(memory_discipline::seq_cst) ==
+                std::memory_order_seq_cst);
+  static_assert(discipline_load_order(memory_discipline::acq_rel) ==
+                std::memory_order_acquire);
+  static_assert(discipline_store_order(memory_discipline::acq_rel) ==
+                std::memory_order_release);
+  static_assert(discipline_load_order(memory_discipline::relaxed) ==
+                std::memory_order_relaxed);
+  static_assert(discipline_store_order(memory_discipline::relaxed) ==
+                std::memory_order_relaxed);
+}
+
 // ---------------------------------------------------------------------------
 // naming.hpp
 // ---------------------------------------------------------------------------

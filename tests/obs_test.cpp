@@ -100,6 +100,61 @@ TEST(ObsMetrics, HistogramBucketsAndPercentiles) {
   EXPECT_GE(snap.approx_percentile(99.0), 99u);
 }
 
+TEST(ObsMetrics, HistogramExactCountsUnderConcurrentRecording) {
+  // The latency path the contention bench leans on: many threads recording
+  // into one histogram concurrently must lose nothing. Each thread writes a
+  // deterministic value mix, so per-bucket counts, total count, and sum are
+  // all exactly predictable. (record() is wait-free relaxed; the joins below
+  // provide the happens-before that makes the final snapshot exact.)
+  obs::step_histogram_metric hist;
+  constexpr int threads = 8;
+  constexpr std::uint64_t per_value = 2'000;
+  // Values 1, 2, 4, 1000, 1'000'000 → buckets 1, 2, 3, 10, 20.
+  const std::uint64_t values[] = {1, 2, 4, 1000, 1'000'000};
+  {
+    std::vector<std::thread> workers;
+    for (int t = 0; t < threads; ++t)
+      workers.emplace_back([&] {
+        for (std::uint64_t i = 0; i < per_value; ++i)
+          for (const auto v : values) hist.record(v);
+      });
+    for (auto& w : workers) w.join();
+  }
+  const auto snap = hist.snapshot();
+  const std::uint64_t per_bucket = threads * per_value;
+  EXPECT_EQ(snap.count, per_bucket * std::size(values));
+  std::uint64_t expected_sum = 0;
+  for (const auto v : values) expected_sum += v * per_bucket;
+  EXPECT_EQ(snap.sum, expected_sum);
+  for (const unsigned bucket : {1u, 2u, 3u, 10u, 20u})
+    EXPECT_EQ(snap.buckets[bucket], per_bucket) << "bucket " << bucket;
+  std::uint64_t in_buckets = 0;
+  for (const auto b : snap.buckets) in_buckets += b;
+  EXPECT_EQ(in_buckets, snap.count);
+}
+
+TEST(ObsMetrics, RegistryHistogramExactUnderConcurrentMacroRecording) {
+  // Same property through the macro + global-registry path the runtime
+  // uses, with concurrent recording into a shared named histogram.
+  auto& reg = obs::metrics_registry::global();
+  reg.reset();
+  {
+    scoped_obs on(true);
+    std::vector<std::thread> workers;
+    for (int t = 0; t < 4; ++t)
+      workers.emplace_back([] {
+        for (int i = 0; i < 5'000; ++i)
+          ANONCOORD_OBS_RECORD("obs_test.concurrent_hist", 3);
+      });
+    for (auto& w : workers) w.join();
+  }
+  const auto snap = reg.snapshot().histograms.at("obs_test.concurrent_hist");
+  EXPECT_EQ(snap.count, 20'000u);
+  EXPECT_EQ(snap.sum, 60'000u);
+  EXPECT_EQ(snap.buckets[2], 20'000u);  // 3 → bucket bit_width(3) = 2
+  reg.reset();
+}
+
 TEST(ObsMetrics, MacrosAreGatedByEnabledFlag) {
   auto& reg = obs::metrics_registry::global();
   reg.reset();

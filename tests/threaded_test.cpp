@@ -4,7 +4,11 @@
 // boxed registers still face concurrent access.)
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include "baselines/ca_consensus.hpp"
@@ -163,6 +167,101 @@ TEST(ThreadedRenamingTest, TwoParticipantsOfLargerN) {
   ASSERT_TRUE(res.all_done);
   std::set<std::uint32_t> names{*machines[0].name(), *machines[1].name()};
   EXPECT_EQ(names, (std::set<std::uint32_t>{1u, 2u}));
+}
+
+// ---------------------------------------------------------------------------
+// Futex-parking runtime: verdict parity with spinning, and lost-wakeup
+// bounds at full hardware concurrency.
+// ---------------------------------------------------------------------------
+
+TEST(ThreadedFutexTest, MutexVerdictsMatchSpinningRuntime) {
+  // Same configs as the spin tests above; the futex runtime must be
+  // verdict-identical (safety counters, entry totals), differing only in
+  // how losing threads wait.
+  threaded_options futex;
+  futex.wait = wait_mode::futex;
+  for (int m : {3, 5}) {
+    std::vector<anon_mutex> machines;
+    machines.emplace_back(11, m);
+    machines.emplace_back(22, m);
+    const auto res = run_mutex_stress(std::move(machines), m,
+                                      naming_assignment::random(2, m, 7),
+                                      /*iterations=*/300, futex);
+    EXPECT_EQ(res.violations, 0u) << "m=" << m;
+    EXPECT_EQ(res.canary, res.total_entries) << "m=" << m;
+    EXPECT_EQ(res.total_entries, 600u);
+  }
+  std::vector<peterson_mutex> machines{peterson_mutex(0), peterson_mutex(1)};
+  const auto res = run_mutex_stress(std::move(machines), 3,
+                                    naming_assignment::identity(2, 3),
+                                    /*iterations=*/2000, futex);
+  EXPECT_EQ(res.violations, 0u);
+  EXPECT_EQ(res.canary, res.total_entries);
+}
+
+TEST(ThreadedFutexTest, OneshotVerdictsMatchSpinningRuntime) {
+  threaded_options futex;
+  futex.wait = wait_mode::futex;
+  const int n = 3;
+  std::vector<anon_consensus> machines;
+  for (int i = 0; i < n; ++i)
+    machines.emplace_back(static_cast<process_id>(i + 1),
+                          static_cast<std::uint64_t>(i + 10), n,
+                          choice_policy::random(31 * i + 1));
+  auto res = run_oneshot_threads(machines, 2 * n - 1,
+                                 naming_assignment::random(n, 2 * n - 1, 3),
+                                 /*max_steps_per_thread=*/50'000'000,
+                                 /*backoff_window=*/256, /*seed=*/42, futex);
+  ASSERT_TRUE(res.all_done);
+  std::set<std::uint64_t> decisions;
+  for (const auto& mc : machines) decisions.insert(*mc.decision());
+  EXPECT_EQ(decisions.size(), 1u);
+}
+
+TEST(ThreadedFutexTest, HardwareConcurrencyWallTimeNoLostWakeups) {
+  // Fig. 1 is a 2-process algorithm, so saturate the machine with
+  // independent pairs: ~hardware_concurrency() threads total, each pair on
+  // its own register file, all under the futex runtime for a fixed wall
+  // budget. A lost wakeup would surface as a 10 ms timeout-belt park, so
+  // the timeout count stays far below what the budget could even hold; and
+  // parks are bounded by the work actually done (each park needs a full
+  // no-progress window, and each partner entry wakes at most a handful of
+  // times), so unbounded park churn fails the ratio gate.
+  const unsigned hc = std::max(1u, std::thread::hardware_concurrency());
+  const int pairs = static_cast<int>(std::max(1u, hc / 2));
+  const auto budget = std::chrono::milliseconds(300);
+
+  std::vector<mutex_stress_result> results(static_cast<std::size_t>(pairs));
+  {
+    std::vector<std::jthread> drivers;
+    for (int p = 0; p < pairs; ++p) {
+      drivers.emplace_back([&results, p, budget] {
+        std::vector<anon_mutex> machines;
+        machines.emplace_back(2 * p + 1, 3);
+        machines.emplace_back(2 * p + 2, 3);
+        threaded_options opt;
+        opt.wait = wait_mode::futex;
+        results[static_cast<std::size_t>(p)] = run_mutex_stress_timed(
+            std::move(machines), 3,
+            naming_assignment::random(2, 3, 100 + p), budget, opt);
+      });
+    }
+  }
+  for (int p = 0; p < pairs; ++p) {
+    const auto& res = results[static_cast<std::size_t>(p)];
+    EXPECT_EQ(res.violations, 0u) << "pair " << p;
+    EXPECT_EQ(res.canary, res.total_entries) << "pair " << p;
+    EXPECT_GT(res.total_entries, 0u) << "pair " << p;
+    // Each Fig. 1 entry/exit performs O(m) register writes, each of which
+    // can wake a parked partner at most once: parks beyond a small multiple
+    // of entries mean wakeups are being dropped and re-earned by timeout.
+    EXPECT_LE(res.parking.parks, 16 * res.total_entries + 1000)
+        << "pair " << p;
+    // The timeout belt fires only on a genuinely lost wakeup (or final
+    // shutdown races); a 300 ms budget has room for at most ~30 sequential
+    // 10 ms timeouts per thread even in the worst case.
+    EXPECT_LE(res.parking.park_timeouts, 100u) << "pair " << p;
+  }
 }
 
 }  // namespace

@@ -13,6 +13,15 @@ integers, and spill traffic must be internally consistent (spill_bytes and
 spill_pages are zero together, and a spilled page wrote at least one byte,
 so spill_bytes >= spill_pages).
 
+Contention-lab counters (bench_contention_lab) also get extra checks when
+present: contention.safety_violations_gated must be exactly zero (it sums
+mutual-exclusion violations and canary gaps under the model-faithful
+seq_cst policy — any value above zero is a correctness bug, not noise),
+and contention.lost_wakeups (futex waits that ended only via the 10 ms
+timeout belt) must stay under a small absolute bound: the belt exists to
+convert a hypothetical lost wakeup into bounded latency, so it firing more
+than rarely means wakeups are being systematically dropped.
+
 Usage: tools/check_bench_json.py BENCH_*.json
 Exit status 0 when every report validates, 1 otherwise.
 """
@@ -105,6 +114,7 @@ def check_report(path: Path) -> list[str]:
             errors.append(f"{path}: counter {name!r} = {value!r} is not a "
                           "non-negative integer")
     errors.extend(check_spill_counters(counters, str(path)))
+    errors.extend(check_contention_counters(counters, str(path)))
     return errors
 
 
@@ -139,6 +149,46 @@ def check_spill_counters(counters: object, where: str) -> list[str]:
             errors.append(f"{where}: spill_bytes={nbytes} < "
                           f"spill_pages={pages} (each spilled page writes "
                           "at least one byte)")
+    return errors
+
+
+# Contention-lab counters (bench_contention_lab part 3). Optional, but when
+# present they gate: seq_cst safety must be spotless and the futex timeout
+# belt must be (nearly) silent.
+CONTENTION_COUNTERS = ("contention.parks", "contention.wakes",
+                       "contention.spin_wins", "contention.lost_wakeups",
+                       "contention.safety_violations_gated")
+LOST_WAKEUP_BOUND = 100
+
+
+def check_contention_counters(counters: object, where: str) -> list[str]:
+    if not isinstance(counters, dict):
+        return []
+    errors = []
+    ok = {}
+    for name in CONTENTION_COUNTERS:
+        if name not in counters:
+            continue
+        value = counters[name]
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            errors.append(f"{where}: counter {name!r} = {value!r} is not a "
+                          "non-negative integer")
+        else:
+            ok[name] = value
+    if ok.get("contention.safety_violations_gated", 0) != 0:
+        errors.append(f"{where}: contention.safety_violations_gated = "
+                      f"{ok['contention.safety_violations_gated']} (mutual "
+                      "exclusion broke under seq_cst registers)")
+    if ok.get("contention.lost_wakeups", 0) > LOST_WAKEUP_BOUND:
+        errors.append(f"{where}: contention.lost_wakeups = "
+                      f"{ok['contention.lost_wakeups']} > {LOST_WAKEUP_BOUND} "
+                      "(futex timeout belt firing systematically)")
+    if "contention.wakes" in ok and "contention.parks" in ok:
+        # Wakes are only issued when a waiter is present; a run that never
+        # parked (all spin mode) must not report wake traffic.
+        if ok["contention.parks"] == 0 and ok["contention.wakes"] > 0:
+            errors.append(f"{where}: contention.wakes = "
+                          f"{ok['contention.wakes']} with zero parks")
     return errors
 
 
