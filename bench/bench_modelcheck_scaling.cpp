@@ -39,6 +39,17 @@
 // spill_pages / spill_bytes / resident high-water land in the JSON metrics
 // counters (not result series — they are not deterministic across engines).
 //
+// Part 7 — full product-group symmetry: the fully anonymous mutex
+// (fa_mutex, arXiv 1909.05576) explored raw vs reduced under the
+// S_n x C_m product group — n! x m elements, past the n! ceiling that
+// bounds part 3's process-symmetric machines. Gates: the measured factor
+// must exceed part 3's ceilings (> 2.0 at n = 2, > 5.53 at n = 3),
+// verdicts and state counts must be bit-identical across sequential-raw,
+// sequential-reduced and parallel-reduced, and the deadlock counterexample
+// found on the quotient graph must replay to a genuine deadlock on raw
+// semantics (the fold through both group factors). Any divergence exits
+// nonzero.
+//
 // With --sweep-m=6 (or 7) also runs the full weighted naming sweep at that
 // m through the polynomial orbit classes — minutes of work, off by default.
 // The sweep runs on --sweep-workers threads and, with --sweep-checkpoint, is
@@ -57,7 +68,9 @@
 #include <vector>
 
 #include "core/anon_mutex.hpp"
+#include "core/fa_mutex.hpp"
 #include "mem/naming.hpp"
+#include "modelcheck/fa_check.hpp"
 #include "modelcheck/mutex_check.hpp"
 #include "modelcheck/verify.hpp"
 #include "util/arena.hpp"
@@ -563,6 +576,91 @@ int main(int argc, char** argv) {
   }
 
   // -------------------------------------------------------------------
+  // Part 7: the S_n x C_m product group on the fully anonymous mutex.
+  // Identity namings make every ring rotation compatible, so the group has
+  // n! x m elements — reduction factors past part 3's n! ceiling. The
+  // factor gates are strict improvements over part 3's measured 2.000x
+  // (n = 2) and 5.53x (n = 3).
+  // -------------------------------------------------------------------
+  ascii_table fa_table({"config", "group", "raw-states", "orbit-states",
+                        "reduction", "raw-ms", "orbit-ms", "verdicts"});
+  double fa_reduction_n2 = 0, fa_reduction_n3 = 0;
+  bool fa_verdicts_match = true;
+  struct fa_config {
+    const char* name;
+    int registers;
+    int processes;
+    double floor;  ///< part 3's factor at the same n — must be beaten
+  };
+  for (const fa_config fc :
+       {fa_config{"fully anonymous, n=2 m=3", 3, 2, 2.0},
+        fa_config{"fully anonymous, n=3 m=3", 3, 3, 5.53}}) {
+    const auto fa_naming =
+        naming_assignment::identity(fc.processes, fc.registers);
+    const std::vector<fa_mutex> fa_procs(
+        static_cast<std::size_t>(fc.processes), fa_mutex(fc.registers));
+    const auto group = symmetry_group<fa_mutex>::compute(fa_naming, fa_procs);
+    mutex_check_result fa_raw, fa_orbit, fa_par;
+    double raw_t = 0, orbit_t = 0;
+    for (int rep = 0; rep < reps; ++rep) {
+      stopwatch t1;
+      fa_raw = check_fa_mutex(fc.registers, fa_naming);
+      const double s1 = t1.elapsed_seconds();
+      if (rep == 0 || s1 < raw_t) raw_t = s1;
+      stopwatch t2;
+      fa_orbit = check_fa_mutex(fc.registers, fa_naming, 2'000'000,
+                                /*symmetry=*/true);
+      const double s2 = t2.elapsed_seconds();
+      if (rep == 0 || s2 < orbit_t) orbit_t = s2;
+    }
+    fa_par = check_fa_mutex_parallel(fc.registers, fa_naming, /*workers=*/2,
+                                     2'000'000, /*symmetry=*/true);
+    bool ok = fa_raw.verdict() == fa_orbit.verdict() &&
+              fa_par.verdict() == fa_orbit.verdict() &&
+              fa_par.num_states == fa_orbit.num_states &&
+              fa_par.counterexample == fa_orbit.counterexample;
+    fa_verdicts_match = fa_verdicts_match && ok;
+    const double reduction = static_cast<double>(fa_raw.num_states) /
+                             static_cast<double>(fa_orbit.num_states);
+    (fc.processes == 2 ? fa_reduction_n2 : fa_reduction_n3) = reduction;
+    const std::string tag = "n=" + std::to_string(fc.processes);
+    report.sample("fa_symmetry_group/" + tag,
+                  static_cast<double>(group.size()));
+    report.sample("fa_symmetry_raw_states/" + tag,
+                  static_cast<double>(fa_raw.num_states));
+    report.sample("fa_symmetry_orbit_states/" + tag,
+                  static_cast<double>(fa_orbit.num_states));
+    report.sample("fa_symmetry_reduction/" + tag, reduction, "x");
+    fa_table.add(fc.name, group.size(), fa_raw.num_states,
+                 fa_orbit.num_states, reduction, raw_t * 1e3, orbit_t * 1e3,
+                 ok ? "match" : "MISMATCH");
+  }
+  // Counterexample fold-back: the even-m deadlock found on the QUOTIENT
+  // graph must replay, on raw semantics, to the (m/2, m/2) token tie.
+  {
+    const auto fold_naming = naming_assignment::identity(2, 4);
+    const auto dead = check_fa_mutex(4, fold_naming, 2'000'000,
+                                     /*symmetry=*/true);
+    bool fold_ok = dead.verdict() == "DEADLOCK" && !dead.counterexample.empty();
+    if (fold_ok) {
+      std::vector<std::uint64_t> regs(4, fa_mutex::token_down);
+      std::vector<fa_mutex> replay(2, fa_mutex(4));
+      for (int p : dead.counterexample) {
+        permuted_vector_memory<std::uint64_t> view(regs, fold_naming.of(p));
+        replay[static_cast<std::size_t>(p)].step(view);
+      }
+      int tokens = 0;
+      for (const auto& pr : replay) tokens += pr.tokens();
+      fold_ok = tokens == 4 &&
+                std::count(regs.begin(), regs.end(), fa_mutex::token_up) == 4;
+    }
+    fa_verdicts_match = fa_verdicts_match && fold_ok;
+    report.metric("fa_counterexample_folds", fold_ok ? 1 : 0);
+  }
+  std::cout << fa_table.render() << "\n";
+  const bool fa_factors_ok = fa_reduction_n2 > 2.0 && fa_reduction_n3 > 5.53;
+
+  // -------------------------------------------------------------------
   // Optional: full weighted naming sweep at --sweep-m via the polynomial
   // orbit classes (process quotient). m = 6 decides all 6!^2 = 518,400
   // naming tuples through 398 verified classes.
@@ -610,14 +708,17 @@ int main(int argc, char** argv) {
             << ")  sleep-set-schedule-reduction="
             << schedule_reduction << "x (target >= 3x)  symmetry-reduction="
             << reduction_n2 << "x@n=2 (n! ceiling) / " << reduction_n3
-            << "x@n=3 (target >= 3x)  naming-sweep-speedup=" << sweep_speedup
+            << "x@n=3 (target >= 3x)  fa-product-reduction=" << fa_reduction_n2
+            << "x@n=2 (target > 2x) / " << fa_reduction_n3
+            << "x@n=3 (target > 5.53x)  naming-sweep-speedup=" << sweep_speedup
             << "x (target >= 5x)  arena-bytes-per-state=" << compressed_bps
             << " (target <= 12)  out-of-core-budget=" << spill_budget / 1024
             << "KB (identical=" << (spill_match ? "yes" : "NO")
             << ", budget-held=" << (spill_budget_held ? "yes" : "NO")
             << ")  verdicts-match="
             << (verdicts_match && identical && symmetry_verdicts_match &&
-                        sweep_verdicts_match && arena_match && spill_match
+                        fa_verdicts_match && sweep_verdicts_match &&
+                        arena_match && spill_match
                     ? "yes"
                     : "NO")
             << "\n";
@@ -626,13 +727,16 @@ int main(int argc, char** argv) {
   report.sample("bytes_per_stored_state", compressed_bps, "B");
   report.metric("verdicts_match",
                 verdicts_match && identical && symmetry_verdicts_match &&
-                        sweep_verdicts_match && arena_match && spill_match
+                        fa_verdicts_match && sweep_verdicts_match &&
+                        arena_match && spill_match
                     ? 1
                     : 0);
+  report.metric("fa_factors_ok", fa_factors_ok ? 1 : 0);
   report.write();
   return identical && verdicts_match && symmetry_verdicts_match &&
-                 sweep_verdicts_match && arena_match && arena_bytes_ok &&
-                 spill_match && spill_budget_held
+                 fa_verdicts_match && fa_factors_ok && sweep_verdicts_match &&
+                 arena_match && arena_bytes_ok && spill_match &&
+                 spill_budget_held
              ? 0
              : 1;
 }

@@ -1,0 +1,257 @@
+// Fully anonymous obstruction-free agreement, after Raynal & Taubenfeld,
+// "Fully Anonymous Shared Memory Algorithms" (arXiv 1909.05576). Like
+// fa_mutex this drops every naming assumption at once: n identifier-less
+// processes, bit-identical code, m = 2n-1 anonymous plain read/write
+// registers initially empty (0). Unlike the mutex, no RMW power is needed —
+// the price is the obstruction-freedom liveness contract: a process decides
+// once it runs long enough without interference (any solo suffix of at most
+// m ring cycles), exactly the regime the paper's round-based agreement
+// algorithms target.
+//
+// Round-based pseudocode (our cursor formulation; one line = one atomic
+// register operation; quorum = ceil(m/2), which equals n when m = 2n-1):
+//
+//   1  pref := input                                      // nonzero
+//   2  repeat
+//   3    for k = 1..m do tally[read R[c]]++; c := c+1 od  // one read pass
+//   4    if tally[pref] = m then decide(pref)             // unanimous ring
+//   5    if exists v != 0 with tally[v] >= quorum
+//   6      then pref := v                                 // adopt the quorum
+//   7    repeat                                           // seek a dissenter
+//   8      v := read R[c]
+//   9      if v != pref then { R[c] := pref; c := c+1; goto 2 }  // convert it
+//  10      c := c+1
+//  11    until m consecutive reads equal pref             // ring already won
+//  12  until decided
+//
+// Validity: only inputs are ever written, and only read nonzero values are
+// ever adopted, so decisions are inputs. Agreement: deciding needs a full
+// unanimous pass, adoption needs a quorum with 2*quorum > m, so two
+// different values can never both pass their gates — the claim is
+// model-checked exhaustively (every interleaving, every naming) at n = 2,
+// m = 3 and boundedly at n = 3, m = 5 in tests/fully_anonymous_test.cpp.
+// Obstruction-freedom: a solo run converts one register per cycle (lines
+// 7-9) and each cycle costs at most 2m+1 steps, so any solo suffix decides
+// within m*(2m+1)+m steps — also pinned by test.
+//
+// Fully anonymous: registers hold bare proposal values (no ids), the local
+// state is a cursor, a pass counter and a value multiset — all equivariant
+// under rotation of the ring (reindexed()), which is what admits the full
+// S_n x C_m quotient in modelcheck/symmetry.hpp.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "mem/payloads.hpp"
+#include "runtime/step_machine.hpp"
+#include "util/check.hpp"
+#include "util/hash.hpp"
+#include "util/math.hpp"
+
+namespace anoncoord {
+
+enum class fa_agreement_phase : unsigned char {
+  read_pass,  ///< line 3: tallying one full ring pass
+  seek,       ///< lines 7-11: reading for a register != pref
+  convert,    ///< line 9: overwriting the dissenting register with pref
+  decided,    ///< line 4 fired; done() is true
+};
+
+std::ostream& operator<<(std::ostream& os, fa_agreement_phase ph);
+
+/// Step machine for the fully anonymous agreement. Registers hold proposal
+/// values (uint64_t, 0 = empty); machines hold NO identifier — two machines
+/// with the same input are indistinguishable, and with different inputs they
+/// differ only in the value they campaign for.
+class fa_agreement {
+ public:
+  using value_type = std::uint64_t;
+
+  static constexpr value_type empty = 0;
+
+  /// `input` must be nonzero (0 is the empty-register sentinel); `m` >= 2.
+  /// Agreement needs every participant to use the same m; the intended
+  /// configuration is m = 2n-1 for n processes, making quorum = n.
+  fa_agreement(value_type input, int m)
+      : m_(m), input_(input), pref_(input) {
+    ANONCOORD_REQUIRE(input != empty, "inputs must be nonzero (0 = empty)");
+    ANONCOORD_REQUIRE(m >= 2, "the algorithm needs at least two registers");
+  }
+
+  int registers() const { return m_; }
+  fa_agreement_phase phase() const { return phase_; }
+  value_type input() const { return input_; }
+  value_type preference() const { return pref_; }
+  bool done() const { return phase_ == fa_agreement_phase::decided; }
+  std::optional<value_type> decision() const {
+    if (done()) return pref_;
+    return std::nullopt;
+  }
+
+  /// Number of completed read passes (iterations of line 3).
+  std::uint64_t passes() const { return passes_; }
+
+  op_desc peek() const {
+    switch (phase_) {
+      case fa_agreement_phase::read_pass: return {op_kind::read, c_};
+      case fa_agreement_phase::seek: return {op_kind::read, c_};
+      case fa_agreement_phase::convert: return {op_kind::write, c_};
+      case fa_agreement_phase::decided: return {op_kind::none, -1};
+    }
+    return {op_kind::none, -1};
+  }
+
+  template <class Mem>
+  void step(Mem& mem) {
+    switch (phase_) {
+      case fa_agreement_phase::read_pass:
+        // Line 3: read one register into the pass tally.
+        bump(mem.read(c_));
+        advance();
+        if (++k_ == m_) decide_after_pass();
+        break;
+
+      case fa_agreement_phase::seek:
+        // Lines 7-11: look for a register not already holding pref. The
+        // cursor does NOT advance past a dissenter — the convert step
+        // overwrites the register just inspected (two separate atomic
+        // operations; the interleaved overwrite is allowed, as for any
+        // plain-register algorithm).
+        if (mem.read(c_) != pref_) {
+          phase_ = fa_agreement_phase::convert;
+        } else {
+          advance();
+          if (++k_ == m_) {
+            // A full ring of pref with no write needed; re-tally (line 11).
+            begin_read_pass();
+          }
+        }
+        break;
+
+      case fa_agreement_phase::convert:
+        // Line 9: campaign — convert the dissenting register, then re-tally.
+        mem.write(c_, pref_);
+        advance();
+        begin_read_pass();
+        break;
+
+      case fa_agreement_phase::decided:
+        break;  // no-op; peek() already reports none
+    }
+  }
+
+  /// A copy with the logical index space rotated by `shift`; the cursor is
+  /// the only index-valued state (the tally is a value multiset), so the
+  /// machine is equivariant under ring rotation — see fa_mutex::reindexed.
+  fa_agreement reindexed(int shift) const {
+    fa_agreement copy = *this;
+    copy.c_ = (((c_ + shift) % m_) + m_) % m_;
+    return copy;
+  }
+
+  friend bool operator==(const fa_agreement& a, const fa_agreement& b) {
+    // passes_ is an observational statistic and excluded on purpose.
+    return a.m_ == b.m_ && a.input_ == b.input_ && a.pref_ == b.pref_ &&
+           a.phase_ == b.phase_ && a.c_ == b.c_ && a.k_ == b.k_ &&
+           a.tally_ == b.tally_;
+  }
+
+  friend bool canonical_less(const fa_agreement& a, const fa_agreement& b) {
+    return std::tie(a.m_, a.input_, a.pref_, a.phase_, a.c_, a.k_,
+                    a.tally_) <
+           std::tie(b.m_, b.input_, b.pref_, b.phase_, b.c_, b.k_, b.tally_);
+  }
+
+  std::size_t hash() const {
+    std::size_t seed = 0xfaa9;
+    hash_combine(seed, input_);
+    hash_combine(seed, pref_);
+    hash_combine(seed, static_cast<unsigned>(phase_));
+    hash_combine(seed, c_);
+    hash_combine(seed, k_);
+    for (const auto& [v, count] : tally_) {
+      hash_combine(seed, v);
+      hash_combine(seed, count);
+    }
+    return seed;
+  }
+
+ private:
+  void advance() { c_ = (c_ + 1) % m_; }
+
+  void begin_read_pass() {
+    phase_ = fa_agreement_phase::read_pass;
+    k_ = 0;
+    tally_.clear();
+  }
+
+  /// Count a read value into the pass tally (sorted small-vector multiset;
+  /// empty registers are not stored). Sorted order keeps == and
+  /// canonical_less representation-independent.
+  void bump(value_type v) {
+    if (v == empty) return;
+    auto it = std::lower_bound(
+        tally_.begin(), tally_.end(), v,
+        [](const auto& entry, value_type x) { return entry.first < x; });
+    if (it != tally_.end() && it->first == v) {
+      ++it->second;
+    } else {
+      tally_.insert(it, {v, 1});
+    }
+  }
+
+  int count_of(value_type v) const {
+    for (const auto& [value, count] : tally_)
+      if (value == v) return count;
+    return 0;
+  }
+
+  // Lines 4-6, evaluated when a read pass completes.
+  void decide_after_pass() {
+    ++passes_;
+    k_ = 0;
+    if (count_of(pref_) == m_) {
+      phase_ = fa_agreement_phase::decided;  // line 4
+      tally_.clear();
+      return;
+    }
+    // Line 5: at most one value can reach the quorum (2*quorum > m).
+    const int quorum = majority_threshold(m_);
+    for (const auto& [v, count] : tally_)
+      if (count >= quorum) {
+        pref_ = v;
+        break;
+      }
+    phase_ = fa_agreement_phase::seek;
+    k_ = 0;
+    tally_.clear();
+  }
+
+  int m_;
+  value_type input_;
+  value_type pref_;
+  fa_agreement_phase phase_ = fa_agreement_phase::read_pass;
+  int c_ = 0;  ///< ring cursor (logical index of the next access)
+  int k_ = 0;  ///< steps completed in the current pass
+  /// Pass tally: sorted (value, count) multiset of nonzero reads.
+  std::vector<std::pair<value_type, int>> tally_;
+  std::uint64_t passes_ = 0;
+};
+
+inline std::ostream& operator<<(std::ostream& os, fa_agreement_phase ph) {
+  switch (ph) {
+    case fa_agreement_phase::read_pass: return os << "read_pass";
+    case fa_agreement_phase::seek: return os << "seek";
+    case fa_agreement_phase::convert: return os << "convert";
+    case fa_agreement_phase::decided: return os << "decided";
+  }
+  return os;
+}
+
+}  // namespace anoncoord

@@ -1,0 +1,260 @@
+// Fully anonymous deadlock-free mutual exclusion, after Raynal &
+// Taubenfeld, "Fully Anonymous Shared Memory Algorithms" (arXiv
+// 1909.05576). The model drops the LAST naming assumption: besides the
+// memory-anonymous registers of the base paper, the *processes* carry no
+// identifiers either — no value a process could write to distinguish itself,
+// no equality-on-self test. All n participants run the bit-identical
+// program below over m anonymous binary RMW registers (0 = down, 1 = up);
+// the only asymmetry left in the whole system is the adversary's naming
+// assignment.
+//
+// Round-based pseudocode (our cursor formulation of the paper's symmetric
+// deadlock-free algorithm; one line = one atomic register operation):
+//
+//   1  repeat                                           // entry
+//   2    for k = 1..m do                                // one ring pass
+//   3      < if R[c] = down then R[c] := up; cpt := cpt+1 >; c := c+1
+//   4    if cpt = m then break                          // owns every token
+//   5    if cpt < ceil(m/2) then                        // lost the round
+//   6      while cpt > 0 do                             // return the tokens
+//   7        < if R[c] = up then R[c] := down; cpt := cpt-1 >; c := c+1
+//   8      repeat for k = 1..m do read R[c]; c := c+1   // wait
+//   9      until all m reads = down
+//  10  until false
+//  11  critical section                                 // cpt = m here
+//  12  while cpt > 0 do                                 // exit: free them all
+//  13    < if R[c] = up then R[c] := down; cpt := cpt-1 >; c := c+1
+//
+// Why this is fully anonymous: a process never writes anything
+// distinguishable (registers hold one bit), never compares an id, and its
+// only persistent local state is a cursor position on the ring, a pass
+// counter and a token count. Ownership is by COUNT, not by name: line 7
+// happily lowers a register some *other* process raised — sound because the
+// global invariant  sum_i cpt_i = #raised registers <= m  is preserved by
+// every branch of every RMW, so cpt = m (line 4) certifies exclusive
+// ownership of all m tokens and at most one process can be at line 11.
+//
+// Deadlock-freedom holds exactly on the paper's boundary set
+// M(n) = { m : gcd(l, m) = 1 for every l in (1, n] }: for n = 2 that is odd
+// m (a tie at even m parks both processes at cpt = m/2, each retrying
+// forever with nothing free — the model checker exhibits the stuck state),
+// and m = 3, n = 3 with a stride-1 rotation naming livelocks in lockstep
+// (grab one token each, all lose, all release, repeat). Both misconfigured
+// regimes are deliberately representable, like anon_mutex's even-m runs.
+//
+// Each <...> line is ONE step(): an atomic conditional write issued through
+// compare_and_swap (runtime/step_machine.hpp) — real CAS under the threaded
+// runtime, plain read+write inside the already-atomic single-threaded
+// drivers. peek() declares those steps op_kind::write (conservative).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <tuple>
+
+#include "mem/payloads.hpp"
+#include "runtime/step_machine.hpp"
+#include "util/check.hpp"
+#include "util/hash.hpp"
+#include "util/math.hpp"
+
+namespace anoncoord {
+
+enum class fa_mutex_phase : unsigned char {
+  remainder,  ///< outside the protocol; next step begins the entry code
+  grab,       ///< lines 2-3: one RMW attempt to raise R[c]
+  release,    ///< lines 6-7 (and 12-13 via exit): lowering one raised token
+  wait,       ///< lines 8-9: reading a full pass, waiting for all-down
+  critical,   ///< line 11: inside the critical section (cpt = m)
+  exit,       ///< lines 12-13: returning all m tokens after the CS
+};
+
+std::ostream& operator<<(std::ostream& os, fa_mutex_phase ph);
+
+/// Step machine for the fully anonymous mutex. Registers hold tokens
+/// (uint64_t: 0 = down, 1 = up); machines hold NO identifier. The cursor is
+/// never reset — only advanced mod m — so the whole local state is
+/// equivariant under ring rotation of the logical index space, which is
+/// what lets symmetry_group enlarge the quotient to S_n x C_m (see
+/// reindexed() and modelcheck/symmetry.hpp).
+class fa_mutex {
+ public:
+  using value_type = std::uint64_t;
+
+  static constexpr value_type token_down = 0;
+  static constexpr value_type token_up = 1;
+
+  explicit fa_mutex(int m) : m_(m) {
+    ANONCOORD_REQUIRE(m >= 2, "the algorithm needs at least two registers");
+  }
+
+  int registers() const { return m_; }
+  fa_mutex_phase phase() const { return phase_; }
+  int tokens() const { return cpt_; }
+  bool in_critical_section() const {
+    return phase_ == fa_mutex_phase::critical;
+  }
+  bool in_remainder() const { return phase_ == fa_mutex_phase::remainder; }
+  /// A process is *trying* if it is inside the entry code.
+  bool in_entry() const {
+    return !in_remainder() && !in_critical_section() &&
+           phase_ != fa_mutex_phase::exit;
+  }
+  bool done() const { return false; }  // mutex processes cycle forever
+
+  /// Number of completed passes through the critical section.
+  std::uint64_t cs_entries() const { return cs_entries_; }
+  /// Number of times the process lost a round and entered the wait loop.
+  std::uint64_t losses() const { return losses_; }
+
+  op_desc peek() const {
+    switch (phase_) {
+      case fa_mutex_phase::remainder: return {op_kind::internal, -1};
+      case fa_mutex_phase::grab: return {op_kind::write, c_};
+      case fa_mutex_phase::release: return {op_kind::write, c_};
+      case fa_mutex_phase::wait: return {op_kind::read, c_};
+      case fa_mutex_phase::critical: return {op_kind::internal, -1};
+      case fa_mutex_phase::exit: return {op_kind::write, c_};
+    }
+    return {op_kind::none, -1};
+  }
+
+  template <class Mem>
+  void step(Mem& mem) {
+    switch (phase_) {
+      case fa_mutex_phase::remainder:
+        // Begin the entry code (line 1). The cursor stays wherever the last
+        // exit left it — resetting it would break rotation equivariance.
+        phase_ = fa_mutex_phase::grab;
+        k_ = 0;
+        break;
+
+      case fa_mutex_phase::grab:
+        // Line 3: one atomic grab attempt, then advance the ring cursor.
+        if (compare_and_swap(mem, c_, token_down, token_up)) ++cpt_;
+        advance();
+        if (++k_ == m_) decide_after_pass();
+        break;
+
+      case fa_mutex_phase::release:
+        // Line 7: lower SOME raised register — possibly somebody else's;
+        // the count invariant makes that sound (header comment).
+        if (compare_and_swap(mem, c_, token_up, token_down)) --cpt_;
+        advance();
+        if (cpt_ == 0) begin_wait();
+        break;
+
+      case fa_mutex_phase::wait:
+        // Lines 8-9: full read passes until one sees every register down.
+        all_down_ = all_down_ && mem.read(c_) == token_down;
+        advance();
+        if (++k_ == m_) {
+          k_ = 0;
+          if (all_down_) {
+            phase_ = fa_mutex_phase::grab;  // back to line 2
+          } else {
+            all_down_ = true;  // re-read the ring
+          }
+        }
+        break;
+
+      case fa_mutex_phase::critical:
+        // Leaving the CS: begin the exit code (line 12).
+        ++cs_entries_;
+        phase_ = fa_mutex_phase::exit;
+        break;
+
+      case fa_mutex_phase::exit:
+        // Line 13: all m registers are up and all m tokens are mine, so this
+        // lowers exactly m registers in m steps.
+        if (compare_and_swap(mem, c_, token_up, token_down)) --cpt_;
+        advance();
+        if (cpt_ == 0) phase_ = fa_mutex_phase::remainder;
+        break;
+    }
+  }
+
+  /// A copy with the logical index space rotated by `shift`: the cursor is
+  /// the only index-valued local state, and pass counts / token counts are
+  /// rotation-invariant. symmetry_group composes this with a process
+  /// permutation and a register permutation to act with the full product
+  /// group; soundness is the commutation phi(step_p(s)) = step_sigma(p)(phi(s)),
+  /// machine-checked exhaustively in tests/fully_anonymous_test.cpp.
+  fa_mutex reindexed(int shift) const {
+    fa_mutex copy = *this;
+    copy.c_ = (((c_ + shift) % m_) + m_) % m_;
+    return copy;
+  }
+
+  friend bool operator==(const fa_mutex& a, const fa_mutex& b) {
+    // Statistics counters are observational and excluded on purpose: the
+    // model checker must identify states that behave identically.
+    return a.m_ == b.m_ && a.phase_ == b.phase_ && a.c_ == b.c_ &&
+           a.k_ == b.k_ && a.cpt_ == b.cpt_ && a.all_down_ == b.all_down_;
+  }
+
+  /// Strict total order over the same fields == compares — the tie-breaker
+  /// symmetry reduction uses to pick orbit representatives.
+  friend bool canonical_less(const fa_mutex& a, const fa_mutex& b) {
+    return std::tie(a.m_, a.phase_, a.c_, a.k_, a.cpt_, a.all_down_) <
+           std::tie(b.m_, b.phase_, b.c_, b.k_, b.cpt_, b.all_down_);
+  }
+
+  std::size_t hash() const {
+    std::size_t seed = 0xfa317;
+    hash_combine(seed, static_cast<unsigned>(phase_));
+    hash_combine(seed, c_);
+    hash_combine(seed, k_);
+    hash_combine(seed, cpt_);
+    hash_combine(seed, static_cast<unsigned>(all_down_));
+    return seed;
+  }
+
+ private:
+  void advance() { c_ = (c_ + 1) % m_; }
+
+  void begin_wait() {
+    phase_ = fa_mutex_phase::wait;
+    k_ = 0;
+    all_down_ = true;
+  }
+
+  // Lines 4-5, evaluated when a grab pass completes.
+  void decide_after_pass() {
+    k_ = 0;
+    if (cpt_ == m_) {
+      phase_ = fa_mutex_phase::critical;  // line 4
+    } else if (cpt_ < majority_threshold(m_)) {
+      ++losses_;
+      if (cpt_ == 0) {
+        begin_wait();  // nothing to return; straight to line 8
+      } else {
+        phase_ = fa_mutex_phase::release;  // lines 6-7
+      }
+    }
+    // else: neither won nor lost — keep the tokens, re-run the pass.
+  }
+
+  int m_;
+  fa_mutex_phase phase_ = fa_mutex_phase::remainder;
+  int c_ = 0;           ///< ring cursor (logical index of the next access)
+  int k_ = 0;           ///< steps completed in the current pass
+  int cpt_ = 0;         ///< tokens held (raised-by-me count, by the invariant)
+  bool all_down_ = true;  ///< wait pass: every read so far was down
+  std::uint64_t cs_entries_ = 0;
+  std::uint64_t losses_ = 0;
+};
+
+inline std::ostream& operator<<(std::ostream& os, fa_mutex_phase ph) {
+  switch (ph) {
+    case fa_mutex_phase::remainder: return os << "remainder";
+    case fa_mutex_phase::grab: return os << "grab";
+    case fa_mutex_phase::release: return os << "release";
+    case fa_mutex_phase::wait: return os << "wait";
+    case fa_mutex_phase::critical: return os << "critical";
+    case fa_mutex_phase::exit: return os << "exit";
+  }
+  return os;
+}
+
+}  // namespace anoncoord

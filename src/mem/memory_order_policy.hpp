@@ -64,4 +64,15 @@ constexpr std::memory_order discipline_store_order(memory_discipline d) {
   return std::memory_order_seq_cst;
 }
 
+/// The C++ order a policy applies to read-modify-write operations (the CAS
+/// the fully anonymous algorithms' conditional writes compile to).
+constexpr std::memory_order discipline_rmw_order(memory_discipline d) {
+  switch (d) {
+    case memory_discipline::seq_cst: return std::memory_order_seq_cst;
+    case memory_discipline::acq_rel: return std::memory_order_acq_rel;
+    case memory_discipline::relaxed: return std::memory_order_relaxed;
+  }
+  return std::memory_order_seq_cst;
+}
+
 }  // namespace anoncoord

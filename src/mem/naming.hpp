@@ -135,6 +135,17 @@ class naming_view {
     mem_->write(physical(logical), std::move(v));
   }
 
+  /// Forwarded atomic conditional write, present exactly when the
+  /// underlying file has one (shared_register_file on word payloads).
+  bool cas(int logical, value_type expected, value_type desired)
+    requires requires(Mem& m, int j, value_type v) {
+      { m.cas(j, v, v) } -> std::convertible_to<bool>;
+    }
+  {
+    return mem_->cas(physical(logical), std::move(expected),
+                     std::move(desired));
+  }
+
   /// The physical register this process's logical index j denotes.
   int physical(int logical) const {
     ANONCOORD_REQUIRE(logical >= 0 && logical < size(),

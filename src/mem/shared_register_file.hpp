@@ -48,6 +48,15 @@ class trivial_register {
   V read() const { return value_.load(discipline_load_order(Policy)); }
   void write(V v) { value_.store(v, discipline_store_order(Policy)); }
 
+  /// One atomic conditional write: if the register holds `expected`,
+  /// replace it with `desired`. The RMW register the fully anonymous
+  /// algorithms assume, realized as a hardware CAS.
+  bool cas(V expected, V desired) {
+    return value_.compare_exchange_strong(expected, desired,
+                                          discipline_rmw_order(Policy),
+                                          discipline_load_order(Policy));
+  }
+
  private:
   std::atomic<V> value_{V{}};
 };
@@ -129,6 +138,30 @@ class shared_register_file {
       ANONCOORD_OBS_COUNT("mem.shared.writes", 1);
     }
     regs_[static_cast<std::size_t>(physical)].value.write(std::move(v));
+  }
+
+  /// One atomic conditional write on a physical register. Only word-sized
+  /// lock-free payloads support it (boxed registers have no meaningful CAS:
+  /// pointer identity is not value identity); the requires-clause keeps the
+  /// operation invisible to compare_and_swap's probe for boxed files, which
+  /// then — correctly — refuse to instantiate RMW machines under threads.
+  bool cas(int physical, V expected, V desired)
+    requires detail::use_trivial_register<V>
+  {
+    check_index(physical);
+    if (obs::enabled()) {
+      auto& cell = per_cell_[static_cast<std::size_t>(physical)].value;
+      cell.reads.fetch_add(1, std::memory_order_relaxed);
+      ANONCOORD_OBS_COUNT("mem.shared.reads", 1);
+    }
+    const bool won = regs_[static_cast<std::size_t>(physical)].value.cas(
+        std::move(expected), std::move(desired));
+    if (won && obs::enabled()) {
+      per_cell_[static_cast<std::size_t>(physical)].value.writes.fetch_add(
+          1, std::memory_order_relaxed);
+      ANONCOORD_OBS_COUNT("mem.shared.writes", 1);
+    }
+    return won;
   }
 
   /// Whether this instantiation uses lock-free word atomics.

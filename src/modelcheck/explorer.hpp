@@ -133,11 +133,12 @@ class explorer {
     /// Exploration cap; result.complete reports whether it was reached.
     std::uint64_t max_states = 2'000'000;
     /// Dedup states by their orbit representative under the configuration's
-    /// automorphism group (modelcheck/symmetry.hpp). Sound only when every
+    /// automorphism group (modelcheck/symmetry.hpp): the naming-conjugation
+    /// group for process_symmetric_machine types, the full S_n x C_m
+    /// product for fully_anonymous_machine types. Sound only when every
     /// predicate passed to explore()/check_progress() is invariant under
-    /// process permutation + consistent id renaming; machine types without
-    /// the process_symmetric_machine trait get the trivial group, making
-    /// this a no-op rather than a wrong answer.
+    /// the group action; machine types with neither trait get the trivial
+    /// group, making this a no-op rather than a wrong answer.
     bool symmetry = false;
     /// Store seen rows delta-against-parent + varint encoded in arena pages
     /// (state_pool.hpp's row_store) instead of verbatim. Identical verdicts,

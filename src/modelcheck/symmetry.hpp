@@ -2,41 +2,73 @@
 //
 // Which symmetries are sound here is subtler than "registers are anonymous".
 // Within ONE exploration the naming assignment is FIXED: permuting register
-// contents alone changes what each process reads next, so the only sound
-// state symmetries are the automorphisms of the configuration —
+// contents alone changes what each process reads next, so the sound state
+// symmetries are the automorphisms of the configuration. The group depends
+// on how much structure the machine type exposes; there are two regimes.
 //
-//     G = { (sigma, pi) :  pi o perm_p = perm_sigma(p)  for every p }
+// 1. Process-symmetric machines (the paper's §2 model: identical code,
+//    identifiers compared only for equality — anon_mutex, anon_consensus):
 //
-// — a process permutation sigma together with the physical register
-// permutation pi it induces, applied with the consistent identifier renaming
-// rho(id_p) = id_sigma(p). For a *symmetric* algorithm in the paper's sense
-// (§2: identical code, identifiers compared only for equality), the map
+//      G = { (sigma, pi) :  pi o perm_p = perm_sigma(p)  for every p }
 //
-//     phi(regs, procs):  regs'[pi(r)] = rho(regs[r]),
-//                        procs'[sigma(p)] = rho(procs[p])
+//    — a process permutation sigma together with the physical register
+//    permutation pi it induces, applied with the consistent identifier
+//    renaming rho(id_p) = id_sigma(p):
 //
-// commutes with every step: phi(step_p(s)) = step_sigma(p)(phi(s)). Proof
-// sketch: process sigma(p)'s logical index j hits physical
-// perm_sigma(p)(j) = pi(perm_p(j)), whose content in phi(s) is rho of what p
-// reads at logical j in s; a renamed machine reading renamed values behaves
-// identically up to the renaming. So deduplicating states by their orbit
-// representative under G preserves reachability, edge structure on the
-// quotient, and every G-invariant predicate ("two processes in the CS",
-// "someone is trying", ...). Since pi is determined by sigma (via process
-// 0's numbering), |G| <= n!: identity naming gives the full n!, the
-// Theorem 3.1 even-m ring at stride m/2 gives a 2-element group, and generic
-// namings give the trivial group. The m!-fold register anonymity lives at
-// the CONFIG level instead — see naming_orbit_representatives in
-// mem/naming.hpp, which cuts full naming sweeps by m!.
+//      phi(regs, procs):  regs'[pi(r)] = rho(regs[r]),
+//                         procs'[sigma(p)] = rho(procs[p])
+//
+//    commutes with every step: phi(step_p(s)) = step_sigma(p)(phi(s)).
+//    Proof sketch: process sigma(p)'s logical index j hits physical
+//    perm_sigma(p)(j) = pi(perm_p(j)), whose content in phi(s) is rho of
+//    what p reads at logical j in s; a renamed machine reading renamed
+//    values behaves identically up to the renaming. Since pi is determined
+//    by sigma (via process 0's numbering), |G| <= n!: identity naming gives
+//    the full n!, the Theorem 3.1 even-m ring at stride m/2 gives a
+//    2-element group, and generic namings give the trivial group.
+//
+// 2. Fully anonymous machines (arXiv 1909.05576: no identifiers at all, no
+//    equality-on-self — fa_mutex, fa_agreement). pi no longer needs to
+//    REPRODUCE each process's numbering, only to respect it up to a ring
+//    rotation, because a fully anonymous machine's index-valued state lives
+//    on a ring and can itself be rotated (the reindexed() hook):
+//
+//      G = { (sigma, pi) :  lambda_p := perm_sigma(p)^-1 o pi o perm_p
+//                           is a rotation, for every p }
+//
+//      phi(regs, procs):  regs'[pi(r)] = regs[r]          (no renaming),
+//                         procs'[sigma(p)] = procs[p].reindexed(d_p)
+//                                            where lambda_p = rot_{d_p}.
+//
+//    Commutation: process sigma(p) at cursor lambda_p(c) hits physical
+//    perm_sigma(p)(lambda_p(c)) = pi(perm_p(c)) — the pi-image of what p
+//    touches at cursor c — and a rotated machine reading the same values
+//    behaves identically with its cursor rotated (the machine's contract:
+//    pass counters and tallies are rotation-invariant, cursors only ever
+//    advance mod m). This is the full product group S_n x C_m when every
+//    lambda_p lands in the rotation subgroup — identity and all rotation
+//    namings give |G| = n! * m, STRICTLY beyond the n! ceiling of regime 1.
+//    The commutation itself is machine-checked exhaustively in
+//    tests/fully_anonymous_test.cpp.
+//
+// Either way, deduplicating states by their orbit representative under G
+// preserves reachability, edge structure on the quotient, and every
+// G-invariant predicate ("two processes in the CS", "someone decided", ...).
+// The remaining m!-fold register anonymity lives at the CONFIG level — see
+// naming_orbit_representatives in mem/naming.hpp, which cuts full naming
+// sweeps by m!.
 //
 // Soundness requirements, enforced or opted into:
-//   * the machine type models process_symmetric_machine (below) — types
-//     without the trait always get the trivial group, so turning symmetry on
-//     is a no-op for them rather than a wrong answer;
-//   * initial identifiers are distinct (else: trivial group);
-//   * the caller's predicates must be invariant under process permutation +
-//     id renaming. This is an opt-in contract (options.symmetry), not
-//     something the engine can check.
+//   * the machine type models process_symmetric_machine or
+//     fully_anonymous_machine (below) — types with neither trait always get
+//     the trivial group, so turning symmetry on is a no-op for them rather
+//     than a wrong answer;
+//   * for process-symmetric machines, initial identifiers are distinct
+//     (else: trivial group);
+//   * the caller's predicates must be invariant under the group action
+//     (process permutation + id renaming, resp. + register permutation).
+//     This is an opt-in contract (options.symmetry), not something the
+//     engine can check.
 #pragma once
 
 #include <algorithm>
@@ -78,17 +110,52 @@ concept process_symmetric_machine =
       { canonical_less(m, m) } -> std::same_as<bool>;
     };
 
+/// A machine opts into the full S_n x C_m product symmetry by carrying NO
+/// identifier (there is nothing to rename; register values move unchanged)
+/// and providing
+///   * reindexed(d)    — a copy with its logical index space rotated by d
+///                       mod m (cursors shifted; counts/tallies untouched);
+///   * canonical_less  — a strict total order consistent with ==,
+/// and by honouring the fully anonymous contract (arXiv 1909.05576): the
+/// program must be oblivious to absolute register positions, i.e. step()
+/// commutes with a uniform ring rotation of the logical indices. As with
+/// process symmetry, the engines cannot verify the contract — but
+/// tests/fully_anonymous_test.cpp machine-checks the commutation for the
+/// shipped machines at small sizes.
+template <class M>
+concept fully_anonymous_machine =
+    std::totally_ordered<typename M::value_type> &&
+    requires(const M m, int d) {
+      { m.reindexed(d) } -> std::same_as<M>;
+      { canonical_less(m, m) } -> std::same_as<bool>;
+    } &&
+    !requires(const M m) { m.id(); };
+
+/// Machine types with some non-trivial automorphism group available.
+template <class M>
+concept symmetry_reducible_machine =
+    process_symmetric_machine<M> || fully_anonymous_machine<M>;
+
 /// True iff the initial machine tuple is invariant, up to identifier
 /// renaming, under EVERY process permutation — the precondition for folding
 /// naming assignments across process permutations (naming_orbit_classes):
 /// there, unlike in-run symmetry reduction, the group is all of S_n, so the
 /// machines themselves must be copies of one program differing only in id.
 /// Transpositions generate S_n, so checking each swapped pair suffices.
-/// Always false for machine types without the process_symmetric_machine
-/// opt-in, and for tuples with duplicate ids (renaming is ill-defined).
+/// Always false for machine types with neither symmetry opt-in, and for
+/// process-symmetric tuples with duplicate ids (renaming is ill-defined).
+/// Fully anonymous machines carry nothing to rename: the tuple is
+/// S_n-invariant exactly when the machines are pairwise equal (e.g. mutex
+/// processes always; agreement processes only when their inputs coincide).
 template <class Machine>
 bool process_interchangeable_initial(const std::vector<Machine>& initial) {
-  if constexpr (!process_symmetric_machine<Machine>) {
+  if constexpr (fully_anonymous_machine<Machine>) {
+    for (std::size_t i = 1; i < initial.size(); ++i)
+      if (canonical_less(initial[0], initial[i]) ||
+          canonical_less(initial[i], initial[0]))
+        return false;
+    return true;
+  } else if constexpr (!process_symmetric_machine<Machine>) {
     return false;
   } else {
     using value_type = typename Machine::value_type;
@@ -143,6 +210,11 @@ class symmetry_group {
     /// Identifier renaming rho as parallel arrays (ids are few; linear scan
     /// beats a map); values outside the id set are fixed points.
     std::vector<value_type> rename_from, rename_to;
+    /// Fully anonymous machines only: per ORIGINAL process p, the rotation
+    /// amount d_p with perm_sigma(p)^-1 o pi o perm_p = rot_{d_p}; process
+    /// p's machine moves to slot sigma[p] reindexed by d_p. Empty for
+    /// process-symmetric machines (their pi reproduces numberings exactly).
+    std::vector<int> shift;
 
     value_type rename(const value_type& v) const {
       for (std::size_t i = 0; i < rename_from.size(); ++i)
@@ -165,14 +237,61 @@ class symmetry_group {
     return g;
   }
 
-  /// Enumerate G for a configuration. Each candidate sigma forces
-  /// pi = perm_sigma(0) o perm_0^-1; sigma is in G iff that pi matches every
-  /// other process too. Identity is always element 0.
+  /// Enumerate G for a configuration. Process-symmetric machines: each
+  /// candidate sigma forces pi = perm_sigma(0) o perm_0^-1; sigma is in G
+  /// iff that pi matches every other process too. Fully anonymous machines:
+  /// each (sigma, d0) pair forces pi = perm_sigma(0) o rot_d0 o perm_0^-1;
+  /// the pair is in G iff every other process's induced lambda_p is also a
+  /// rotation. Identity is always element 0.
   static symmetry_group compute(const naming_assignment& naming,
                                 const std::vector<Machine>& initial) {
     const int n = naming.processes();
     const int m = naming.registers();
-    if constexpr (!process_symmetric_machine<Machine>) {
+    if constexpr (fully_anonymous_machine<Machine>) {
+      ANONCOORD_REQUIRE(n == static_cast<int>(initial.size()),
+                        "naming assignment and machine count disagree");
+      ANONCOORD_REQUIRE(n <= 8, "symmetry group enumeration caps at n = 8");
+      symmetry_group g;
+      std::vector<permutation> inv_perm;
+      inv_perm.reserve(static_cast<std::size_t>(n));
+      for (int p = 0; p < n; ++p)
+        inv_perm.push_back(inverse_permutation(naming.of(p)));
+      std::vector<int> sigma(static_cast<std::size_t>(n));
+      std::iota(sigma.begin(), sigma.end(), 0);
+      do {
+        for (int d0 = 0; d0 < m; ++d0) {
+          const permutation pi = compose_permutations(
+              naming.of(sigma[0]),
+              compose_permutations(rotation_permutation(m, d0),
+                                   inv_perm[0]));
+          element e;
+          e.shift.assign(static_cast<std::size_t>(n), 0);
+          e.shift[0] = d0;
+          bool ok = true;
+          for (int p = 1; p < n && ok; ++p) {
+            const permutation lambda = compose_permutations(
+                inv_perm[static_cast<std::size_t>(
+                    sigma[static_cast<std::size_t>(p)])],
+                compose_permutations(pi, naming.of(p)));
+            const int d = lambda[0];
+            ok = lambda == rotation_permutation(m, d);
+            e.shift[static_cast<std::size_t>(p)] = d;
+          }
+          if (!ok) continue;
+          e.sigma = sigma;
+          e.sigma_inv.assign(static_cast<std::size_t>(n), 0);
+          for (int p = 0; p < n; ++p)
+            e.sigma_inv[static_cast<std::size_t>(
+                sigma[static_cast<std::size_t>(p)])] = p;
+          e.pi = pi;
+          e.pi_inv = inverse_permutation(pi);
+          g.elements_.push_back(std::move(e));
+        }
+      } while (std::next_permutation(sigma.begin(), sigma.end()));
+      // Identity first: sigma iterates from the identity permutation and
+      // d0 = 0 makes pi the identity, so element 0 is always (id, id).
+      return g;
+    } else if constexpr (!process_symmetric_machine<Machine>) {
       (void)initial;
       return trivial(n, m);
     } else {
@@ -228,7 +347,16 @@ class symmetry_group {
              const std::vector<Machine>& procs,
              std::vector<value_type>& out_regs,
              std::vector<Machine>& out_procs) const {
-    if constexpr (process_symmetric_machine<Machine>) {
+    if constexpr (fully_anonymous_machine<Machine>) {
+      out_regs.clear();
+      out_procs.clear();
+      for (std::size_t r = 0; r < regs.size(); ++r)
+        out_regs.push_back(regs[static_cast<std::size_t>(e.pi_inv[r])]);
+      for (std::size_t q = 0; q < procs.size(); ++q) {
+        const auto p = static_cast<std::size_t>(e.sigma_inv[q]);
+        out_procs.push_back(procs[p].reindexed(e.shift[p]));
+      }
+    } else if constexpr (process_symmetric_machine<Machine>) {
       const renamer rho{&e};
       out_regs.clear();
       out_procs.clear();
@@ -252,7 +380,7 @@ class symmetry_group {
   int canonicalize(std::vector<value_type>& regs, std::vector<Machine>& procs,
                    canonical_scratch<Machine>& scratch) const {
     if (elements_.size() <= 1) return 0;
-    if constexpr (process_symmetric_machine<Machine>) {
+    if constexpr (symmetry_reducible_machine<Machine>) {
       scratch.orig_regs = regs;
       scratch.orig_procs = procs;
       int best = 0;
@@ -281,7 +409,7 @@ class symmetry_group {
                          const std::vector<Machine>& ap,
                          const std::vector<value_type>& br,
                          const std::vector<Machine>& bp) {
-    if constexpr (process_symmetric_machine<Machine>) {
+    if constexpr (symmetry_reducible_machine<Machine>) {
       for (std::size_t i = 0; i < ar.size(); ++i) {
         if (ar[i] < br[i]) return true;
         if (br[i] < ar[i]) return false;

@@ -347,8 +347,9 @@ naming_sweep_report verify_naming_sweep(
                       "process quotient refines the orbit-representative "
                       "sweep; enable orbit_representatives_only");
     ANONCOORD_REQUIRE(process_interchangeable_initial(initial),
-                      "process quotient needs a process-symmetric machine "
-                      "tuple (one program, distinct ids)");
+                      "process quotient needs an S_n-interchangeable initial "
+                      "tuple (process-symmetric: one program, distinct ids; "
+                      "fully anonymous: pairwise-equal machines)");
     sweep = naming_orbit_classes(n, registers);
   } else {
     const std::vector<naming_assignment> namings =

@@ -181,6 +181,19 @@ class publishing_memory {
     event_->publish();
   }
 
+  /// Forwarded CAS; a successful one changed shared state, so it publishes
+  /// like a write (a failed one observed without modifying — no wake).
+  bool cas(int index, value_type expected, value_type desired)
+    requires requires(Mem& m, int j, value_type v) {
+      { m.cas(j, v, v) } -> std::convertible_to<bool>;
+    }
+  {
+    const bool won =
+        mem_->cas(index, std::move(expected), std::move(desired));
+    if (won) event_->publish();
+    return won;
+  }
+
  private:
   Mem* mem_;
   park_event* event_;

@@ -75,4 +75,27 @@ concept register_memory = requires(Mem& m, const Mem& cm, int j,
   m.write(j, v);
 };
 
+/// One atomic conditional write ("if R[j] = expected then R[j] := desired"),
+/// the RMW register the fully anonymous algorithms (arXiv 1909.05576)
+/// assume. Memories that are genuinely concurrent (shared_register_file and
+/// the views layered over it) expose a real cas() and take the first branch;
+/// the single-threaded drivers (simulator, explorers) execute one step()
+/// atomically anyway, so the read+write fallback is linearizable there by
+/// construction. A machine using this must still declare the step as
+/// op_kind::write in peek() — conservative for conflict analysis, and it
+/// tells the explorers which register to snapshot for undo.
+template <class Mem, class V>
+bool compare_and_swap(Mem& mem, int index, const V& expected, V desired) {
+  if constexpr (requires {
+                  { mem.cas(index, expected, desired) }
+                      -> std::convertible_to<bool>;
+                }) {
+    return mem.cas(index, expected, std::move(desired));
+  } else {
+    if (!(mem.read(index) == expected)) return false;
+    mem.write(index, std::move(desired));
+    return true;
+  }
+}
+
 }  // namespace anoncoord

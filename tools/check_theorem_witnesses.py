@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""Validate docs/THEOREMS.md witness entries against the code (stdlib only).
+
+The theorem ledger cites its mechanical witnesses inside backticks:
+
+  * googletest names   — `Suite.Test`, brace groups `Suite.{A, B}`,
+    wildcards `Suite.*` / `LitmusHardware.*Contained`, and the
+    same-suite ellipsis `...Test` (suite inherited from the previous
+    test token in the cell);
+  * bench binaries     — `bench_<name>`, checked against the
+    `add_executable(...)` targets in bench/CMakeLists.txt;
+  * benchmark fixtures — `BM_<name>`, grepped for in bench/*.cpp;
+  * source/test paths  — `tests/foo_test.cpp`, `modelcheck/fa_check.hpp`
+    (resolved repo-relative, then under src/), `tests/data/`.
+
+Every such token must resolve to a real TEST/TEST_F/TEST_P macro, a real
+bench target, or an existing file — a renamed test that leaves a stale
+ledger row behind fails CI here, not in a reader's checkout.
+
+Usage: tools/check_theorem_witnesses.py [--verbose] [docs/THEOREMS.md ...]
+Exit status 0 when every witness resolves, 1 otherwise.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+BACKTICK = re.compile(r"`([^`]+)`")
+TEST_MACRO = re.compile(
+    r"\bTEST(?:_F|_P)?\(\s*([A-Za-z_][A-Za-z0-9_]*)\s*,\s*([A-Za-z_][A-Za-z0-9_]*)")
+# Targets come from anoncoord_bench(<name>), the foreach list of
+# google-benchmark binaries, and any literal add_executable(<name>).
+BENCH_TARGET = re.compile(
+    r"(?:anoncoord_bench\(|add_executable\(\s*|foreach\(name\s+)"
+    r"((?:bench_[a-z0-9_]+\s*)+)")
+# Suite.Test where the suite is CamelCase and the member is a Test name,
+# a brace group, or a wildcard — deliberately excludes `FOO.md`, `mem.sim.*`.
+TEST_TOKEN = re.compile(
+    r"^(\.\.\.|[A-Z][A-Za-z0-9]*\.)((\{[^}]+\})|([A-Z*][A-Za-z0-9_*]*))$")
+PATH_TOKEN = re.compile(r"^[A-Za-z0-9_./-]+(\.(cpp|hpp|h|md|py|json)|/)$")
+
+
+def collect_tests() -> set[str]:
+    names = set()
+    for src in sorted((REPO / "tests").glob("*.cpp")):
+        for suite, test in TEST_MACRO.findall(src.read_text(encoding="utf-8")):
+            names.add(f"{suite}.{test}")
+    return names
+
+
+def collect_bench_targets() -> set[str]:
+    cmake = REPO / "bench" / "CMakeLists.txt"
+    targets = set()
+    for group in BENCH_TARGET.findall(cmake.read_text(encoding="utf-8")):
+        targets.update(group.split())
+    return targets
+
+
+def collect_bench_sources() -> str:
+    return "\n".join(p.read_text(encoding="utf-8")
+                     for p in sorted((REPO / "bench").glob("*.cpp")))
+
+
+def expand_member(member: str) -> list[str]:
+    if member.startswith("{") and member.endswith("}"):
+        return [m.strip() for m in member[1:-1].split(",") if m.strip()]
+    return [member]
+
+
+def wildcard_matches(pattern: str, tests: set[str]) -> bool:
+    rx = re.compile("^" + re.escape(pattern).replace(r"\*", "[A-Za-z0-9_]*") + "$")
+    return any(rx.match(t) for t in tests)
+
+
+def check_ledger(md: Path, tests: set[str], bench_targets: set[str],
+                 bench_text: str, verbose: bool) -> list[str]:
+    errors, checked = [], 0
+    suites = {t.split(".", 1)[0] for t in tests}
+    for line in md.read_text(encoding="utf-8").splitlines():
+        last_suite = None
+        for token in BACKTICK.findall(line):
+            token = token.strip()
+            m = TEST_TOKEN.match(token)
+            if m:
+                head, member = m.group(1), m.group(2)
+                if head == "...":
+                    # inherit the suite from the previous test token on the
+                    # line; fall back to "any suite owns this test"
+                    owners = ([last_suite] if last_suite
+                              and f"{last_suite}.{member}" in tests
+                              else [s for s in suites if f"{s}.{member}" in tests])
+                    checked += 1
+                    if not owners:
+                        errors.append(f"{md}: no suite has a test named "
+                                      f"{member!r} (from `{token}`)")
+                    continue
+                suite = head.rstrip(".")
+                for name in expand_member(member):
+                    full = f"{suite}.{name}"
+                    checked += 1
+                    if "*" in name:
+                        if not wildcard_matches(full, tests):
+                            errors.append(f"{md}: wildcard `{full}` matches "
+                                          "no registered test")
+                    elif full not in tests:
+                        errors.append(f"{md}: dangling test witness `{full}`")
+                    else:
+                        last_suite = suite
+                continue
+            if re.fullmatch(r"bench_[a-z0-9_]+", token):
+                checked += 1
+                if token not in bench_targets:
+                    errors.append(f"{md}: dangling bench witness `{token}` "
+                                  "(no such add_executable target)")
+                continue
+            if re.fullmatch(r"BM_[A-Za-z0-9_]+", token):
+                checked += 1
+                if token not in bench_text:
+                    errors.append(f"{md}: dangling benchmark fixture `{token}`")
+                continue
+            if PATH_TOKEN.match(token) and "/" in token:
+                checked += 1
+                if not ((REPO / token).exists() or (REPO / "src" / token).exists()):
+                    errors.append(f"{md}: dangling path witness `{token}`")
+                continue
+    if verbose:
+        print(f"{md}: {checked} witness token(s) checked")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    verbose = "--verbose" in argv
+    files = [Path(a) for a in argv if not a.startswith("--")]
+    files = files or [REPO / "docs" / "THEOREMS.md"]
+    missing = [f for f in files if not f.is_file()]
+    if missing:
+        for f in missing:
+            print(f"no such file: {f}", file=sys.stderr)
+        return 1
+    tests = collect_tests()
+    bench_targets = collect_bench_targets()
+    bench_text = collect_bench_sources()
+    errors = []
+    for f in files:
+        errors.extend(check_ledger(f, tests, bench_targets, bench_text, verbose))
+    for e in errors:
+        print(e, file=sys.stderr)
+    print(f"checked {len(files)} ledger(s) against {len(tests)} registered "
+          f"tests: {'OK' if not errors else f'{len(errors)} dangling witness(es)'}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:] if len(sys.argv) > 1 else []))
