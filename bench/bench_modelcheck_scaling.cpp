@@ -50,6 +50,14 @@
 // semantics (the fold through both group factors). Any divergence exits
 // nonzero.
 //
+// Part 8 — sharded sweep execution: the m = 4 quotient sweep single-process
+// vs split across two journaling shards whose journals are merged and
+// replayed through the production aggregator. The merged weighted totals
+// must be bit-identical to the single-process run and cover every class;
+// the 2-shard speedup must reach 1.8x on hosts with >= 2 cores (the gate is
+// skipped, and says so, on a single-core host). Merge record/duplicate/
+// missing counts land in the JSON metrics counters.
+//
 // With --sweep-m=6 (or 7) also runs the full weighted naming sweep at that
 // m through the polynomial orbit classes — minutes of work, off by default.
 // The sweep runs on --sweep-workers threads and, with --sweep-checkpoint, is
@@ -61,6 +69,8 @@
 //                              [--sweep-m=0] [--sweep-workers=1]
 //                              [--sweep-checkpoint=FILE] [--sweep-max-classes=0]
 #include <algorithm>
+#include <cstdio>
+#include <filesystem>
 #include <functional>
 #include <iostream>
 #include <string>
@@ -72,6 +82,7 @@
 #include "mem/naming.hpp"
 #include "modelcheck/fa_check.hpp"
 #include "modelcheck/mutex_check.hpp"
+#include "modelcheck/sweep_journal.hpp"
 #include "modelcheck/verify.hpp"
 #include "util/arena.hpp"
 #include "util/cli.hpp"
@@ -489,8 +500,10 @@ int main(int argc, char** argv) {
   const auto oc_mach = detail::mutex_machines(m, naming, {1, 2});
   bool spill_match = true;
   bool spill_budget_held = true;
+  bool spill_refault_bounded = true;
   std::uint64_t spill_budget = 0;
   arena_spill_stats worst_spill{};
+  arena_spill_stats seq_spill{};
   {
     ascii_table spill_table({"engine", "states", "verdict", "spill-pages",
                              "spill-KB", "resident-hw-KB", "ms"});
@@ -548,6 +561,7 @@ int main(int argc, char** argv) {
                     st.spilled_pages > 0;
       spill_budget_held =
           spill_budget_held && st.resident_hw_bytes <= spill_budget + slack;
+      if (se.workers == 0) seq_spill = st;
       if (st.spilled_pages > worst_spill.spilled_pages) worst_spill = st;
       spill_table.add(se.name, res.num_states, res.verdict(),
                       st.spilled_pages,
@@ -558,21 +572,38 @@ int main(int argc, char** argv) {
                         (se.workers ? "parallel" : "seq"),
                     t_run, "s");
     }
+    // Spill-counter assertion for the offset-ordered frontier expansion: the
+    // sequential explorer prefetches each frontier window's decode chains in
+    // arena-offset order, so a cold page faults back in at most once while
+    // the window drains. If frontier expansion regressed to scattered access,
+    // the clock would evict and re-fault the same pages repeatedly and
+    // faulted_pages would run a multiple of spilled_pages; measured today it
+    // is spilled + evicted (28 vs 22 on the reference config), well under 2x.
+    spill_refault_bounded = seq_spill.spilled_pages > 0 &&
+                            seq_spill.faulted_pages <=
+                                2 * seq_spill.spilled_pages;
     std::cout << spill_table.render() << "\n";
     std::cout << "out-of-core: budget " << spill_budget / 1024
               << " KB (in-memory footprint " << inmem_bytes / 1024
               << " KB / 3), verdicts/states/counterexamples bit-identical "
               << "with real spilling: " << (spill_match ? "yes" : "NO — BUG")
               << ", resident high-water within budget+slack: "
-              << (spill_budget_held ? "yes" : "NO — BUG") << "\n\n";
+              << (spill_budget_held ? "yes" : "NO — BUG")
+              << ", seq refaults bounded (faulted " << seq_spill.faulted_pages
+              << " <= 2 x spilled " << seq_spill.spilled_pages
+              << "): " << (spill_refault_bounded ? "yes" : "NO — BUG")
+              << "\n\n";
     // Counters, not result series: spill traffic depends on the engine and
     // worker interleaving, so it must stay out of the deterministic gate.
     report.metric("spill_pages", worst_spill.spilled_pages);
     report.metric("spill_bytes", worst_spill.spill_bytes);
     report.metric("spill_resident_hw_bytes", worst_spill.resident_hw_bytes);
     report.metric("spill_budget_bytes", spill_budget);
+    report.metric("spill_faulted_pages", worst_spill.faulted_pages);
+    report.metric("spill_evicted_pages", worst_spill.evicted_pages);
     report.metric("spill_verdicts_match", spill_match ? 1 : 0);
     report.metric("spill_budget_held", spill_budget_held ? 1 : 0);
+    report.metric("spill_refault_bounded", spill_refault_bounded ? 1 : 0);
   }
 
   // -------------------------------------------------------------------
@@ -697,6 +728,114 @@ int main(int argc, char** argv) {
     report.metric("pending_classes", q.pending_classes);
   }
 
+  // -------------------------------------------------------------------
+  // Part 8: sharded sweep execution. The m = 4 quotient sweep (17 orbit
+  // classes) runs once single-process, then split across two shards that
+  // each journal their slice; the journals are merged and replayed through
+  // the production aggregator. Gates: the merge covers every class and the
+  // merged weighted totals are bit-identical to the single-process run.
+  // The 2-shard speedup must reach 1.8x when the host has >= 2 cores; on a
+  // single-core host the speedup gate is skipped (and says so).
+  // -------------------------------------------------------------------
+  bool shard_totals_match = true;
+  bool shard_speedup_ok = true;
+  double shard_speedup = 0;
+  {
+    const int sm = 4;
+    std::vector<anon_mutex> sprocs;
+    sprocs.emplace_back(1, sm);
+    sprocs.emplace_back(2, sm);
+    verify_options sopt;
+    sopt.max_states = 8'000'000;
+    const std::string dir = std::filesystem::temp_directory_path().string();
+    const std::string j0 = dir + "/anoncoord_bench_shard0.ckpt";
+    const std::string j1 = dir + "/anoncoord_bench_shard1.ckpt";
+    const std::string jm = dir + "/anoncoord_bench_merged.ckpt";
+    naming_sweep_report single{};
+    double t_single = 0;
+    for (int rep = 0; rep < reps; ++rep) {
+      stopwatch t;
+      single = verify_naming_sweep(sm, sprocs, two_in_cs, true, sopt, true,
+                                   sweep_schedule_options{});
+      const double s = t.elapsed_seconds();
+      if (rep == 0 || s < t_single) t_single = s;
+    }
+    double t_shard = 0;
+    for (int rep = 0; rep < reps; ++rep) {
+      // Stale journals from an earlier run would resume (skip) classes and
+      // fake the timing, so every rep starts from empty shard journals.
+      std::remove(j0.c_str());
+      std::remove(j1.c_str());
+      stopwatch t;
+      const auto run_shard = [&](int idx, const std::string& path) {
+        sweep_schedule_options ss;
+        ss.shard_index = idx;
+        ss.shard_count = 2;
+        ss.checkpoint_path = path;
+        verify_naming_sweep(sm, sprocs, two_in_cs, true, sopt, true, ss);
+      };
+      std::thread s0(run_shard, 0, j0), s1(run_shard, 1, j1);
+      s0.join();
+      s1.join();
+      const double s = t.elapsed_seconds();
+      if (rep == 0 || s < t_shard) t_shard = s;
+    }
+    sweep_journal_header mh{};
+    std::vector<sweep_class_record> mrecs;
+    const sweep_merge_stats ms = merge_sweep_journals({j0, j1}, mh, mrecs);
+    write_sweep_journal(jm, mh, mrecs);
+    // Resume the merged journal through the production sweep: every class
+    // comes back from the journal, none is re-verified, and the weighted
+    // totals are recomputed by the same aggregation loop the shards used.
+    sweep_schedule_options msched;
+    msched.checkpoint_path = jm;
+    const naming_sweep_report merged = verify_naming_sweep(
+        sm, sprocs, two_in_cs, true, sopt, true, msched);
+    shard_totals_match =
+        ms.missing_classes == 0 && merged.pending_classes == 0 &&
+        merged.resumed_classes == single.configs &&
+        merged.configs == single.configs &&
+        merged.full_configs == single.full_configs &&
+        merged.violated == single.violated &&
+        merged.full_violated == single.full_violated &&
+        merged.incomplete == single.incomplete &&
+        merged.total_states == single.total_states;
+    shard_speedup = t_shard > 0 ? t_single / t_shard : 0;
+    ascii_table shard_table({"mode", "classes", "weighted-tuples", "states",
+                             "ms"});
+    shard_table.add("single process", single.configs, single.full_configs,
+                    single.total_states, t_single * 1e3);
+    shard_table.add("2 shards + merge", merged.configs, merged.full_configs,
+                    merged.total_states, t_shard * 1e3);
+    std::cout << shard_table.render() << "\n";
+    std::cout << "sharded sweep m=" << sm << ": merge records=" << ms.records
+              << " duplicates=" << ms.duplicates
+              << " missing-classes=" << ms.missing_classes
+              << ", merged totals bit-identical to single-process: "
+              << (shard_totals_match ? "yes" : "NO — BUG")
+              << ", 2-shard speedup " << shard_speedup << "x";
+    if (hw_cores >= 2) {
+      shard_speedup_ok = shard_speedup >= 1.8;
+      std::cout << " (target >= 1.8x: "
+                << (shard_speedup_ok ? "met" : "NOT MET") << ")";
+    } else {
+      std::cout << " (single-core host: 1.8x speedup gate skipped)";
+    }
+    std::cout << "\n\n";
+    std::remove(j0.c_str());
+    std::remove(j1.c_str());
+    std::remove(jm.c_str());
+    report.sample("shard_sweep_seconds/single", t_single, "s");
+    report.sample("shard_sweep_seconds/two_shards", t_shard, "s");
+    report.sample("shard_speedup", shard_speedup, "x");
+    report.metric("shard_count", 2);
+    report.metric("shard_merge_records", ms.records);
+    report.metric("shard_merge_duplicates", ms.duplicates);
+    report.metric("shard_merge_missing", ms.missing_classes);
+    report.metric("shard_totals_match", shard_totals_match ? 1 : 0);
+    report.metric("shard_speedup_ok", shard_speedup_ok ? 1 : 0);
+  }
+
   const double schedule_reduction =
       sleep.schedules ? static_cast<double>(plain.schedules) /
                             static_cast<double>(sleep.schedules)
@@ -715,6 +854,12 @@ int main(int argc, char** argv) {
             << " (target <= 12)  out-of-core-budget=" << spill_budget / 1024
             << "KB (identical=" << (spill_match ? "yes" : "NO")
             << ", budget-held=" << (spill_budget_held ? "yes" : "NO")
+            << ", refaults-bounded=" << (spill_refault_bounded ? "yes" : "NO")
+            << ")  sharded-sweep=" << shard_speedup
+            << "x (totals-identical=" << (shard_totals_match ? "yes" : "NO")
+            << ", speedup-gate="
+            << (hw_cores >= 2 ? (shard_speedup_ok ? "met" : "NOT MET")
+                              : "skipped, single core")
             << ")  verdicts-match="
             << (verdicts_match && identical && symmetry_verdicts_match &&
                         fa_verdicts_match && sweep_verdicts_match &&
@@ -736,7 +881,8 @@ int main(int argc, char** argv) {
   return identical && verdicts_match && symmetry_verdicts_match &&
                  fa_verdicts_match && fa_factors_ok && sweep_verdicts_match &&
                  arena_match && arena_bytes_ok && spill_match &&
-                 spill_budget_held
+                 spill_budget_held && spill_refault_bounded &&
+                 shard_totals_match && shard_speedup_ok
              ? 0
              : 1;
 }

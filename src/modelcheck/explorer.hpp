@@ -222,12 +222,19 @@ class explorer {
       return res;
     }
 
+    // Out-of-core runs expand the frontier in arena-offset order (BFS
+    // append order IS offset order) and batch the window's cold-page
+    // faults up front instead of dribbling them out one load at a time.
+    constexpr std::uint64_t kSpillWindow = 128;
     std::uint64_t frontier = 0;
     while (frontier < num_states()) {
       if (num_states() >= opt_.max_states) {
         finish(res);
         return res;  // incomplete
       }
+      if ((frontier & (kSpillWindow - 1)) == 0 && rows_.spill_enabled())
+        rows_.prefetch_rows(frontier, frontier + kSpillWindow, parent_.data(),
+                            dcache_);
       const auto s = static_cast<std::int64_t>(frontier++);
       prow_.resize(stride());
       rows_.load(static_cast<std::uint64_t>(s), parent_.data(), prow_.data(),

@@ -28,6 +28,7 @@
 // stripe lock, so shard mutexes and stripe mutexes are never nested.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
@@ -371,6 +372,37 @@ class row_store {
     if (compressed_ && arena_.spill_enabled() && cache.find(idx) == nullptr)
       prefetch_chain(idx, parents, cache);
     load_impl(idx, parents, out, cache);
+  }
+
+  /// Batch-fault the pages a whole frontier window [lo, hi) of rows will
+  /// decode through: every row's delta chain, stopping where load() will (a
+  /// keyframe or a cached ancestor), collected and faulted in ONE arena
+  /// pass. Row indices are arena-append order, so a window's own rows are
+  /// contiguous bytes and its chains cluster around shared ancestors —
+  /// batching turns the per-row cold-fault dribble under a tight spill
+  /// budget into one ascending-offset sweep, and the faulted pages' ref
+  /// bits keep the window resident across the interleaved appends'
+  /// second-chance evictions. No-op in verbatim or fully-resident mode.
+  void prefetch_rows(std::uint64_t lo, std::uint64_t hi,
+                     const std::int64_t* parents,
+                     const row_decode_cache& cache) const {
+    if (!compressed_ || !arena_.spill_enabled()) return;
+    hi = std::min(hi, count_);
+    if (lo >= hi) return;
+    std::vector<std::uint64_t> offs;
+    offs.reserve(static_cast<std::size_t>(hi - lo) * 2);
+    for (std::uint64_t idx = lo; idx < hi; ++idx) {
+      if (cache.find(idx) != nullptr) continue;
+      std::uint64_t cur = idx;
+      for (;;) {
+        offs.push_back(offset_of(cur));
+        if (depth_[static_cast<std::size_t>(cur)] == 0) break;  // keyframe
+        cur =
+            static_cast<std::uint64_t>(parents[static_cast<std::size_t>(cur)]);
+        if (cache.find(cur) != nullptr) break;
+      }
+    }
+    arena_.prefetch(offs.data(), offs.size());
   }
 
  private:

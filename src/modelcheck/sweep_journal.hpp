@@ -1,0 +1,232 @@
+// Sweep checkpoint journals as a first-class artifact.
+//
+// verify_naming_sweep writes an append-only, class-indexed journal
+// ("anoncoord-sweep-ckpt-v1") so an interrupted sweep resumes exactly. With
+// sharded execution the same format becomes the unit of exchange between
+// processes: each shard appends records for its own class range, and a merge
+// pass combines N shard journals into one file equivalent to an
+// uninterrupted single-process run. This header owns the format — header
+// line, record lines, loader, merger, writer — so the sweep scheduler, the
+// shard driver and the merge tool all speak byte-identical journals.
+//
+// Durability contract (shared with the scheduler): records are flushed one
+// per line; a process killed mid-write leaves at most one torn trailing
+// line, which every reader skips. Records are idempotent — the sweep is
+// deterministic, so two runs of the same class produce the same record, and
+// duplicates (overlapping shards, a resumed kill) dedup silently. Two
+// CONFLICTING records for one class mean the inputs came from different
+// sweeps or a corrupted file, and the merge refuses.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace anoncoord {
+
+/// Parsed form of the journal's first line: the exact sweep shape a journal
+/// is bound to. Any field mismatch between inputs aborts a merge — classes
+/// are indexed positionally, so merging journals from different sweeps
+/// would silently misattribute verdicts.
+struct sweep_journal_header {
+  int registers = 0;
+  int processes = 0;
+  std::uint64_t classes = 0;
+  bool orbit = false;
+  bool quotient = false;
+
+  bool operator==(const sweep_journal_header& o) const {
+    return registers == o.registers && processes == o.processes &&
+           classes == o.classes && orbit == o.orbit && quotient == o.quotient;
+  }
+  bool operator!=(const sweep_journal_header& o) const { return !(*this == o); }
+
+  /// The header line, without a trailing newline.
+  std::string line() const {
+    std::ostringstream os;
+    os << "anoncoord-sweep-ckpt-v1 registers=" << registers
+       << " processes=" << processes << " classes=" << classes
+       << " orbit=" << (orbit ? 1 : 0) << " quotient=" << (quotient ? 1 : 0);
+    return os.str();
+  }
+
+  /// Parse a header line; returns false on a version or shape mismatch
+  /// (wrong magic, missing fields).
+  static bool parse(const std::string& text, sweep_journal_header& out) {
+    unsigned long long registers = 0, processes = 0, classes = 0, orbit = 0,
+                       quotient = 0;
+    if (std::sscanf(text.c_str(),
+                    "anoncoord-sweep-ckpt-v1 registers=%llu processes=%llu "
+                    "classes=%llu orbit=%llu quotient=%llu",
+                    &registers, &processes, &classes, &orbit, &quotient) != 5)
+      return false;
+    out.registers = static_cast<int>(registers);
+    out.processes = static_cast<int>(processes);
+    out.classes = static_cast<std::uint64_t>(classes);
+    out.orbit = orbit != 0;
+    out.quotient = quotient != 0;
+    return true;
+  }
+};
+
+/// Per-class outcome, either freshly verified or loaded from a journal.
+struct sweep_class_record {
+  bool done = false;
+  bool violated = false;
+  bool complete = false;
+  std::uint64_t states = 0;
+
+  bool same_outcome(const sweep_class_record& o) const {
+    return violated == o.violated && complete == o.complete &&
+           states == o.states;
+  }
+};
+
+/// Parse one record line. Returns false on anything malformed — the torn
+/// tail of a killed run's last write, a stray blank line — which readers
+/// skip: that class is simply verified again, which cannot change totals.
+inline bool parse_sweep_record(const std::string& line, std::uint64_t& idx,
+                               sweep_class_record& rec) {
+  unsigned long long i = 0, violated = 0, complete = 0, states = 0;
+  if (std::sscanf(line.c_str(),
+                  "class=%llu violated=%llu complete=%llu states=%llu", &i,
+                  &violated, &complete, &states) != 4)
+    return false;
+  idx = static_cast<std::uint64_t>(i);
+  rec = sweep_class_record{true, violated != 0, complete != 0,
+                           static_cast<std::uint64_t>(states)};
+  return true;
+}
+
+/// One record as a journal line, without a trailing newline.
+inline std::string format_sweep_record(std::uint64_t idx,
+                                       const sweep_class_record& rec) {
+  std::ostringstream os;
+  os << "class=" << idx << " violated=" << (rec.violated ? 1 : 0)
+     << " complete=" << (rec.complete ? 1 : 0) << " states=" << rec.states;
+  return os.str();
+}
+
+/// Replay one journal into `recs` (sized header.classes by the caller);
+/// returns the number of classes newly marked done. Malformed lines and
+/// out-of-range indices are skipped; a class already done keeps its first
+/// record (records are idempotent, so which copy wins is irrelevant).
+/// Throws precondition_error when the file cannot be read or its header
+/// does not match `expected`.
+inline std::uint64_t load_sweep_journal(const std::string& path,
+                                        const sweep_journal_header& expected,
+                                        std::vector<sweep_class_record>& recs) {
+  std::ifstream in(path);
+  ANONCOORD_REQUIRE(in.is_open(), "cannot read sweep checkpoint " + path);
+  std::string line;
+  ANONCOORD_REQUIRE(std::getline(in, line) && line == expected.line(),
+                    "sweep checkpoint does not match this sweep: " + path);
+  std::uint64_t resumed = 0;
+  while (std::getline(in, line)) {
+    std::uint64_t idx = 0;
+    sweep_class_record rec;
+    if (!parse_sweep_record(line, idx, rec)) continue;
+    if (idx >= recs.size() || recs[idx].done) continue;
+    recs[idx] = rec;
+    ++resumed;
+  }
+  return resumed;
+}
+
+/// What merge_sweep_journals learned while combining shard journals.
+struct sweep_merge_stats {
+  std::uint64_t inputs = 0;          ///< journals merged
+  std::uint64_t records = 0;         ///< well-formed record lines read
+  std::uint64_t decided_classes = 0; ///< distinct classes with a record
+  std::uint64_t missing_classes = 0; ///< classes no input decided
+  std::uint64_t duplicates = 0;      ///< identical records dedup'd away
+  std::uint64_t skipped_lines = 0;   ///< torn tails / malformed lines
+};
+
+/// Merge N shard journals into one per-class record vector.
+///
+/// Every input must carry the identical header (same sweep shape); the
+/// first input's header becomes `header`. Identical duplicate records —
+/// overlapping shard ranges, a shard killed and rerun — dedup silently and
+/// are counted. Conflicting records for the same class (different verdict,
+/// completeness or state count) throw: the sweep is deterministic, so a
+/// conflict means the inputs are not shards of one sweep. Torn tails and
+/// malformed lines are skipped per input, exactly as the resume loader
+/// does. Classes no input decided stay !done and are counted missing —
+/// the merged journal is then itself a valid partial checkpoint to resume
+/// from.
+inline sweep_merge_stats merge_sweep_journals(
+    const std::vector<std::string>& paths, sweep_journal_header& header,
+    std::vector<sweep_class_record>& recs) {
+  ANONCOORD_REQUIRE(!paths.empty(), "merge needs at least one journal");
+  sweep_merge_stats stats;
+  recs.clear();
+  for (const std::string& path : paths) {
+    std::ifstream in(path);
+    ANONCOORD_REQUIRE(in.is_open(), "cannot read sweep journal " + path);
+    std::string line;
+    ANONCOORD_REQUIRE(std::getline(in, line),
+                      "empty sweep journal (no header): " + path);
+    sweep_journal_header h;
+    ANONCOORD_REQUIRE(sweep_journal_header::parse(line, h),
+                      "unrecognized sweep journal header in " + path + ": " +
+                          line);
+    if (stats.inputs == 0) {
+      header = h;
+      recs.assign(static_cast<std::size_t>(header.classes),
+                  sweep_class_record{});
+    } else {
+      ANONCOORD_REQUIRE(h == header,
+                        "sweep journal header mismatch: " + path +
+                            " carries \"" + h.line() + "\" but the merge is "
+                            "bound to \"" + header.line() + "\"");
+    }
+    ++stats.inputs;
+    while (std::getline(in, line)) {
+      std::uint64_t idx = 0;
+      sweep_class_record rec;
+      if (!parse_sweep_record(line, idx, rec) || idx >= recs.size()) {
+        if (!line.empty()) ++stats.skipped_lines;
+        continue;
+      }
+      ++stats.records;
+      if (recs[idx].done) {
+        ANONCOORD_REQUIRE(recs[idx].same_outcome(rec),
+                          "conflicting records for class " +
+                              std::to_string(idx) + " in " + path +
+                              " — inputs are not shards of one sweep");
+        ++stats.duplicates;
+        continue;
+      }
+      recs[idx] = rec;
+      ++stats.decided_classes;
+    }
+  }
+  for (const sweep_class_record& r : recs)
+    if (!r.done) ++stats.missing_classes;
+  return stats;
+}
+
+/// Write a journal: header plus every done class in index order. The output
+/// is canonical — no duplicates, ascending indices — so merging a merged
+/// journal with itself (or re-merging its inputs) is byte-idempotent.
+inline void write_sweep_journal(const std::string& path,
+                                const sweep_journal_header& header,
+                                const std::vector<sweep_class_record>& recs) {
+  std::ofstream out(path, std::ios::trunc);
+  ANONCOORD_REQUIRE(out.is_open(), "cannot write sweep journal " + path);
+  out << header.line() << '\n';
+  for (std::size_t i = 0; i < recs.size(); ++i)
+    if (recs[i].done)
+      out << format_sweep_record(static_cast<std::uint64_t>(i), recs[i])
+          << '\n';
+  out << std::flush;
+  ANONCOORD_REQUIRE(out.good(), "short write on sweep journal " + path);
+}
+
+}  // namespace anoncoord

@@ -377,6 +377,18 @@ class symmetry_group {
   /// the canonical one (0 when the state was already canonical) — the
   /// explorers fold these into the sigma-chain that maps quotient schedules
   /// back to concrete ones.
+  ///
+  /// Fast path: the lex order compares regs[0] first, and every element's
+  /// image of regs[0] is one renamed source word — regs[pi_inv[0]] through
+  /// rho (rho is the identity for fully anonymous machines, where values
+  /// move unrenamed). An element whose first image word already exceeds the
+  /// incumbent's cannot be lexicographically minimal, so it is skipped
+  /// before the full O(m + n) apply(). This prunes most of the n!·m (resp.
+  /// n!) scan — in a uniform-ish orbit only ~1/m of the elements tie on
+  /// the first word — and preserves the tie-break exactly: the ascending
+  /// scan with strict-less swap still returns the smallest element index
+  /// achieving the minimum, because only elements the full comparison
+  /// would reject are skipped.
   int canonicalize(std::vector<value_type>& regs, std::vector<Machine>& procs,
                    canonical_scratch<Machine>& scratch) const {
     if (elements_.size() <= 1) return 0;
@@ -385,8 +397,15 @@ class symmetry_group {
       scratch.orig_procs = procs;
       int best = 0;
       for (int ei = 1; ei < size(); ++ei) {
-        apply(elements_[static_cast<std::size_t>(ei)], scratch.orig_regs,
-              scratch.orig_procs, scratch.tmp_regs, scratch.tmp_procs);
+        const element& e = elements_[static_cast<std::size_t>(ei)];
+        if (!regs.empty()) {
+          // regs holds the incumbent minimum, so regs[0] is the word to beat.
+          const value_type cand_first = e.rename(
+              scratch.orig_regs[static_cast<std::size_t>(e.pi_inv[0])]);
+          if (regs[0] < cand_first) continue;
+        }
+        apply(e, scratch.orig_regs, scratch.orig_procs, scratch.tmp_regs,
+              scratch.tmp_procs);
         if (state_less(scratch.tmp_regs, scratch.tmp_procs, regs, procs)) {
           regs.swap(scratch.tmp_regs);
           procs.swap(scratch.tmp_procs);

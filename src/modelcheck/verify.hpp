@@ -23,6 +23,7 @@
 
 #include "mem/naming.hpp"
 #include "modelcheck/explorer.hpp"
+#include "modelcheck/sweep_journal.hpp"
 #include "modelcheck/parallel_explorer.hpp"
 #include "modelcheck/systematic.hpp"
 #include "obs/metrics.hpp"
@@ -234,6 +235,16 @@ struct sweep_schedule_options {
   int workers = 1;
   std::string checkpoint_path;    ///< "" = no checkpointing
   std::uint64_t max_classes = 0;  ///< 0 = verify every pending class
+  /// Deterministic shard spec for multi-process execution. Every shard
+  /// computes the same global class list (the enumerators are
+  /// deterministic) and claims the contiguous slice
+  /// [classes*shard_index/shard_count, classes*(shard_index+1)/shard_count).
+  /// Slices are disjoint and cover every class, so N shard journals merge
+  /// (modelcheck/sweep_journal.hpp) into exactly an uninterrupted run.
+  /// Classes outside this shard's slice are reported pending unless a
+  /// (merged) checkpoint already decided them.
+  int shard_index = 0;
+  int shard_count = 1;
 };
 
 /// Aggregate over a full- or orbit-reduced naming sweep (below).
@@ -243,7 +254,9 @@ struct naming_sweep_report {
   std::uint64_t incomplete = 0;  ///< configurations that hit a cap
   std::uint64_t total_states = 0;
   std::uint64_t resumed_classes = 0;  ///< classes loaded from the checkpoint
-  std::uint64_t pending_classes = 0;  ///< classes left undone (max_classes)
+  std::uint64_t pending_classes = 0;  ///< left undone (max_classes / sharding)
+  std::uint64_t shard_classes = 0;    ///< classes in this run's shard slice
+  std::uint64_t shard_pending = 0;    ///< of those, still undone afterwards
   /// Weighted totals the reduced sweep certifies for the FULL (m!)^n
   /// enumeration: each verified config stands for weight x m! raw naming
   /// tuples (weight > 1 only in process-quotient mode). With no reduction
@@ -257,56 +270,6 @@ struct naming_sweep_report {
   /// a completed (possibly resumed) sweep always has one entry per config.
   std::vector<char> verdicts;
 };
-
-namespace detail {
-
-/// Per-class outcome, either freshly verified or loaded from a checkpoint.
-struct sweep_class_record {
-  bool done = false;
-  bool violated = false;
-  bool complete = false;
-  std::uint64_t states = 0;
-};
-
-/// Checkpoint header line: binds the journal to one sweep's exact shape, so
-/// resuming against the wrong sweep fails fast instead of merging garbage.
-inline std::string sweep_ckpt_header(int registers, int processes,
-                                     std::size_t classes, bool orbit,
-                                     bool quotient) {
-  std::ostringstream os;
-  os << "anoncoord-sweep-ckpt-v1 registers=" << registers
-     << " processes=" << processes << " classes=" << classes
-     << " orbit=" << (orbit ? 1 : 0) << " quotient=" << (quotient ? 1 : 0);
-  return os.str();
-}
-
-/// Replay a checkpoint journal into `recs`; returns the classes resumed.
-/// A malformed line (the torn tail of a killed run's last write) is skipped
-/// — that class is simply verified again, which cannot change the totals.
-inline std::uint64_t load_sweep_checkpoint(
-    const std::string& path, const std::string& header,
-    std::vector<sweep_class_record>& recs) {
-  std::ifstream in(path);
-  ANONCOORD_REQUIRE(in.is_open(), "cannot read sweep checkpoint " + path);
-  std::string line;
-  ANONCOORD_REQUIRE(std::getline(in, line) && line == header,
-                    "sweep checkpoint does not match this sweep: " + path);
-  std::uint64_t resumed = 0;
-  while (std::getline(in, line)) {
-    unsigned long long idx = 0, violated = 0, complete = 0, states = 0;
-    if (std::sscanf(line.c_str(),
-                    "class=%llu violated=%llu complete=%llu states=%llu",
-                    &idx, &violated, &complete, &states) != 4)
-      continue;
-    if (idx >= recs.size() || recs[idx].done) continue;
-    recs[idx] = sweep_class_record{true, violated != 0, complete != 0,
-                                   static_cast<std::uint64_t>(states)};
-    ++resumed;
-  }
-  return resumed;
-}
-
-}  // namespace detail
 
 /// Verify `initial` under EVERY naming assignment of `registers` physical
 /// registers — or, with orbit_representatives_only, under one representative
@@ -362,10 +325,14 @@ naming_sweep_report verify_naming_sweep(
   }
 
   naming_sweep_report out;
-  std::vector<detail::sweep_class_record> recs(sweep.size());
-  const std::string header = detail::sweep_ckpt_header(
-      registers, n, sweep.size(), orbit_representatives_only,
-      process_quotient);
+  std::vector<sweep_class_record> recs(sweep.size());
+  sweep_journal_header jh;
+  jh.registers = registers;
+  jh.processes = n;
+  jh.classes = sweep.size();
+  jh.orbit = orbit_representatives_only;
+  jh.quotient = process_quotient;
+  const std::string header = jh.line();
   bool had_checkpoint = false;
   bool torn_tail = false;
   if (!sched.checkpoint_path.empty()) {
@@ -383,7 +350,7 @@ naming_sweep_report verify_naming_sweep(
   }
   if (had_checkpoint)
     out.resumed_classes =
-        detail::load_sweep_checkpoint(sched.checkpoint_path, header, recs);
+        load_sweep_journal(sched.checkpoint_path, jh, recs);
 
   std::ofstream journal;
   std::mutex journal_mu;
@@ -398,12 +365,24 @@ naming_sweep_report verify_naming_sweep(
     if (torn_tail) journal << '\n' << std::flush;
   }
 
-  // The pending job list, truncated by max_classes. Truncation in class
-  // order keeps the "interrupted" prefix deterministic, and because the
-  // totals below aggregate by class index, interrupt + resume reproduces an
-  // uninterrupted run's weighted totals exactly.
+  // The pending job list: this shard's class slice, minus checkpointed
+  // classes, truncated by max_classes. Truncation in class order keeps the
+  // "interrupted" prefix deterministic, and because the totals below
+  // aggregate by class index, any interrupt/resume/shard split that
+  // eventually covers every class reproduces an uninterrupted run's
+  // weighted totals exactly.
+  ANONCOORD_REQUIRE(sched.shard_count >= 1 && sched.shard_index >= 0 &&
+                        sched.shard_index < sched.shard_count,
+                    "sweep shard spec needs 0 <= shard_index < shard_count");
+  const std::size_t shard_lo =
+      sweep.size() * static_cast<std::size_t>(sched.shard_index) /
+      static_cast<std::size_t>(sched.shard_count);
+  const std::size_t shard_hi =
+      sweep.size() * static_cast<std::size_t>(sched.shard_index + 1) /
+      static_cast<std::size_t>(sched.shard_count);
+  out.shard_classes = shard_hi - shard_lo;
   std::vector<std::uint64_t> todo;
-  for (std::size_t i = 0; i < sweep.size(); ++i)
+  for (std::size_t i = shard_lo; i < shard_hi; ++i)
     if (!recs[i].done) todo.push_back(i);
   if (sched.max_classes != 0 && todo.size() > sched.max_classes)
     todo.resize(static_cast<std::size_t>(sched.max_classes));
@@ -418,10 +397,7 @@ naming_sweep_report verify_naming_sweep(
     recs[i].states = rep.states;
     if (journal.is_open()) {
       std::lock_guard lk(journal_mu);
-      journal << "class=" << idx << " violated=" << (rep.violated ? 1 : 0)
-              << " complete=" << (rep.complete ? 1 : 0)
-              << " states=" << rep.states << '\n'
-              << std::flush;
+      journal << format_sweep_record(idx, recs[i]) << '\n' << std::flush;
     }
   };
 
@@ -478,6 +454,7 @@ naming_sweep_report verify_naming_sweep(
   for (std::size_t i = 0; i < sweep.size(); ++i) {
     if (!recs[i].done) {
       ++out.pending_classes;
+      if (i >= shard_lo && i < shard_hi) ++out.shard_pending;
       continue;
     }
     ++out.configs;

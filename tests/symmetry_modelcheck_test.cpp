@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "core/anon_mutex.hpp"
+#include "core/fa_mutex.hpp"
 #include "mem/naming.hpp"
 #include "modelcheck/explorer.hpp"
 #include "modelcheck/mutex_check.hpp"
@@ -203,6 +204,94 @@ TEST(CanonicalizeTest, ProjectsOrbitsAndReportsMappingElement) {
     EXPECT_EQ(alt_regs, canon_regs) << "element " << ei;
     EXPECT_EQ(alt_procs, canon_procs) << "element " << ei;
   }
+}
+
+/// Brute-force reference canonicalizer: apply EVERY group element and keep
+/// the lexicographic minimum, ascending scan with strict-less swap — the
+/// exact discipline canonicalize() used before the first-word fast path.
+/// The differential test below pins the fast path to this bit-for-bit,
+/// including the returned element index (the tie-break).
+template <class Machine>
+int reference_canonicalize(const symmetry_group<Machine>& g,
+                           std::vector<typename Machine::value_type>& regs,
+                           std::vector<Machine>& procs) {
+  const auto lex_less = [](const std::vector<typename Machine::value_type>& ar,
+                           const std::vector<Machine>& ap,
+                           const std::vector<typename Machine::value_type>& br,
+                           const std::vector<Machine>& bp) {
+    for (std::size_t i = 0; i < ar.size(); ++i) {
+      if (ar[i] < br[i]) return true;
+      if (br[i] < ar[i]) return false;
+    }
+    for (std::size_t i = 0; i < ap.size(); ++i) {
+      if (canonical_less(ap[i], bp[i])) return true;
+      if (canonical_less(bp[i], ap[i])) return false;
+    }
+    return false;
+  };
+  const auto orig_regs = regs;
+  const auto orig_procs = procs;
+  std::vector<typename Machine::value_type> tmp_regs;
+  std::vector<Machine> tmp_procs;
+  int best = 0;
+  for (int ei = 1; ei < g.size(); ++ei) {
+    g.apply(g.at(ei), orig_regs, orig_procs, tmp_regs, tmp_procs);
+    if (lex_less(tmp_regs, tmp_procs, regs, procs)) {
+      regs.swap(tmp_regs);
+      procs.swap(tmp_procs);
+      best = ei;
+    }
+  }
+  return best;
+}
+
+/// Explore (unreduced) and check every reachable stored state.
+template <class Machine, class Pred>
+void expect_fast_path_bit_identical(int m, const naming_assignment& naming,
+                                    const std::vector<Machine>& initial,
+                                    const Pred& pred) {
+  const auto g = symmetry_group<Machine>::compute(naming, initial);
+  typename explorer<Machine>::options opt;
+  opt.max_states = 30'000;  // plenty of orbit coverage even when capped
+  explorer<Machine> e(m, naming, initial, opt);
+  const auto res = e.explore(pred);
+  canonical_scratch<Machine> cs;
+  for (std::uint64_t i = 0; i < res.num_states; ++i) {
+    const auto s = e.state(i);
+    auto fast_regs = s.regs;
+    auto fast_procs = s.procs;
+    const int fast_elem = g.canonicalize(fast_regs, fast_procs, cs);
+    auto ref_regs = s.regs;
+    auto ref_procs = s.procs;
+    const int ref_elem = reference_canonicalize(g, ref_regs, ref_procs);
+    ASSERT_EQ(fast_elem, ref_elem) << "state " << i;
+    ASSERT_EQ(fast_regs, ref_regs) << "state " << i;
+    ASSERT_TRUE(fast_procs == ref_procs) << "state " << i;
+  }
+}
+
+TEST(CanonicalizeTest, FastPathBitIdenticalExhaustiveSmallOrbits) {
+  // Process-symmetric regime (groups up to n!) and the fully anonymous
+  // product regime (groups up to n!*m), exhaustively for n <= 3 x m <= 3
+  // under identity naming (the largest groups) plus a rotation naming.
+  for (int n : {2, 3})
+    for (int m : {2, 3}) {
+      expect_fast_path_bit_identical(m, identity_naming(n, m), machines(m, n),
+                                     two_in_cs);
+      expect_fast_path_bit_identical(
+          m, naming_assignment::rotations(n, m, 1), machines(m, n),
+          two_in_cs);
+      std::vector<fa_mutex> fa(static_cast<std::size_t>(n), fa_mutex(m));
+      const auto fa_pred = [](const global_state<fa_mutex>& s) {
+        int c = 0;
+        for (const auto& p : s.procs)
+          if (p.in_critical_section()) ++c;
+        return c >= 2;
+      };
+      expect_fast_path_bit_identical(m, identity_naming(n, m), fa, fa_pred);
+      expect_fast_path_bit_identical(m, naming_assignment::rotations(n, m, 1),
+                                     fa, fa_pred);
+    }
 }
 
 // ---------------------------------------------------------------------------

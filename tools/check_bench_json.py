@@ -8,10 +8,16 @@ section is the registry-snapshot shape ({"counters": {...},
 "histograms": {...}}).
 
 Out-of-core counters get extra scrutiny when present: spill_pages,
-spill_bytes, resumed_classes and pending_classes must be non-negative
-integers, and spill traffic must be internally consistent (spill_bytes and
-spill_pages are zero together, and a spilled page wrote at least one byte,
-so spill_bytes >= spill_pages).
+spill_bytes, resumed_classes, pending_classes, spill_faulted_pages and
+spill_evicted_pages must be non-negative integers, and spill traffic must
+be internally consistent (spill_bytes and spill_pages are zero together, a
+spilled page wrote at least one byte so spill_bytes >= spill_pages, and
+pages can only fault back in after something spilled).
+
+Sharded-sweep counters (bench_modelcheck_scaling part 8) gate when
+present: shard_totals_match must be 1 (the merged two-shard journal must
+reproduce the single-process weighted totals bit-identically) and
+shard_merge_missing must be 0 (the shards covered every orbit class).
 
 Contention-lab counters (bench_contention_lab) also get extra checks when
 present: contention.safety_violations_gated must be exactly zero (it sums
@@ -115,6 +121,7 @@ def check_report(path: Path) -> list[str]:
                           "non-negative integer")
     errors.extend(check_spill_counters(counters, str(path)))
     errors.extend(check_contention_counters(counters, str(path)))
+    errors.extend(check_shard_counters(counters, str(path)))
     return errors
 
 
@@ -122,7 +129,8 @@ def check_report(path: Path) -> list[str]:
 # --sweep-m sweep). Optional — older reports predate them — but when present
 # they must be well-formed non-negative integers.
 SPILL_COUNTERS = ("spill_pages", "spill_bytes", "resumed_classes",
-                  "pending_classes")
+                  "pending_classes", "spill_faulted_pages",
+                  "spill_evicted_pages")
 
 
 def check_spill_counters(counters: object, where: str) -> list[str]:
@@ -149,6 +157,11 @@ def check_spill_counters(counters: object, where: str) -> list[str]:
             errors.append(f"{where}: spill_bytes={nbytes} < "
                           f"spill_pages={pages} (each spilled page writes "
                           "at least one byte)")
+    if "spill_faulted_pages" in ok and ok.get("spill_pages") == 0 \
+            and ok["spill_faulted_pages"] > 0:
+        errors.append(f"{where}: spill_faulted_pages="
+                      f"{ok['spill_faulted_pages']} with spill_pages=0 "
+                      "(a page can only fault back in after being spilled)")
     return errors
 
 
@@ -189,6 +202,43 @@ def check_contention_counters(counters: object, where: str) -> list[str]:
         if ok["contention.parks"] == 0 and ok["contention.wakes"] > 0:
             errors.append(f"{where}: contention.wakes = "
                           f"{ok['contention.wakes']} with zero parks")
+    return errors
+
+
+# Sharded-sweep counters (bench_modelcheck_scaling part 8). Optional, but
+# when present they gate: the merged two-shard journal must reproduce the
+# single-process weighted totals bit-identically and cover every class.
+SHARD_COUNTERS = ("shard_count", "shard_merge_records",
+                  "shard_merge_duplicates", "shard_merge_missing",
+                  "shard_totals_match")
+
+
+def check_shard_counters(counters: object, where: str) -> list[str]:
+    if not isinstance(counters, dict):
+        return []
+    errors = []
+    ok = {}
+    for name in SHARD_COUNTERS:
+        if name not in counters:
+            continue
+        value = counters[name]
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            errors.append(f"{where}: counter {name!r} = {value!r} is not a "
+                          "non-negative integer")
+        else:
+            ok[name] = value
+    if "shard_totals_match" in ok and ok["shard_totals_match"] != 1:
+        errors.append(f"{where}: shard_totals_match = "
+                      f"{ok['shard_totals_match']} (merged shard journals "
+                      "diverged from the single-process weighted totals)")
+    if ok.get("shard_merge_missing", 0) != 0:
+        errors.append(f"{where}: shard_merge_missing = "
+                      f"{ok['shard_merge_missing']} (shards left orbit "
+                      "classes undecided)")
+    if "shard_count" in ok and "shard_merge_records" in ok:
+        if ok["shard_count"] > 0 and ok["shard_merge_records"] == 0:
+            errors.append(f"{where}: shard_count = {ok['shard_count']} but "
+                          "shard_merge_records = 0 (merge saw no records)")
     return errors
 
 

@@ -1,0 +1,138 @@
+// sweep_merge — combine N shard journals into one sweep result.
+//
+// Reads anoncoord-sweep-ckpt-v1 journals produced by sweep_shard (or by any
+// checkpointed verify_naming_sweep run), validates that every input is
+// bound to the same sweep shape, merges the per-class records — identical
+// duplicates dedup, conflicts abort, torn tails skip — and recomputes the
+// weighted totals exactly as verify_naming_sweep aggregates them, so the
+// printed "weighted sweep" line is byte-comparable with an uninterrupted
+// single-process run. Optionally writes the merged journal (canonical:
+// ascending class order, no duplicates, so a merge of merges is
+// byte-idempotent); a partial merge is itself a valid checkpoint any shard
+// can resume from.
+//
+//   sweep_merge --inputs=m7.shard0-of-4,m7.shard1-of-4,... --out=m7.merged
+//
+// Exit status: 0 on a clean merge (with --require-complete: and no class
+// missing), 1 when classes are missing under --require-complete, 2 on
+// malformed inputs (header mismatch, conflicting records, unreadable file).
+#include <exception>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "mem/naming.hpp"
+#include "modelcheck/sweep_journal.hpp"
+#include "util/check.hpp"
+#include "util/cli.hpp"
+
+using namespace anoncoord;
+
+namespace {
+
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const std::size_t comma = csv.find(',', start);
+    const std::size_t end = comma == std::string::npos ? csv.size() : comma;
+    if (end > start) out.push_back(csv.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cli_args args;
+  args.define("inputs", "", "comma-separated shard journal paths (required)");
+  args.define("out", "", "write the merged journal here (optional)");
+  args.define("require-complete", "false",
+              "exit nonzero unless every class of the sweep is decided");
+  if (!args.parse(argc, argv)) {
+    std::cout << args.help("sweep_merge");
+    return 0;
+  }
+  const std::vector<std::string> inputs = split_csv(args.get("inputs"));
+  if (inputs.empty()) {
+    std::cerr << "sweep_merge: --inputs is required; see --help\n";
+    return 2;
+  }
+
+  sweep_journal_header header;
+  std::vector<sweep_class_record> recs;
+  sweep_merge_stats stats;
+  try {
+    stats = merge_sweep_journals(inputs, header, recs);
+  } catch (const std::exception& e) {
+    std::cerr << "sweep_merge: " << e.what() << "\n";
+    return 2;
+  }
+
+  // Recompute the weighted totals the way verify_naming_sweep aggregates
+  // them: totals are a pure function of which classes are done, so the
+  // merged line must match an uninterrupted single-process run exactly.
+  std::vector<std::uint64_t> weights;
+  try {
+    if (header.quotient) {
+      const auto classes =
+          naming_orbit_classes(header.processes, header.registers);
+      ANONCOORD_REQUIRE(classes.size() == header.classes,
+                        "journal header claims " +
+                            std::to_string(header.classes) +
+                            " classes but naming_orbit_classes enumerates " +
+                            std::to_string(classes.size()));
+      weights.reserve(classes.size());
+      for (const auto& c : classes) weights.push_back(c.weight);
+    } else {
+      weights.assign(static_cast<std::size_t>(header.classes), 1);
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "sweep_merge: " << e.what() << "\n";
+    return 2;
+  }
+  const std::uint64_t per_rep =
+      header.orbit ? naming_orbit_size(header.registers) : 1;
+
+  std::uint64_t configs = 0, violated = 0, incomplete = 0, total_states = 0;
+  std::uint64_t full_configs = 0, full_violated = 0;
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    if (!recs[i].done) continue;
+    ++configs;
+    full_configs += weights[i] * per_rep;
+    total_states += recs[i].states;
+    if (recs[i].violated) {
+      ++violated;
+      full_violated += weights[i] * per_rep;
+    }
+    if (!recs[i].complete && !recs[i].violated) ++incomplete;
+  }
+
+  std::cout << "merged " << stats.inputs << " journals: records="
+            << stats.records << " duplicates=" << stats.duplicates
+            << " skipped-lines=" << stats.skipped_lines << " missing-classes="
+            << stats.missing_classes << "\n";
+  std::cout << "weighted sweep m=" << header.registers << ": " << configs
+            << " classes decide " << full_configs
+            << " full naming tuples; violated=" << violated << " ("
+            << full_violated << " weighted), incomplete=" << incomplete
+            << ", states=" << total_states << std::endl;
+
+  const std::string out_path = args.get("out");
+  if (!out_path.empty()) {
+    try {
+      write_sweep_journal(out_path, header, recs);
+    } catch (const std::exception& e) {
+      std::cerr << "sweep_merge: " << e.what() << "\n";
+      return 2;
+    }
+  }
+  if (args.get_bool("require-complete") && stats.missing_classes != 0) {
+    std::cerr << "sweep_merge: " << stats.missing_classes
+              << " classes undecided (--require-complete)\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,193 @@
+// sweep_shard — run one shard of the weighted naming sweep as its own OS
+// process, or fork a whole fleet of single-shard workers.
+//
+// The sweep under test is the paper's Fig. 1 question at scale: for which
+// of the (m!)^n naming assignments does the anonymous mutex stay safe? The
+// polynomial orbit-class quotient reduces that to a deterministic list of
+// weighted classes (naming_orbit_classes); this driver claims the
+// contiguous class slice [classes*i/C, classes*(i+1)/C) for shard i of C
+// and appends each verdict to an anoncoord-sweep-ckpt-v1 journal. Shards
+// share nothing at runtime — each process has its own worker pool, arena
+// spill budget and journal file — so a host with C cores runs C
+// single-worker processes with bounded per-process RSS, any of which can
+// be killed and rerun. sweep_merge combines the journals afterwards.
+//
+//   # count classes only (sizing a future sweep):
+//   sweep_shard --m=8 --count-only
+//   # one shard by hand:
+//   sweep_shard --m=7 --shard-index=3 --shard-count=4 --journal=m7.s3
+//   # fork C single-shard children (journals <base>.shard<k>-of-<C>):
+//   sweep_shard --m=7 --launch=4 --journal=m7
+//
+// Exit status: 0 when every class this invocation owned is decided (or,
+// with --launch, when every child succeeded), 1 otherwise.
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/anon_mutex.hpp"
+#include "mem/naming.hpp"
+#include "modelcheck/verify.hpp"
+#include "util/cli.hpp"
+
+using namespace anoncoord;
+
+namespace {
+
+/// The Fig. 1 safety question every sweep in this repo asks: can two
+/// processes sit in the critical section at once?
+const config_predicate<anon_mutex> two_in_cs =
+    [](const std::vector<process_id>&, const std::vector<anon_mutex>& ps) {
+      int c = 0;
+      for (const auto& p : ps)
+        if (p.in_critical_section()) ++c;
+      return c >= 2;
+    };
+
+struct shard_params {
+  int m = 0;
+  int n = 2;
+  int shard_index = 0;
+  int shard_count = 1;
+  int workers = 1;
+  std::string journal;
+  std::uint64_t max_states = 0;
+  std::uint64_t max_classes = 0;
+  std::uint64_t spill_budget_bytes = 0;
+  std::string spill_dir;
+};
+
+/// Run one shard in this process; returns the exit status.
+int run_shard(const shard_params& p) {
+  std::vector<anon_mutex> procs;
+  for (int i = 1; i <= p.n; ++i) procs.emplace_back(i, p.m);
+  verify_options opt;
+  opt.max_states = p.max_states;
+  opt.spill_budget_bytes = p.spill_budget_bytes;
+  opt.spill_dir = p.spill_dir;
+  sweep_schedule_options sched;
+  sched.workers = p.workers;
+  sched.checkpoint_path = p.journal;
+  sched.max_classes = p.max_classes;
+  sched.shard_index = p.shard_index;
+  sched.shard_count = p.shard_count;
+  const naming_sweep_report rep = verify_naming_sweep(
+      p.m, procs, two_in_cs, /*orbit_representatives_only=*/true, opt,
+      /*process_quotient=*/true, sched);
+  std::cout << "shard " << p.shard_index << "/" << p.shard_count << " m="
+            << p.m << " n=" << p.n << ": " << rep.shard_classes
+            << " classes owned, " << rep.configs << " decided ("
+            << rep.resumed_classes << " resumed), violated=" << rep.violated
+            << " (" << rep.full_violated << " weighted), incomplete="
+            << rep.incomplete << ", states=" << rep.total_states << ", "
+            << rep.wall_seconds << " s, " << rep.shard_pending
+            << " of the owned classes pending" << std::endl;
+  // Success = every class this shard owns is decided; classes owned by
+  // other shards are someone else's job and do not count against us.
+  return rep.shard_pending == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cli_args args;
+  args.define("m", "0", "registers to sweep (required, >= 2)");
+  args.define("n", "2", "processes in the Fig. 1 configuration");
+  args.define("shard-index", "0", "this shard's index in [0, shard-count)");
+  args.define("shard-count", "1", "total shards partitioning the class list");
+  args.define("workers", "1", "worker threads inside this shard process");
+  args.define("journal", "",
+              "checkpoint journal path (anoncoord-sweep-ckpt-v1); with "
+              "--launch it is the base name, children append .shard<k>-of-<C>");
+  args.define("max-states", "8000000", "per-class explored-state cap");
+  args.define("max-classes", "0",
+              "verify at most this many classes this invocation (0 = all "
+              "owned; the deterministic kill used by tests)");
+  args.define("spill-budget-mb", "0",
+              "per-class arena resident budget in MiB (0 = in-memory)");
+  args.define("spill-dir", "", "directory for arena spill files");
+  args.define("count-only", "false",
+              "print the orbit-class count and weighted total for --m, then "
+              "exit (sizes a sweep without running it)");
+  args.define("launch", "0",
+              "fork this many single-shard child processes covering all "
+              "shards, then wait; requires --journal");
+  if (!args.parse(argc, argv)) {
+    std::cout << args.help("sweep_shard");
+    return 0;
+  }
+
+  shard_params p;
+  p.m = static_cast<int>(args.get_int("m"));
+  p.n = static_cast<int>(args.get_int("n"));
+  if (p.m < 2 || p.n < 2) {
+    std::cerr << "sweep_shard: need --m >= 2 and --n >= 2 (got m=" << p.m
+              << " n=" << p.n << "); see --help\n";
+    return 2;
+  }
+
+  if (args.get_bool("count-only")) {
+    const auto classes = naming_orbit_classes(p.n, p.m);
+    std::uint64_t weight = 0;
+    for (const auto& c : classes) weight += c.weight;
+    std::cout << "m=" << p.m << " n=" << p.n << ": " << classes.size()
+              << " quotient classes, weight sum " << weight << " = (m!)^(n-1)"
+              << ", deciding " << weight * naming_orbit_size(p.m)
+              << " full naming tuples" << std::endl;
+    return 0;
+  }
+
+  p.shard_index = static_cast<int>(args.get_int("shard-index"));
+  p.shard_count = static_cast<int>(args.get_int("shard-count"));
+  p.workers = std::max(1, static_cast<int>(args.get_int("workers")));
+  p.journal = args.get("journal");
+  p.max_states = static_cast<std::uint64_t>(args.get_int("max-states"));
+  p.max_classes = static_cast<std::uint64_t>(args.get_int("max-classes"));
+  p.spill_budget_bytes =
+      static_cast<std::uint64_t>(args.get_int("spill-budget-mb")) << 20;
+  p.spill_dir = args.get("spill-dir");
+
+  const int launch = static_cast<int>(args.get_int("launch"));
+  if (launch <= 0) return run_shard(p);
+
+  // Launcher mode: fork() BEFORE any threads exist (each child builds its
+  // own worker pool), one single-shard process per slice. Children inherit
+  // the parsed params, overriding shard spec and journal path.
+  if (p.journal.empty()) {
+    std::cerr << "sweep_shard: --launch needs --journal as the base name\n";
+    return 2;
+  }
+  std::vector<pid_t> kids;
+  for (int k = 0; k < launch; ++k) {
+    const pid_t pid = fork();
+    if (pid < 0) {
+      std::perror("sweep_shard: fork");
+      return 2;
+    }
+    if (pid == 0) {
+      shard_params cp = p;
+      cp.shard_index = k;
+      cp.shard_count = launch;
+      cp.journal = p.journal + ".shard" + std::to_string(k) + "-of-" +
+                   std::to_string(launch);
+      _exit(run_shard(cp));
+    }
+    kids.push_back(pid);
+  }
+  int status = 0, rc = 0;
+  for (const pid_t pid : kids) {
+    if (waitpid(pid, &status, 0) < 0 || !WIFEXITED(status) ||
+        WEXITSTATUS(status) != 0)
+      rc = 1;
+  }
+  if (rc == 0)
+    std::cout << "launcher: all " << launch << " shards completed; merge "
+              << "with: sweep_merge --inputs=" << p.journal << ".shard0-of-"
+              << launch << ",..." << std::endl;
+  return rc;
+}
