@@ -58,6 +58,19 @@
 // skipped, and says so, on a single-core host). Merge record/duplicate/
 // missing counts land in the JSON metrics counters.
 //
+// Part 9 — packed-word canonicalization: the interned-id kernel (per-element
+// rename memo tables + rank-row compare, modelcheck/symmetry.hpp) vs the
+// object-domain path. The reference config's group is trivial — the kernel
+// never engages there — so it gates bit-identity of the opt-out while the
+// >= 1.5x sequential-speedup gates ride the canonicalization-bound configs
+// (anon_mutex shared-naming n = 3, fa_mutex n = 4 m = 3), measured
+// interleaved best-of-reps. Verdicts, state counts and counterexample
+// schedules must be bit-identical across modes, engines, and worker counts;
+// any divergence or a missed speedup gate exits nonzero.
+// --packed-canonicalization=0|1 flips the default mode for every reduced run
+// in the other parts (CI diffs the two resulting reports at zero tolerance
+// on the deterministic series).
+//
 // With --sweep-m=6 (or 7) also runs the full weighted naming sweep at that
 // m through the polynomial orbit classes — minutes of work, off by default.
 // The sweep runs on --sweep-workers threads and, with --sweep-checkpoint, is
@@ -123,6 +136,10 @@ int main(int argc, char** argv) {
   args.define("sweep-max-classes", "0",
               "verify at most this many classes per invocation (0 = all; "
               "use with --sweep-checkpoint to split a long sweep)");
+  args.define("packed-canonicalization", "1",
+              "default canonicalization mode for the reduced runs (1 = "
+              "packed interned-id kernel, 0 = object domain); part 9 "
+              "measures both modes regardless");
   if (!args.parse(argc, argv)) {
     std::cout << args.help("bench_modelcheck_scaling");
     return 0;
@@ -137,7 +154,9 @@ int main(int argc, char** argv) {
   const std::string sweep_checkpoint = args.get("sweep-checkpoint");
   const std::uint64_t sweep_max_classes =
       static_cast<std::uint64_t>(args.get_int("sweep-max-classes"));
+  const bool packed_default = args.get_int("packed-canonicalization") != 0;
   benchjson::bench_reporter report("bench_modelcheck_scaling");
+  report.config("packed_canonicalization", packed_default ? 1 : 0);
   report.config("m", m);
   report.config("stride", stride);
   report.config("depth", depth);
@@ -306,6 +325,7 @@ int main(int argc, char** argv) {
     };
     explorer<anon_mutex>::options eopt;
     eopt.max_states = 8'000'000;
+    eopt.packed_canonicalization = packed_default;
     explorer<anon_mutex>::result raw_res, orbit_res;
     double raw_t = 0, orbit_t = 0;
     for (int rep = 0; rep < reps; ++rep) {
@@ -635,17 +655,19 @@ int main(int argc, char** argv) {
     double raw_t = 0, orbit_t = 0;
     for (int rep = 0; rep < reps; ++rep) {
       stopwatch t1;
-      fa_raw = check_fa_mutex(fc.registers, fa_naming);
+      fa_raw = check_fa_mutex(fc.registers, fa_naming, 2'000'000,
+                              /*symmetry=*/false, packed_default);
       const double s1 = t1.elapsed_seconds();
       if (rep == 0 || s1 < raw_t) raw_t = s1;
       stopwatch t2;
       fa_orbit = check_fa_mutex(fc.registers, fa_naming, 2'000'000,
-                                /*symmetry=*/true);
+                                /*symmetry=*/true, packed_default);
       const double s2 = t2.elapsed_seconds();
       if (rep == 0 || s2 < orbit_t) orbit_t = s2;
     }
     fa_par = check_fa_mutex_parallel(fc.registers, fa_naming, /*workers=*/2,
-                                     2'000'000, /*symmetry=*/true);
+                                     2'000'000, /*symmetry=*/true,
+                                     packed_default);
     bool ok = fa_raw.verdict() == fa_orbit.verdict() &&
               fa_par.verdict() == fa_orbit.verdict() &&
               fa_par.num_states == fa_orbit.num_states &&
@@ -671,7 +693,7 @@ int main(int argc, char** argv) {
   {
     const auto fold_naming = naming_assignment::identity(2, 4);
     const auto dead = check_fa_mutex(4, fold_naming, 2'000'000,
-                                     /*symmetry=*/true);
+                                     /*symmetry=*/true, packed_default);
     bool fold_ok = dead.verdict() == "DEADLOCK" && !dead.counterexample.empty();
     if (fold_ok) {
       std::vector<std::uint64_t> regs(4, fa_mutex::token_down);
@@ -702,6 +724,7 @@ int main(int argc, char** argv) {
     qprocs.emplace_back(2, sweep_quotient_m);
     verify_options qopt;
     qopt.max_states = 8'000'000;
+    qopt.packed_canonicalization = packed_default;
     sweep_schedule_options qsched;
     qsched.workers = sweep_workers;
     qsched.checkpoint_path = sweep_checkpoint;
@@ -747,6 +770,7 @@ int main(int argc, char** argv) {
     sprocs.emplace_back(2, sm);
     verify_options sopt;
     sopt.max_states = 8'000'000;
+    sopt.packed_canonicalization = packed_default;
     const std::string dir = std::filesystem::temp_directory_path().string();
     const std::string j0 = dir + "/anoncoord_bench_shard0.ckpt";
     const std::string j1 = dir + "/anoncoord_bench_shard1.ckpt";
@@ -836,6 +860,160 @@ int main(int argc, char** argv) {
     report.metric("shard_speedup_ok", shard_speedup_ok ? 1 : 0);
   }
 
+  // -------------------------------------------------------------------
+  // Part 9: the packed-word canonicalization kernel vs the object-domain
+  // path. The 342,886-state reference config has a TRIVIAL automorphism
+  // group (stride-rotated namings admit no nontrivial symmetry), so
+  // canonicalization never runs there — the kernel cannot speed it up and
+  // claiming so would be dishonest. The reference config instead gates the
+  // opt-out contract: packed on vs off must be bit-identical (verdict,
+  // states, counterexample). The >= 1.5x sequential-speedup gate lives on
+  // the canonicalization-bound configs where the kernel actually executes:
+  // the shared-naming anon_mutex n = 3 (group 3! = 6) and the fully
+  // anonymous fa_mutex n = 4, m = 3 (group 4! x 3 = 72), measured
+  // interleaved best-of-reps packed vs object. A deadlocking fa config
+  // additionally pins counterexample-schedule identity across modes, and a
+  // 2-worker parallel packed run pins parallel bit-identity.
+  // -------------------------------------------------------------------
+  bool packed_identical = true;
+  bool packed_speedup_ok = true;
+  double packed_speedup_anon = 0, packed_speedup_fa = 0;
+  {
+    // Opt-out contract on the reference config (trivial group: the packed
+    // kernel disengages and both modes run the same non-reduced path).
+    const auto ref_packed = check_anon_mutex(m, naming, {1, 2}, 8'000'000,
+                                             /*symmetry=*/false, true);
+    const auto ref_object = check_anon_mutex(m, naming, {1, 2}, 8'000'000,
+                                             /*symmetry=*/false, false);
+    packed_identical = ref_packed.verdict() == ref_object.verdict() &&
+                       ref_packed.num_states == ref_object.num_states &&
+                       ref_packed.counterexample == ref_object.counterexample;
+
+    // Speedup gate config A: anon_mutex, n = 3 shared naming, m = 2
+    // (group 6; the part-3 n = 3 config's state space).
+    const naming_assignment shared3(
+        std::vector<permutation>(3, identity_permutation(2)));
+    mutex_check_result anon_packed{}, anon_object{};
+    double anon_pt = 0, anon_ot = 0;
+    // Speedup gate config B: fa_mutex, n = 4, m = 3 (group 72).
+    const auto fa4_naming = naming_assignment::identity(4, 3);
+    mutex_check_result fa_packed{}, fa_object{};
+    double fa_pt = 0, fa_ot = 0;
+    for (int rep = 0; rep < reps; ++rep) {
+      stopwatch t1;
+      anon_packed = check_anon_mutex(2, shared3, {1, 2, 3}, 8'000'000,
+                                     /*symmetry=*/true, true);
+      const double s1 = t1.elapsed_seconds();
+      if (rep == 0 || s1 < anon_pt) anon_pt = s1;
+      stopwatch t2;
+      anon_object = check_anon_mutex(2, shared3, {1, 2, 3}, 8'000'000,
+                                     /*symmetry=*/true, false);
+      const double s2 = t2.elapsed_seconds();
+      if (rep == 0 || s2 < anon_ot) anon_ot = s2;
+      stopwatch t3;
+      fa_packed = check_fa_mutex(3, fa4_naming, 8'000'000,
+                                 /*symmetry=*/true, true);
+      const double s3 = t3.elapsed_seconds();
+      if (rep == 0 || s3 < fa_pt) fa_pt = s3;
+      stopwatch t4;
+      fa_object = check_fa_mutex(3, fa4_naming, 8'000'000,
+                                 /*symmetry=*/true, false);
+      const double s4 = t4.elapsed_seconds();
+      if (rep == 0 || s4 < fa_ot) fa_ot = s4;
+    }
+    packed_identical =
+        packed_identical &&
+        anon_packed.verdict() == anon_object.verdict() &&
+        anon_packed.num_states == anon_object.num_states &&
+        anon_packed.counterexample == anon_object.counterexample &&
+        fa_packed.verdict() == fa_object.verdict() &&
+        fa_packed.num_states == fa_object.num_states &&
+        fa_packed.counterexample == fa_object.counterexample;
+
+    // Counterexample replay across modes: the even-m fa deadlock is found
+    // on the quotient graph and folded back through the sigma chain; the
+    // schedule must not depend on which canonicalization domain ran.
+    const auto dead_naming = naming_assignment::identity(2, 4);
+    const auto dead_packed = check_fa_mutex(4, dead_naming, 2'000'000,
+                                            /*symmetry=*/true, true);
+    const auto dead_object = check_fa_mutex(4, dead_naming, 2'000'000,
+                                            /*symmetry=*/true, false);
+    packed_identical = packed_identical &&
+                       dead_packed.verdict() == "DEADLOCK" &&
+                       dead_packed.verdict() == dead_object.verdict() &&
+                       dead_packed.num_states == dead_object.num_states &&
+                       dead_packed.counterexample == dead_object.counterexample;
+
+    // Parallel bit-identity with the kernel's shared memo tables.
+    const auto fa_par2 = check_fa_mutex_parallel(3, fa4_naming, /*workers=*/2,
+                                                 8'000'000, /*symmetry=*/true,
+                                                 true);
+    packed_identical = packed_identical &&
+                       fa_par2.verdict() == fa_packed.verdict() &&
+                       fa_par2.num_states == fa_packed.num_states &&
+                       fa_par2.counterexample == fa_packed.counterexample;
+
+    packed_speedup_anon = anon_pt > 0 ? anon_ot / anon_pt : 0;
+    packed_speedup_fa = fa_pt > 0 ? fa_ot / fa_pt : 0;
+    packed_speedup_ok =
+        packed_speedup_anon >= 1.5 && packed_speedup_fa >= 1.5;
+
+    // Prune counters from the packed fa run (the verify_report plumbing the
+    // obs counters ride on): mode-dependent by design — the object path
+    // folds its fast-path skip into first_word_pruned and never reports
+    // prefix_pruned — so they land as informational metrics, not series.
+    verify_options cvo;
+    cvo.engine = verify_engine::bfs;
+    cvo.symmetry = true;
+    cvo.max_states = 8'000'000;
+    cvo.packed_canonicalization = packed_default;
+    std::vector<fa_mutex> fa4_procs(4, fa_mutex(3));
+    model_config<fa_mutex> fa4_cfg{3, fa4_naming, fa4_procs};
+    const verify_report crep = verify_config<fa_mutex>(
+        fa4_cfg,
+        [](const std::vector<std::uint64_t>&, const std::vector<fa_mutex>& ps) {
+          int c = 0;
+          for (const auto& p : ps)
+            if (p.in_critical_section()) ++c;
+          return c >= 2;
+        },
+        cvo);
+    report.metric("canonicalize.full_applies", crep.canon_full_applies);
+    report.metric("canonicalize.first_word_pruned",
+                  crep.canon_first_word_pruned);
+    report.metric("canonicalize.prefix_pruned", crep.canon_prefix_pruned);
+
+    ascii_table pk_table({"config", "group", "states", "object-ms",
+                          "packed-ms", "speedup", "identical"});
+    pk_table.add("reference (trivial group)", 1, ref_packed.num_states,
+                 0.0, 0.0, 1.0,
+                 packed_identical ? "yes" : "NO");
+    pk_table.add("anon shared, n=3 m=2", 6, anon_packed.num_states,
+                 anon_ot * 1e3, anon_pt * 1e3, packed_speedup_anon,
+                 anon_packed.num_states == anon_object.num_states ? "yes"
+                                                                  : "NO");
+    pk_table.add("fa, n=4 m=3", 72, fa_packed.num_states, fa_ot * 1e3,
+                 fa_pt * 1e3, packed_speedup_fa,
+                 fa_packed.num_states == fa_object.num_states ? "yes" : "NO");
+    std::cout << pk_table.render() << "\n";
+    std::cout << "packed canonicalization: reference config has a trivial "
+                 "group (kernel inert; gates bit-identity of the opt-out), "
+                 "speedup gates ride the canonicalization-bound configs "
+                 "above\n\n";
+    report.sample("packed_canon_states/anon_n3",
+                  static_cast<double>(anon_packed.num_states));
+    report.sample("packed_canon_states/fa_n4",
+                  static_cast<double>(fa_packed.num_states));
+    report.sample("packed_canon_seconds/anon_n3_object", anon_ot, "s");
+    report.sample("packed_canon_seconds/anon_n3_packed", anon_pt, "s");
+    report.sample("packed_canon_seconds/fa_n4_object", fa_ot, "s");
+    report.sample("packed_canon_seconds/fa_n4_packed", fa_pt, "s");
+    report.sample("packed_canon_speedup/anon_n3", packed_speedup_anon, "x");
+    report.sample("packed_canon_speedup/fa_n4", packed_speedup_fa, "x");
+    report.metric("packed_canon_identical", packed_identical ? 1 : 0);
+    report.metric("packed_canon_speedup_ok", packed_speedup_ok ? 1 : 0);
+  }
+
   const double schedule_reduction =
       sleep.schedules ? static_cast<double>(plain.schedules) /
                             static_cast<double>(sleep.schedules)
@@ -860,10 +1038,15 @@ int main(int argc, char** argv) {
             << ", speedup-gate="
             << (hw_cores >= 2 ? (shard_speedup_ok ? "met" : "NOT MET")
                               : "skipped, single core")
+            << ")  packed-canonicalization=" << packed_speedup_anon
+            << "x@anon-n3 / " << packed_speedup_fa
+            << "x@fa-n4 (target >= 1.5x each; reference config group is "
+               "trivial so its gate is bit-identity, identical="
+            << (packed_identical ? "yes" : "NO")
             << ")  verdicts-match="
             << (verdicts_match && identical && symmetry_verdicts_match &&
                         fa_verdicts_match && sweep_verdicts_match &&
-                        arena_match && spill_match
+                        arena_match && spill_match && packed_identical
                     ? "yes"
                     : "NO")
             << "\n";
@@ -882,7 +1065,8 @@ int main(int argc, char** argv) {
                  fa_verdicts_match && fa_factors_ok && sweep_verdicts_match &&
                  arena_match && arena_bytes_ok && spill_match &&
                  spill_budget_held && spill_refault_bounded &&
-                 shard_totals_match && shard_speedup_ok
+                 shard_totals_match && shard_speedup_ok && packed_identical &&
+                 packed_speedup_ok
              ? 0
              : 1;
 }

@@ -152,6 +152,13 @@ class explorer {
     /// runs. 0 keeps everything resident.
     std::uint64_t spill_budget_bytes = 0;
     std::string spill_dir;
+    /// Canonicalize successors in the packed interned-id word domain
+    /// (modelcheck/symmetry.hpp's packed_canonicalizer: per-element rename
+    /// memo tables + rank-row compare) instead of reconstructing states.
+    /// Verdicts, stored-state counts, element indices and counterexamples
+    /// are bit-identical either way — the opt-out preserves the
+    /// object-domain path for differentials, like compress_arena.
+    bool packed_canonicalization = true;
   };
 
   struct result {
@@ -211,7 +218,8 @@ class explorer {
     {
       canon_.regs = scratch_.regs;
       canon_.procs = scratch_.procs;
-      const int elem = group_.canonicalize(canon_.regs, canon_.procs, cs_);
+      const int elem =
+          group_.canonicalize(canon_.regs, canon_.procs, cs_, &cstats_);
       build_words(canon_);
       intern_words(/*parent=*/-1, /*via=*/-1, elem);
     }
@@ -241,6 +249,10 @@ class explorer {
                  dcache_);
       fill_state(prow_.data(), scratch_);
       if (saved_.size() != n) saved_ = scratch_.procs;
+      // Quiescent point: refresh the packed kernel's rank snapshots once
+      // they fall behind the pools. Ids interned mid-expansion stay exact
+      // through the kernel's object-domain fallback.
+      if (packed_) pk_.maybe_refresh_ranks();
       for (int p = 0; p < static_cast<int>(n); ++p) {
         Machine& machine = scratch_.procs[static_cast<std::size_t>(p)];
         const op_desc op = machine.peek();
@@ -260,10 +272,23 @@ class explorer {
         std::int64_t idx;
         bool fresh;
         int elem = 0;
-        if (reduce) {
+        if (packed_) {
+          // Packed kernel: patch the parent's row (the stepped machine and
+          // at most one written register — same relative encoding as the
+          // non-reduced path), then canonicalize the row in the interned-id
+          // word domain. No state reconstruction per group element.
+          wbuf_.assign(prow_.begin(), prow_.end());
+          wbuf_[m + static_cast<std::size_t>(p)] =
+              pool_.intern_machine(machine);
+          if (written >= 0)
+            wbuf_[static_cast<std::size_t>(written)] = pool_.intern_value(
+                scratch_.regs[static_cast<std::size_t>(written)]);
+          elem = pk_.canonicalize_row(wbuf_.data(), pks_, cstats_);
+          std::tie(idx, fresh) = intern_words(s, p, elem);
+        } else if (reduce) {
           canon_.regs = scratch_.regs;
           canon_.procs = scratch_.procs;
-          elem = group_.canonicalize(canon_.regs, canon_.procs, cs_);
+          elem = group_.canonicalize(canon_.regs, canon_.procs, cs_, &cstats_);
           build_words(canon_);
           std::tie(idx, fresh) = intern_words(s, p, elem);
         } else {
@@ -280,11 +305,16 @@ class explorer {
         if (!fresh) ++res.dedup_hits;
         edges_.emplace_back(static_cast<std::uint32_t>(s),
                             static_cast<std::uint32_t>(idx));
-        if (fresh && is_bad && is_bad(reduce ? canon_ : scratch_)) {
-          res.bad_state = concrete_state(idx);
-          res.bad_schedule = concrete_schedule(idx);
-          finish(res);
-          return res;
+        if (fresh && is_bad) {
+          // The packed path never materialized the canonical state; the
+          // predicate (G-invariant by contract) runs on its reconstruction.
+          if (packed_) fill_state(wbuf_.data(), canon_);
+          if (is_bad(reduce ? canon_ : scratch_)) {
+            res.bad_state = concrete_state(idx);
+            res.bad_schedule = concrete_schedule(idx);
+            finish(res);
+            return res;
+          }
         }
         // Undo: restore the moved machine and the overwritten register.
         machine = saved_[static_cast<std::size_t>(p)];
@@ -379,6 +409,10 @@ class explorer {
   /// Spill counters from the backing arena (all zero when spilling is off).
   arena_spill_stats spill_stats() const { return rows_.spill_stats(); }
 
+  /// Canonicalization prune counters for the last explore() (both domains;
+  /// all zero when the group is trivial).
+  const canonicalize_stats& canonicalize_counters() const { return cstats_; }
+
  private:
   std::size_t stride() const {
     return static_cast<std::size_t>(registers_) + initial_machines_.size();
@@ -386,6 +420,12 @@ class explorer {
 
   void reset() {
     pool_.clear();
+    cstats_ = canonicalize_stats{};
+    packed_ = opt_.packed_canonicalization && !group_.is_trivial() &&
+              symmetry_reducible_machine<Machine>;
+    if (packed_)
+      pk_.attach(&group_, &pool_, registers_,
+                 static_cast<int>(initial_machines_.size()));
     row_store_options ropt;
     if (opt_.compress_arena) {
       ropt.spill.budget_bytes = opt_.spill_budget_bytes;
@@ -541,6 +581,11 @@ class explorer {
   mutable std::vector<std::uint32_t> rowtmp_;
   mutable row_decode_cache dcache_;
   mutable canonical_scratch<Machine> cs_;
+  // Packed canonicalization kernel state (reduce + packed_canonicalization).
+  bool packed_ = false;
+  packed_canonicalizer<Machine> pk_;
+  packed_canonical_scratch pks_;
+  canonicalize_stats cstats_;
 };
 
 }  // namespace anoncoord

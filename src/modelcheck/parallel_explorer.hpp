@@ -99,6 +99,12 @@ class parallel_explorer {
     /// resident set can transiently exceed it by the workers' fault-ins.
     std::uint64_t spill_budget_bytes = 0;
     std::string spill_dir;
+    /// Packed interned-id canonicalization; same contract as
+    /// explorer::options. The kernel's memo tables are shared read-mostly
+    /// across workers (benign same-value fills); its rank snapshots rebuild
+    /// only between levels, so results stay bit-identical at every worker
+    /// count.
+    bool packed_canonicalization = true;
   };
 
   struct result {
@@ -155,7 +161,7 @@ class parallel_explorer {
       init.regs.assign(static_cast<std::size_t>(registers_), value_type{});
       init.procs = initial_machines_;
       canonical_scratch<Machine> cs;
-      const int elem = group_.canonicalize(init.regs, init.procs, cs);
+      const int elem = group_.canonicalize(init.regs, init.procs, cs, &cstats_);
       intern_initial(init, elem);
       if (is_bad && is_bad(init)) {
         res.bad_state = concrete_state(0);
@@ -315,6 +321,15 @@ class parallel_explorer {
   /// Interned-component statistics (the compact-store win the bench reports).
   const state_pool<Machine>& pool() const { return pool_; }
 
+  /// Aggregated canonicalization prune/apply counters across all workers
+  /// (plus the single-threaded initial-state canonicalize). Call after
+  /// explore() has joined; workers mutate their own copies during a level.
+  canonicalize_stats canonicalize_counters() const {
+    canonicalize_stats total = cstats_;
+    for (const auto& wd : workers_) total.merge(wd.value.cstats);
+    return total;
+  }
+
   /// Row-storage bytes committed for the merged seen set (the bench's
   /// bytes-per-state numerator; same accounting basis in both modes).
   std::uint64_t stored_row_bytes() const { return rows_.stored_bytes(); }
@@ -374,6 +389,8 @@ class parallel_explorer {
     state_type scratch;  ///< reused across expansions: no per-parent allocs
     state_type canon;    ///< canonical successor buffer (symmetry)
     canonical_scratch<Machine> cs;
+    packed_canonical_scratch pks;  ///< packed-kernel row buffers
+    canonicalize_stats cstats;     ///< per-worker prune/apply counters
     std::vector<std::uint32_t> wbuf;  ///< packed successor row
     std::vector<std::uint32_t> prow;  ///< decoded row of the expanded state
     std::vector<std::uint32_t> cmp;   ///< eq-probe decode buffer
@@ -391,6 +408,12 @@ class parallel_explorer {
 
   void reset() {
     pool_.clear();
+    cstats_ = canonicalize_stats{};
+    packed_ = opt_.packed_canonicalization && !group_.is_trivial() &&
+              symmetry_reducible_machine<Machine>;
+    if (packed_)
+      pk_.attach(&group_, &pool_, registers_,
+                 static_cast<int>(initial_machines_.size()));
     row_store_options ropt;
     if (opt_.compress_arena) {
       ropt.spill.budget_bytes = opt_.spill_budget_bytes;
@@ -436,6 +459,9 @@ class parallel_explorer {
   /// CASes during the fork is sized here for the worst case (span * nprocs
   /// discoveries), so the fork itself never reallocates anything shared.
   void prepare_level(std::uint64_t span) {
+    // Single-threaded between levels: the only place the packed kernel's
+    // rank snapshots rebuild, so workers never observe a snapshot mid-swap.
+    if (packed_) pk_.maybe_refresh_ranks();
     const std::uint64_t nprocs =
         static_cast<std::uint64_t>(initial_machines_.size());
     const std::uint64_t upper = span * nprocs;
@@ -556,10 +582,23 @@ class parallel_explorer {
       // Pack the successor row. Component interning happens off the seen
       // table's critical path (its shard mutexes are the only locks left).
       int elem = 0;
-      if (reduce) {
+      if (packed_) {
+        // Patch the parent row in the word domain, then canonicalize the
+        // row directly. The memo tables are shared across workers; benign
+        // duplicate fills store the same id, so no synchronization beyond
+        // the tables' publish-before-read discipline is needed.
+        wd.wbuf.assign(wd.prow.begin(), wd.prow.end());
+        wd.wbuf[m + static_cast<std::size_t>(p)] =
+            pool_.intern_machine(machine);
+        if (written >= 0)
+          wd.wbuf[static_cast<std::size_t>(written)] = pool_.intern_value(
+              scratch.regs[static_cast<std::size_t>(written)]);
+        elem = pk_.canonicalize_row(wd.wbuf.data(), wd.pks, wd.cstats);
+      } else if (reduce) {
         wd.canon.regs = scratch.regs;
         wd.canon.procs = scratch.procs;
-        elem = group_.canonicalize(wd.canon.regs, wd.canon.procs, wd.cs);
+        elem = group_.canonicalize(wd.canon.regs, wd.canon.procs, wd.cs,
+                                   &wd.cstats);
         wd.wbuf.clear();
         for (const auto& r : wd.canon.regs)
           wd.wbuf.push_back(pool_.intern_value(r));
@@ -578,8 +617,13 @@ class parallel_explorer {
       const std::uint32_t tagged = probe_or_publish(wd, g, p, elem, inserted);
       if (opt_.record_edges)
         wd.edges.push_back(edge_rec{static_cast<std::uint32_t>(g), tagged});
-      if (inserted && is_bad && is_bad(reduce ? wd.canon : scratch))
-        wd.bad.push_back(tagged & ~kPendingBit);
+      if (inserted && is_bad) {
+        // Packed path: the canonical state only exists as a word row; decode
+        // it for the predicate (fresh states only, so off the hot path).
+        if (packed_) fill_state(wd.wbuf.data(), wd.canon);
+        if (is_bad(reduce ? wd.canon : scratch))
+          wd.bad.push_back(tagged & ~kPendingBit);
+      }
       // Undo: restore the moved machine and the overwritten register.
       machine = wd.saved[static_cast<std::size_t>(p)];
       if (written >= 0)
@@ -778,6 +822,11 @@ class parallel_explorer {
   symmetry_group<Machine> group_;
 
   state_pool<Machine> pool_;
+  /// Packed canonicalization kernel (shared across workers; scratch and
+  /// counters live per-worker). cstats_ covers single-threaded calls only.
+  bool packed_ = false;
+  packed_canonicalizer<Machine> pk_;
+  canonicalize_stats cstats_;
   /// Merged states: row g in rows_; parents_/vias_/elems_ record the BFS
   /// tree and the per-state canonicalizing element.
   row_store rows_;

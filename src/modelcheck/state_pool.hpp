@@ -101,6 +101,19 @@ class component_pool {
     return total;
   }
 
+  /// Enumerate every interned id (insertion order within each shard).
+  /// QUIESCENT CALLERS ONLY: no intern() may be in flight — the callers are
+  /// the rank-snapshot rebuilds, which run single-threaded between parallel
+  /// levels (the fork-join barrier orders them after every worker intern).
+  template <class Fn>
+  void for_each_id(Fn&& fn) const {
+    for (std::uint32_t s = 0; s < kShards; ++s) {
+      const std::uint32_t cnt = shards_[s].count;
+      for (std::uint32_t local = 0; local < cnt; ++local)
+        fn((local << kShardBits) | s);
+    }
+  }
+
   /// Heap bytes of pooled component storage (segments only, not indexes).
   std::uint64_t storage_bytes() const {
     std::uint64_t segs = 0;
@@ -157,6 +170,122 @@ class component_pool {
 
 }  // namespace detail
 
+/// Append-only concurrent u32 -> u32 memo, indexed by pool id. The packed
+/// canonicalization kernel keeps one per (group element x component domain):
+/// entry `id` caches the interned id of that element's rename/reindex image
+/// of component `id`, so after warm-up a group element's action on a packed
+/// row is a pure u32 gather with no Machine construction.
+///
+/// Concurrency contract (the parallel explorer's workers read and fill these
+/// during a level): lookups are lock-free (acquire loads on the segment
+/// pointer and the slot); a miss recomputes the image through the pools —
+/// interning is deterministic, so racing fillers store the SAME value and
+/// the double store is benign. Segments are fixed-size, allocated under a
+/// mutex, published once with a release store and never moved — the same
+/// publish-before-read discipline as component_pool's segments.
+class id_memo_table {
+ public:
+  static constexpr std::uint32_t kUnset = 0xFFFFFFFFu;
+  static constexpr int kSegBits = 12;  // 4096 entries per segment
+  static constexpr std::size_t kSegSize = std::size_t{1} << kSegBits;
+  static constexpr std::size_t kMaxSegments = std::size_t{1} << 12;
+
+  id_memo_table()
+      : segs_(new std::atomic<std::atomic<std::uint32_t>*>[kMaxSegments]()) {}
+  id_memo_table(const id_memo_table&) = delete;
+  id_memo_table& operator=(const id_memo_table&) = delete;
+  ~id_memo_table() {
+    for (std::size_t s = 0; s < kMaxSegments; ++s)
+      delete[] segs_[s].load(std::memory_order_relaxed);
+  }
+
+  /// kUnset when `id` has no cached image yet.
+  std::uint32_t lookup(std::uint32_t id) const {
+    const std::atomic<std::uint32_t>* seg =
+        segs_[id >> kSegBits].load(std::memory_order_acquire);
+    if (seg == nullptr) return kUnset;
+    return seg[id & (kSegSize - 1)].load(std::memory_order_acquire);
+  }
+
+  void store(std::uint32_t id, std::uint32_t v) {
+    const std::size_t si = id >> kSegBits;
+    ANONCOORD_REQUIRE(si < kMaxSegments, "id memo table exhausted");
+    std::atomic<std::uint32_t>* seg = segs_[si].load(std::memory_order_acquire);
+    if (seg == nullptr) seg = alloc_segment(si);
+    seg[id & (kSegSize - 1)].store(v, std::memory_order_release);
+  }
+
+ private:
+  std::atomic<std::uint32_t>* alloc_segment(std::size_t si) {
+    std::lock_guard lk(mu_);
+    std::atomic<std::uint32_t>* seg = segs_[si].load(std::memory_order_relaxed);
+    if (seg != nullptr) return seg;  // lost the allocation race
+    seg = new std::atomic<std::uint32_t>[kSegSize];
+    for (std::size_t i = 0; i < kSegSize; ++i)
+      seg[i].store(kUnset, std::memory_order_relaxed);
+    segs_[si].store(seg, std::memory_order_release);
+    return seg;
+  }
+
+  std::mutex mu_;  ///< segment allocation only; lookups never take it
+  /// Heap directory (32 KiB): fixed slots so lookups never race a resize.
+  std::unique_ptr<std::atomic<std::atomic<std::uint32_t>*>[]> segs_;
+};
+
+/// Monotone id -> value-order rank snapshot over one component pool. Ids are
+/// handed out in insertion order, not value order, so a lexicographic compare
+/// over raw id words would NOT be order-isomorphic to comparing the
+/// components themselves. This snapshot fixes that: rebuild() sorts every id
+/// interned so far by the caller's object-domain order and records each id's
+/// position. Distinct ids always intern distinct components, so ranks are a
+/// strict total order and `rank(a) < rank(b)` iff component a < component b —
+/// for every id the snapshot covers. Ids interned AFTER the snapshot report
+/// kUnranked and the kernel falls back to the object-domain compare for those
+/// words, so a stale snapshot only costs speed, never soundness.
+///
+/// rebuild() is quiescent-only (it enumerates the pool); rank() is read-only
+/// and safe to share across workers between rebuilds.
+class id_rank_snapshot {
+ public:
+  static constexpr std::uint32_t kUnranked = 0xFFFFFFFFu;
+
+  std::uint32_t rank(std::uint32_t id) const {
+    return id < ranks_.size() ? ranks_[id] : kUnranked;
+  }
+
+  /// Interned components covered by the last rebuild (staleness metric).
+  std::uint64_t covered() const { return covered_; }
+
+  void reset() {
+    ranks_.clear();
+    covered_ = 0;
+  }
+
+  /// `enumerate` invokes its callback once per interned id (one of
+  /// state_pool's for_each_*_id); `less` is a strict total order over ids
+  /// via their pooled components.
+  template <class Enumerate, class Less>
+  void rebuild(Enumerate&& enumerate, Less&& less) {
+    ids_.clear();
+    std::uint32_t max_id = 0;
+    enumerate([&](std::uint32_t id) {
+      ids_.push_back(id);
+      max_id = std::max(max_id, id);
+    });
+    std::sort(ids_.begin(), ids_.end(), less);
+    ranks_.assign(ids_.empty() ? 0 : static_cast<std::size_t>(max_id) + 1,
+                  kUnranked);
+    for (std::size_t i = 0; i < ids_.size(); ++i)
+      ranks_[ids_[i]] = static_cast<std::uint32_t>(i);
+    covered_ = ids_.size();
+  }
+
+ private:
+  std::vector<std::uint32_t> ranks_;  ///< indexed by id; kUnranked = gap
+  std::vector<std::uint32_t> ids_;    ///< rebuild scratch
+  std::uint64_t covered_ = 0;
+};
+
 /// The two pools a packed explorer needs: register values and machine local
 /// states. A global state's packed row is m value ids followed by n machine
 /// ids; the explorers own the row layout, this class owns the components.
@@ -173,6 +302,17 @@ class state_pool {
 
   std::uint64_t num_values() const { return values_.size(); }
   std::uint64_t num_machines() const { return machines_.size(); }
+
+  /// Quiescent-only id enumeration (see component_pool::for_each_id) — the
+  /// packed kernel's rank-snapshot rebuilds.
+  template <class Fn>
+  void for_each_value_id(Fn&& fn) const {
+    values_.for_each_id(fn);
+  }
+  template <class Fn>
+  void for_each_machine_id(Fn&& fn) const {
+    machines_.for_each_id(fn);
+  }
   std::uint64_t storage_bytes() const {
     return values_.storage_bytes() + machines_.storage_bytes();
   }

@@ -18,6 +18,7 @@
 // sweeps or a corrupted file, and the merge refuses.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
@@ -210,6 +211,41 @@ inline sweep_merge_stats merge_sweep_journals(
   for (const sweep_class_record& r : recs)
     if (!r.done) ++stats.missing_classes;
   return stats;
+}
+
+/// Contiguous cost-balanced shard boundaries.
+///
+/// Given per-class costs (any nonnegative weight: journal-recorded state
+/// counts, or a heuristic), returns `shard_count + 1` ascending boundaries
+/// b_0 = 0 <= b_1 <= ... <= b_C = classes such that shard k owns the
+/// contiguous slice [b_k, b_{k+1}). Boundary b_{k+1} is the smallest index i
+/// with prefix(i) * C >= total * (k + 1) — a pure function of the cost
+/// vector, so every shard process computing its own slice from the same
+/// costs gets identical, disjoint, covering slices, and sweep_merge headers
+/// stay valid exactly as with count-balanced slices. Costs are clamped to
+/// >= 1 so zero-cost classes still advance the prefix and b_C lands on
+/// `classes` (the prefix is then strictly increasing). With all costs equal
+/// this degenerates to the classic count-balanced split.
+inline std::vector<std::uint64_t> balanced_shard_bounds(
+    const std::vector<std::uint64_t>& costs, int shard_count) {
+  ANONCOORD_REQUIRE(shard_count >= 1, "shard_count must be >= 1");
+  const std::size_t n = costs.size();
+  std::vector<std::uint64_t> prefix(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i)
+    prefix[i + 1] = prefix[i] + std::max<std::uint64_t>(costs[i], 1);
+  const std::uint64_t total = prefix[n];
+  std::vector<std::uint64_t> bounds(static_cast<std::size_t>(shard_count) + 1,
+                                    0);
+  std::size_t i = 0;
+  for (int k = 1; k <= shard_count; ++k) {
+    const std::uint64_t target = total * static_cast<std::uint64_t>(k);
+    while (i < n && prefix[i] * static_cast<std::uint64_t>(shard_count) <
+                        target)
+      ++i;
+    bounds[static_cast<std::size_t>(k)] = i;
+  }
+  bounds[static_cast<std::size_t>(shard_count)] = n;
+  return bounds;
 }
 
 /// Write a journal: header plus every done class in index order. The output

@@ -74,10 +74,12 @@
 #include <algorithm>
 #include <concepts>
 #include <cstdint>
+#include <cstring>
 #include <numeric>
 #include <vector>
 
 #include "mem/naming.hpp"
+#include "modelcheck/state_pool.hpp"
 #include "util/check.hpp"
 #include "util/permutation.hpp"
 
@@ -193,6 +195,24 @@ template <class Machine>
 struct canonical_scratch {
   std::vector<typename Machine::value_type> orig_regs, tmp_regs;
   std::vector<Machine> orig_procs, tmp_procs;
+};
+
+/// Prune-effectiveness counters for canonicalization, in either domain.
+/// An element's candidate image can be rejected on its first word
+/// (first_word_pruned), rejected after materializing only a longest common
+/// prefix of rank words (prefix_pruned — packed kernel only; the object
+/// domain has no partial apply), or fully materialized (full_applies: it won,
+/// tied, or — object domain — had to be applied before comparing at all).
+struct canonicalize_stats {
+  std::uint64_t full_applies = 0;
+  std::uint64_t first_word_pruned = 0;
+  std::uint64_t prefix_pruned = 0;
+
+  void merge(const canonicalize_stats& o) {
+    full_applies += o.full_applies;
+    first_word_pruned += o.first_word_pruned;
+    prefix_pruned += o.prefix_pruned;
+  }
 };
 
 /// The automorphism group of a (naming, initial machines) configuration,
@@ -343,29 +363,47 @@ class symmetry_group {
   }
 
   /// phi_e applied to (regs, procs), written into (out_regs, out_procs).
+  /// The out buffers are index-assigned once sized (machines are not
+  /// default-constructible in general, so sizing falls back to push_back on
+  /// the first call only) — steady-state this rebuilds in place with no
+  /// clear()+push_back churn and no per-call heap growth.
   void apply(const element& e, const std::vector<value_type>& regs,
              const std::vector<Machine>& procs,
              std::vector<value_type>& out_regs,
              std::vector<Machine>& out_procs) const {
     if constexpr (fully_anonymous_machine<Machine>) {
-      out_regs.clear();
-      out_procs.clear();
+      out_regs.resize(regs.size());
       for (std::size_t r = 0; r < regs.size(); ++r)
-        out_regs.push_back(regs[static_cast<std::size_t>(e.pi_inv[r])]);
-      for (std::size_t q = 0; q < procs.size(); ++q) {
-        const auto p = static_cast<std::size_t>(e.sigma_inv[q]);
-        out_procs.push_back(procs[p].reindexed(e.shift[p]));
+        out_regs[r] = regs[static_cast<std::size_t>(e.pi_inv[r])];
+      if (out_procs.size() == procs.size()) {
+        for (std::size_t q = 0; q < procs.size(); ++q) {
+          const auto p = static_cast<std::size_t>(e.sigma_inv[q]);
+          out_procs[q] = procs[p].reindexed(e.shift[p]);
+        }
+      } else {
+        out_procs.clear();
+        out_procs.reserve(procs.size());
+        for (std::size_t q = 0; q < procs.size(); ++q) {
+          const auto p = static_cast<std::size_t>(e.sigma_inv[q]);
+          out_procs.push_back(procs[p].reindexed(e.shift[p]));
+        }
       }
     } else if constexpr (process_symmetric_machine<Machine>) {
       const renamer rho{&e};
-      out_regs.clear();
-      out_procs.clear();
+      out_regs.resize(regs.size());
       for (std::size_t r = 0; r < regs.size(); ++r)
-        out_regs.push_back(
-            e.rename(regs[static_cast<std::size_t>(e.pi_inv[r])]));
-      for (std::size_t q = 0; q < procs.size(); ++q)
-        out_procs.push_back(
-            procs[static_cast<std::size_t>(e.sigma_inv[q])].renamed(rho));
+        out_regs[r] = e.rename(regs[static_cast<std::size_t>(e.pi_inv[r])]);
+      if (out_procs.size() == procs.size()) {
+        for (std::size_t q = 0; q < procs.size(); ++q)
+          out_procs[q] =
+              procs[static_cast<std::size_t>(e.sigma_inv[q])].renamed(rho);
+      } else {
+        out_procs.clear();
+        out_procs.reserve(procs.size());
+        for (std::size_t q = 0; q < procs.size(); ++q)
+          out_procs.push_back(
+              procs[static_cast<std::size_t>(e.sigma_inv[q])].renamed(rho));
+      }
     } else {
       out_regs = regs;
       out_procs = procs;
@@ -390,7 +428,8 @@ class symmetry_group {
   /// achieving the minimum, because only elements the full comparison
   /// would reject are skipped.
   int canonicalize(std::vector<value_type>& regs, std::vector<Machine>& procs,
-                   canonical_scratch<Machine>& scratch) const {
+                   canonical_scratch<Machine>& scratch,
+                   canonicalize_stats* stats = nullptr) const {
     if (elements_.size() <= 1) return 0;
     if constexpr (symmetry_reducible_machine<Machine>) {
       scratch.orig_regs = regs;
@@ -402,10 +441,14 @@ class symmetry_group {
           // regs holds the incumbent minimum, so regs[0] is the word to beat.
           const value_type cand_first = e.rename(
               scratch.orig_regs[static_cast<std::size_t>(e.pi_inv[0])]);
-          if (regs[0] < cand_first) continue;
+          if (regs[0] < cand_first) {
+            if (stats != nullptr) ++stats->first_word_pruned;
+            continue;
+          }
         }
         apply(e, scratch.orig_regs, scratch.orig_procs, scratch.tmp_regs,
               scratch.tmp_procs);
+        if (stats != nullptr) ++stats->full_applies;
         if (state_less(scratch.tmp_regs, scratch.tmp_procs, regs, procs)) {
           regs.swap(scratch.tmp_regs);
           procs.swap(scratch.tmp_procs);
@@ -442,6 +485,261 @@ class symmetry_group {
   }
 
   std::vector<element> elements_;
+};
+
+/// Per-caller scratch rows for packed_canonicalizer::canonicalize_row — one
+/// per worker, so the shared kernel itself stays stateless on the hot path.
+struct packed_canonical_scratch {
+  std::vector<std::uint32_t> orig;  ///< the pre-canonical row (images read it)
+  std::vector<std::uint32_t> tmp;   ///< candidate image assembly buffer
+};
+
+/// The packed-word canonicalization kernel: symmetry_group::canonicalize
+/// rebuilt to run on interned-id rows instead of reconstructed states.
+///
+/// Interning is injective and each group element's action on a component is
+/// a pure function of that component, so every element induces a memoizable
+/// id -> id map per domain: value ids through element::rename (identity for
+/// fully anonymous machines, whose register values move unrenamed) and
+/// machine ids through renamed(rho) — or, fully anonymous, reindexed(d),
+/// where the memo is keyed by the shift amount d and shared by every element
+/// rotating by d. With the maps warm, applying an element to a packed row is
+/// a u32 gather `out[r] = memo_e[row[pi_inv[r]]]` — no Machine construction,
+/// no rename scans, no heap traffic.
+///
+/// Soundness of the row compare: pool ids are insertion-ordered, not
+/// value-ordered, so the kernel compares words through id_rank_snapshot
+/// (state_pool.hpp) rank tables, which are order-isomorphic to the object
+/// orders (`<` on values, canonical_less on machines) for every covered id.
+/// Equal ids are equal components (injective interning); ids the snapshot
+/// does not cover yet (interned since the last rebuild) fall back to the
+/// object-domain compare, which is the ground truth — snapshots only ever
+/// buy speed. The element scan is ascending with a strict-less swap, exactly
+/// the object path's discipline, so the returned element index (the
+/// tie-break the sigma-chain counterexample fold-back depends on) is
+/// IDENTICAL to the object domain's: the packed-vs-object differential tests
+/// pin both the image row and the index.
+///
+/// The object path's first-word fast path generalizes here to a
+/// longest-common-prefix prune: a candidate is abandoned at its first losing
+/// rank word, having materialized only the tied prefix.
+///
+/// Sharing: one kernel per engine, attached to the engine's group and pool.
+/// Memo fills race benignly (deterministic interning), rank rebuilds are
+/// quiescent-only (level boundaries / between-expansion points), and
+/// canonicalize_row is safe from any number of workers given per-worker
+/// scratch.
+template <class Machine>
+class packed_canonicalizer {
+ public:
+  using value_type = typename Machine::value_type;
+  using element = typename symmetry_group<Machine>::element;
+
+  /// Bind to an engine's group and pools; resets every memo and snapshot
+  /// (the pools' id spaces restart when the engine resets).
+  void attach(const symmetry_group<Machine>* group, state_pool<Machine>* pool,
+              int registers, int processes) {
+    group_ = group;
+    pool_ = pool;
+    m_ = static_cast<std::size_t>(registers);
+    n_ = static_cast<std::size_t>(processes);
+    value_ranks_.reset();
+    machine_ranks_.reset();
+    if constexpr (fully_anonymous_machine<Machine>) {
+      // Machine memos keyed by rotation amount, shared across elements.
+      memo_count_ = static_cast<std::size_t>(registers);
+      value_memos_.reset();
+      machine_memos_ = std::make_unique<id_memo_table[]>(memo_count_);
+    } else if constexpr (process_symmetric_machine<Machine>) {
+      memo_count_ = static_cast<std::size_t>(group_->size());
+      value_memos_ = std::make_unique<id_memo_table[]>(memo_count_);
+      machine_memos_ = std::make_unique<id_memo_table[]>(memo_count_);
+    }
+  }
+
+  /// True when the rank snapshots cover less than 7/8 of either pool —
+  /// the engines rebuild at their next quiescent point. Uncovered ids stay
+  /// correct through the object-domain fallback; this only bounds how much
+  /// of the compare runs at rank speed.
+  bool ranks_stale() const {
+    return value_ranks_.covered() * 8 < pool_->num_values() * 7 ||
+           machine_ranks_.covered() * 8 < pool_->num_machines() * 7;
+  }
+
+  /// Rebuild both rank snapshots. QUIESCENT ONLY: single-threaded engines
+  /// call it between expansions, the parallel explorer in prepare_level()
+  /// (after the join, before the next fork).
+  void refresh_ranks() {
+    if constexpr (symmetry_reducible_machine<Machine>) {
+      value_ranks_.rebuild(
+          [this](auto&& fn) { pool_->for_each_value_id(fn); },
+          [this](std::uint32_t a, std::uint32_t b) {
+            return pool_->value(a) < pool_->value(b);
+          });
+      machine_ranks_.rebuild(
+          [this](auto&& fn) { pool_->for_each_machine_id(fn); },
+          [this](std::uint32_t a, std::uint32_t b) {
+            return canonical_less(pool_->machine(a), pool_->machine(b));
+          });
+    }
+  }
+  void maybe_refresh_ranks() {
+    if (ranks_stale()) refresh_ranks();
+  }
+
+  /// Replace `row` (m value words then n machine words) with the
+  /// lexicographically least image in its orbit; returns the canonicalizing
+  /// element index — bit-identical to the object-domain
+  /// symmetry_group::canonicalize on the reconstructed state.
+  int canonicalize_row(std::uint32_t* row, packed_canonical_scratch& scratch,
+                       canonicalize_stats& stats) {
+    if constexpr (symmetry_reducible_machine<Machine>) {
+      const int gsize = group_->size();
+      if (gsize <= 1) return 0;
+      const std::size_t stride = m_ + n_;
+      scratch.orig.assign(row, row + stride);
+      scratch.tmp.resize(stride);
+      const std::uint32_t* orig = scratch.orig.data();
+      std::uint32_t* tmp = scratch.tmp.data();
+      int best = 0;
+      for (int ei = 1; ei < gsize; ++ei) {
+        const element& e = group_->at(ei);
+        std::size_t r = 0;
+        for (; r < stride; ++r) {
+          const std::uint32_t a = image_word(e, ei, orig, r);
+          const std::uint32_t b = row[r];
+          if (a == b) {  // equal ids are equal components: tied word
+            tmp[r] = a;
+            continue;
+          }
+          if (word_less(a, b, r)) {
+            // Strictly smaller at the first differing word: this element
+            // wins; materialize its remaining words and swap it in.
+            tmp[r] = a;
+            for (std::size_t r2 = r + 1; r2 < stride; ++r2)
+              tmp[r2] = image_word(e, ei, orig, r2);
+            std::memcpy(row, tmp, stride * sizeof(std::uint32_t));
+            best = ei;
+            ++stats.full_applies;
+          } else if (r == 0) {
+            ++stats.first_word_pruned;
+          } else {
+            ++stats.prefix_pruned;
+          }
+          break;
+        }
+        // r == stride: the image ties the incumbent on every word — a full
+        // materialization that does not displace it (strict-less contract).
+        if (r == stride) ++stats.full_applies;
+      }
+      return best;
+    } else {
+      (void)row;
+      (void)scratch;
+      (void)stats;
+      return 0;
+    }
+  }
+
+  /// Accumulated prune counters live with the engines (per worker), not
+  /// here: the kernel itself holds no hot-path mutable state.
+
+ private:
+  /// Word r of element e's image of `orig` — a memo gather.
+  std::uint32_t image_word(const element& e, int ei, const std::uint32_t* orig,
+                           std::size_t r) {
+    if (r < m_) {
+      const std::uint32_t src =
+          orig[static_cast<std::size_t>(e.pi_inv[r])];
+      if constexpr (fully_anonymous_machine<Machine>) {
+        return src;  // values move unrenamed
+      } else {
+        return map_value(ei, e, src);
+      }
+    }
+    const auto p = static_cast<std::size_t>(e.sigma_inv[r - m_]);
+    const std::uint32_t src = orig[m_ + p];
+    if constexpr (fully_anonymous_machine<Machine>) {
+      return map_machine_shift(static_cast<std::size_t>(e.shift[p]), src);
+    } else {
+      return map_machine(ei, e, src);
+    }
+  }
+
+  std::uint32_t map_value(int ei, const element& e, std::uint32_t id) {
+    id_memo_table& memo = value_memos_[static_cast<std::size_t>(ei)];
+    std::uint32_t v = memo.lookup(id);
+    if (v == id_memo_table::kUnset) {
+      v = pool_->intern_value(e.rename(pool_->value(id)));
+      memo.store(id, v);
+    }
+    return v;
+  }
+
+  std::uint32_t map_machine(int ei, const element& e, std::uint32_t id) {
+    if constexpr (process_symmetric_machine<Machine>) {
+      id_memo_table& memo = machine_memos_[static_cast<std::size_t>(ei)];
+      std::uint32_t v = memo.lookup(id);
+      if (v == id_memo_table::kUnset) {
+        const auto rho = [&e](const value_type& x) { return e.rename(x); };
+        v = pool_->intern_machine(pool_->machine(id).renamed(rho));
+        memo.store(id, v);
+      }
+      return v;
+    } else {
+      return id;
+    }
+  }
+
+  std::uint32_t map_machine_shift(std::size_t d, std::uint32_t id) {
+    if constexpr (fully_anonymous_machine<Machine>) {
+      id_memo_table& memo = machine_memos_[d];
+      std::uint32_t v = memo.lookup(id);
+      if (v == id_memo_table::kUnset) {
+        v = pool_->intern_machine(
+            pool_->machine(id).reindexed(static_cast<int>(d)));
+        memo.store(id, v);
+      }
+      return v;
+    } else {
+      return id;
+    }
+  }
+
+  /// Order-isomorphic word compare: ranks when both covered, object order
+  /// otherwise. `r` selects the domain (value words before m_, machine after).
+  bool word_less(std::uint32_t a, std::uint32_t b, std::size_t r) const {
+    if constexpr (symmetry_reducible_machine<Machine>) {
+      if (r < m_) {
+        const std::uint32_t ra = value_ranks_.rank(a);
+        const std::uint32_t rb = value_ranks_.rank(b);
+        if (ra != id_rank_snapshot::kUnranked &&
+            rb != id_rank_snapshot::kUnranked)
+          return ra < rb;
+        return pool_->value(a) < pool_->value(b);
+      }
+      const std::uint32_t ra = machine_ranks_.rank(a);
+      const std::uint32_t rb = machine_ranks_.rank(b);
+      if (ra != id_rank_snapshot::kUnranked &&
+          rb != id_rank_snapshot::kUnranked)
+        return ra < rb;
+      return canonical_less(pool_->machine(a), pool_->machine(b));
+    } else {
+      return false;
+    }
+  }
+
+  const symmetry_group<Machine>* group_ = nullptr;
+  state_pool<Machine>* pool_ = nullptr;
+  std::size_t m_ = 0, n_ = 0;
+  std::size_t memo_count_ = 0;
+  /// Process-symmetric: one (value, machine) memo pair per element (index 0
+  /// allocated but unused — identity never scans). Fully anonymous: no value
+  /// memos; machine memos indexed by rotation amount d in [0, m).
+  std::unique_ptr<id_memo_table[]> value_memos_;
+  std::unique_ptr<id_memo_table[]> machine_memos_;
+  id_rank_snapshot value_ranks_;
+  id_rank_snapshot machine_ranks_;
 };
 
 }  // namespace anoncoord

@@ -72,6 +72,11 @@ struct verify_options {
   /// its own arena and spill file.
   std::uint64_t spill_budget_bytes = 0;
   std::string spill_dir;
+  /// Packed interned-id canonicalization for the BFS engines (see
+  /// packed_canonicalizer in modelcheck/symmetry.hpp). Off preserves the
+  /// object-domain path for differentials; verdicts, state counts, and
+  /// schedules are bit-identical either way.
+  bool packed_canonicalization = true;
 };
 
 /// Uniform per-run statistics. For BFS engines `states` counts distinct
@@ -89,6 +94,17 @@ struct verify_report {
   std::uint64_t cache_pruned = 0;
   std::uint64_t spill_pages = 0;  ///< arena pages written out-of-core
   std::uint64_t spill_bytes = 0;  ///< bytes written to the spill file
+  /// Canonicalization prune effectiveness (BFS engines; zero for trivial
+  /// groups and the systematic engines). full_applies counts elements whose
+  /// image was fully materialized (or fully compared on a tie);
+  /// first_word_pruned / prefix_pruned count elements rejected at word 0 /
+  /// at a later word of the longest-common-prefix compare. The object-domain
+  /// path folds its fast-path skip into first_word_pruned and never reports
+  /// prefix_pruned, so the split is mode-dependent while the sum of pruned +
+  /// applied elements is comparable across modes.
+  std::uint64_t canon_full_applies = 0;
+  std::uint64_t canon_first_word_pruned = 0;
+  std::uint64_t canon_prefix_pruned = 0;
   double wall_seconds = 0.0;
   std::vector<int> violating_schedule;
 
@@ -127,6 +143,7 @@ verify_report verify_config(const model_config<Machine>& cfg,
       eopt.symmetry = opt.symmetry;
       eopt.spill_budget_bytes = opt.spill_budget_bytes;
       eopt.spill_dir = opt.spill_dir;
+      eopt.packed_canonicalization = opt.packed_canonicalization;
       explorer<Machine> e(cfg.registers, cfg.naming, cfg.initial, eopt);
       const auto res = e.explore(as_state_pred);
       out.complete = res.complete;
@@ -138,6 +155,10 @@ verify_report verify_config(const model_config<Machine>& cfg,
       const arena_spill_stats spill = e.spill_stats();
       out.spill_pages = spill.spilled_pages;
       out.spill_bytes = spill.spill_bytes;
+      const canonicalize_stats cs = e.canonicalize_counters();
+      out.canon_full_applies = cs.full_applies;
+      out.canon_first_word_pruned = cs.first_word_pruned;
+      out.canon_prefix_pruned = cs.prefix_pruned;
       break;
     }
     case verify_engine::parallel_bfs: {
@@ -148,6 +169,7 @@ verify_report verify_config(const model_config<Machine>& cfg,
       popt.symmetry = opt.symmetry;
       popt.spill_budget_bytes = opt.spill_budget_bytes;
       popt.spill_dir = opt.spill_dir;
+      popt.packed_canonicalization = opt.packed_canonicalization;
       parallel_explorer<Machine> e(cfg.registers, cfg.naming, cfg.initial,
                                    popt);
       const auto res = e.explore(as_state_pred);
@@ -160,6 +182,10 @@ verify_report verify_config(const model_config<Machine>& cfg,
       const arena_spill_stats spill = e.spill_stats();
       out.spill_pages = spill.spilled_pages;
       out.spill_bytes = spill.spill_bytes;
+      const canonicalize_stats cs = e.canonicalize_counters();
+      out.canon_full_applies = cs.full_applies;
+      out.canon_first_word_pruned = cs.first_word_pruned;
+      out.canon_prefix_pruned = cs.prefix_pruned;
       break;
     }
     case verify_engine::systematic:
@@ -193,6 +219,10 @@ verify_report verify_config(const model_config<Machine>& cfg,
     reg.counter("verify.dedup_hits").add(out.dedup_hits);
     reg.counter("verify.sleep_pruned").add(out.sleep_pruned);
     reg.counter("verify.cache_pruned").add(out.cache_pruned);
+    reg.counter("canonicalize.full_applies").add(out.canon_full_applies);
+    reg.counter("canonicalize.first_word_pruned")
+        .add(out.canon_first_word_pruned);
+    reg.counter("canonicalize.prefix_pruned").add(out.canon_prefix_pruned);
     if (out.violated) reg.counter("verify.violations").add(1);
     if (!out.complete) reg.counter("verify.incomplete").add(1);
     reg.histogram("verify.wall_us")
@@ -216,6 +246,9 @@ inline obs::json_value to_json(const verify_report& report) {
   out.set("cache_pruned", report.cache_pruned);
   out.set("spill_pages", report.spill_pages);
   out.set("spill_bytes", report.spill_bytes);
+  out.set("canon_full_applies", report.canon_full_applies);
+  out.set("canon_first_word_pruned", report.canon_first_word_pruned);
+  out.set("canon_prefix_pruned", report.canon_prefix_pruned);
   out.set("wall_seconds", report.wall_seconds);
   obs::json_value sched = obs::json_value::make_array();
   for (int p : report.violating_schedule) sched.push_back(p);
@@ -245,6 +278,14 @@ struct sweep_schedule_options {
   /// (merged) checkpoint already decided them.
   int shard_index = 0;
   int shard_count = 1;
+  /// Cost-balanced sharding: when non-empty, one estimated cost per class
+  /// (journal-recorded state counts from a prior run, or any heuristic
+  /// weight) and the shard slices come from balanced_shard_bounds instead of
+  /// the count-balanced split. Size must equal the sweep's class count.
+  /// Slices stay contiguous and deterministic, so N shard journals still
+  /// merge into exactly an uninterrupted run — but EVERY shard process must
+  /// be given the identical cost vector, or their slices will not tile.
+  std::vector<std::uint64_t> class_costs;
 };
 
 /// Aggregate over a full- or orbit-reduced naming sweep (below).
@@ -374,12 +415,22 @@ naming_sweep_report verify_naming_sweep(
   ANONCOORD_REQUIRE(sched.shard_count >= 1 && sched.shard_index >= 0 &&
                         sched.shard_index < sched.shard_count,
                     "sweep shard spec needs 0 <= shard_index < shard_count");
-  const std::size_t shard_lo =
-      sweep.size() * static_cast<std::size_t>(sched.shard_index) /
-      static_cast<std::size_t>(sched.shard_count);
-  const std::size_t shard_hi =
-      sweep.size() * static_cast<std::size_t>(sched.shard_index + 1) /
-      static_cast<std::size_t>(sched.shard_count);
+  std::size_t shard_lo, shard_hi;
+  if (!sched.class_costs.empty()) {
+    ANONCOORD_REQUIRE(sched.class_costs.size() == sweep.size(),
+                      "class_costs must carry one cost per sweep class");
+    const std::vector<std::uint64_t> bounds =
+        balanced_shard_bounds(sched.class_costs, sched.shard_count);
+    shard_lo = static_cast<std::size_t>(
+        bounds[static_cast<std::size_t>(sched.shard_index)]);
+    shard_hi = static_cast<std::size_t>(
+        bounds[static_cast<std::size_t>(sched.shard_index) + 1]);
+  } else {
+    shard_lo = sweep.size() * static_cast<std::size_t>(sched.shard_index) /
+               static_cast<std::size_t>(sched.shard_count);
+    shard_hi = sweep.size() * static_cast<std::size_t>(sched.shard_index + 1) /
+               static_cast<std::size_t>(sched.shard_count);
+  }
   out.shard_classes = shard_hi - shard_lo;
   std::vector<std::uint64_t> todo;
   for (std::size_t i = shard_lo; i < shard_hi; ++i)

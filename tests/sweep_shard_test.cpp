@@ -208,6 +208,158 @@ TEST(SweepShardTest, TwoShardMergeMatchesUninterruptedM5) {
 }
 
 // ---------------------------------------------------------------------------
+// Cost-balanced shard slices (balanced_shard_bounds + class_costs).
+// ---------------------------------------------------------------------------
+
+TEST(SweepShardTest, BalancedBoundsEqualCostsDegenerateToCountSplit) {
+  // With all costs equal, boundary k is the smallest i whose prefix covers
+  // k/C of the total, i.e. ceil(n*k/C) — the mirror image of the classic
+  // floor-based count split, equally balanced (shard sizes differ by at
+  // most one from the fair share).
+  const std::vector<std::uint64_t> costs(17, 5);
+  const auto bounds = balanced_shard_bounds(costs, 5);
+  ASSERT_EQ(bounds.size(), 6u);
+  for (unsigned k = 0; k <= 5; ++k)
+    EXPECT_EQ(bounds[k], (17u * k + 4u) / 5u) << "boundary " << k;
+  for (unsigned k = 1; k <= 5; ++k) {
+    const std::uint64_t size = bounds[k] - bounds[k - 1];
+    EXPECT_GE(size, 3u);
+    EXPECT_LE(size, 4u);
+  }
+}
+
+TEST(SweepShardTest, BalancedBoundsPartitionAndBalanceSkewedCosts) {
+  // One monster class (the ~50x skew ROADMAP measured): the monster's shard
+  // must get nothing else, and every slice stays contiguous and disjoint
+  // while covering all classes.
+  std::vector<std::uint64_t> costs(10, 1);
+  costs[3] = 100;
+  const auto bounds = balanced_shard_bounds(costs, 3);
+  ASSERT_EQ(bounds.size(), 4u);
+  EXPECT_EQ(bounds.front(), 0u);
+  EXPECT_EQ(bounds.back(), 10u);
+  for (std::size_t k = 1; k < bounds.size(); ++k)
+    EXPECT_LE(bounds[k - 1], bounds[k]);
+  // The monster lands alone (plus at most its cheap left neighbors): the
+  // shard containing index 3 carries >= 100/109 of the weight, so both
+  // other shards together own the nine cheap classes.
+  int monster_shard = -1;
+  for (int k = 0; k < 3; ++k)
+    if (bounds[static_cast<size_t>(k)] <= 3 &&
+        3 < bounds[static_cast<size_t>(k) + 1])
+      monster_shard = k;
+  ASSERT_NE(monster_shard, -1);
+  std::uint64_t monster_cost = 0;
+  for (auto i = bounds[static_cast<size_t>(monster_shard)];
+       i < bounds[static_cast<size_t>(monster_shard) + 1]; ++i)
+    monster_cost += costs[static_cast<size_t>(i)];
+  EXPECT_GE(monster_cost, 100u);
+  EXPECT_LE(monster_cost - 100u, 3u);  // at most the three cheap left ones
+}
+
+TEST(SweepShardTest, BalancedBoundsClampZeroCostsAndTolerateFewClasses) {
+  // Zero costs clamp to 1 so the prefix stays strictly increasing and the
+  // final boundary lands on the class count even when zeros dominate.
+  const auto z = balanced_shard_bounds({0, 0, 0, 0}, 2);
+  ASSERT_EQ(z.size(), 3u);
+  EXPECT_EQ(z[0], 0u);
+  EXPECT_EQ(z[1], 2u);
+  EXPECT_EQ(z[2], 4u);
+  // More shards than classes: trailing shards own empty slices, nothing is
+  // lost or duplicated.
+  const auto few = balanced_shard_bounds({7, 7}, 5);
+  ASSERT_EQ(few.size(), 6u);
+  EXPECT_EQ(few.front(), 0u);
+  EXPECT_EQ(few.back(), 2u);
+  std::uint64_t covered = 0;
+  for (std::size_t k = 1; k < few.size(); ++k) {
+    EXPECT_LE(few[k - 1], few[k]);
+    covered += few[k] - few[k - 1];
+  }
+  EXPECT_EQ(covered, 2u);
+  // Empty sweep: all boundaries zero.
+  const auto none = balanced_shard_bounds({}, 3);
+  for (const auto b : none) EXPECT_EQ(b, 0u);
+}
+
+TEST(SweepShardTest, CostBalancedTwoShardMergeMatchesUninterruptedM4) {
+  // The acceptance shape of the count-balanced test, with slices sized by
+  // per-class cost: a prior run's journal supplies measured state counts,
+  // both shards derive boundaries from the same vector, and the merged
+  // totals must be bit-identical to the golden single-process sweep.
+  const std::string jc = temp_path("anoncoord-shard-cost-prior.ckpt");
+  const std::string j0 = temp_path("anoncoord-shard-cost-0.ckpt");
+  const std::string j1 = temp_path("anoncoord-shard-cost-1.ckpt");
+  const auto golden = run_single(4);
+  ASSERT_EQ(golden.configs, 17u);
+
+  // Record the measured per-class costs in a journal (the golden run again,
+  // this time checkpointed), then read them back the way sweep_shard does.
+  {
+    verify_options opt;
+    opt.max_states = 8'000'000;
+    sweep_schedule_options sched;
+    sched.checkpoint_path = jc;
+    verify_naming_sweep(4, machines(4, 2), two_in_cs, true, opt, true, sched);
+  }
+  sweep_journal_header ch;
+  ch.registers = 4;
+  ch.processes = 2;
+  ch.classes = 17;
+  ch.orbit = true;
+  ch.quotient = true;
+  std::vector<sweep_class_record> crecs(17);
+  ASSERT_EQ(load_sweep_journal(jc, ch, crecs), 17u);
+  std::vector<std::uint64_t> costs(17);
+  for (std::size_t i = 0; i < 17; ++i) {
+    ASSERT_TRUE(crecs[i].done);
+    costs[i] = crecs[i].states;
+  }
+
+  std::uint64_t owned = 0;
+  for (int i = 0; i < 2; ++i) {
+    verify_options opt;
+    opt.max_states = 8'000'000;
+    sweep_schedule_options sched;
+    sched.shard_index = i;
+    sched.shard_count = 2;
+    sched.checkpoint_path = i == 0 ? j0 : j1;
+    sched.class_costs = costs;
+    const auto rep = verify_naming_sweep(4, machines(4, 2), two_in_cs, true,
+                                         opt, true, sched);
+    owned += rep.shard_classes;
+    EXPECT_EQ(rep.shard_pending, 0u) << "shard " << i;
+  }
+  EXPECT_EQ(owned, 17u);
+
+  sweep_journal_header h{};
+  std::vector<sweep_class_record> recs;
+  const auto stats = merge_sweep_journals({j0, j1}, h, recs);
+  EXPECT_EQ(stats.decided_classes, 17u);
+  EXPECT_EQ(stats.missing_classes, 0u);
+  EXPECT_EQ(stats.duplicates, 0u);
+  const std::string jm = temp_path("anoncoord-shard-cost-merged.ckpt");
+  write_sweep_journal(jm, h, recs);
+  const auto merged = replay_journal(4, jm);
+  expect_sweeps_identical(golden, merged);
+
+  std::remove(jc.c_str());
+  std::remove(j0.c_str());
+  std::remove(j1.c_str());
+  std::remove(jm.c_str());
+}
+
+TEST(SweepShardTest, CostVectorSizeMismatchRejected) {
+  verify_options opt;
+  opt.max_states = 100'000;
+  sweep_schedule_options sched;
+  sched.class_costs.assign(1000, 1);  // far more costs than sweep classes
+  EXPECT_THROW(verify_naming_sweep(3, machines(3, 2), two_in_cs, true, opt,
+                                   true, sched),
+               precondition_error);
+}
+
+// ---------------------------------------------------------------------------
 // Synthetic journal edge cases for merge_sweep_journals.
 // ---------------------------------------------------------------------------
 

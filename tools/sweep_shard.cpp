@@ -18,6 +18,10 @@
 //   sweep_shard --m=7 --shard-index=3 --shard-count=4 --journal=m7.s3
 //   # fork C single-shard children (journals <base>.shard<k>-of-<C>):
 //   sweep_shard --m=7 --launch=4 --journal=m7
+//   # cost-balanced slices sized by a prior run's per-class state counts
+//   # (ROADMAP: class state sizes vary ~50x within one m, so count-balanced
+//   # slices leave the unlucky shard doing most of the work):
+//   sweep_shard --m=7 --launch=4 --journal=m7b --balance=cost --cost-journal=m7.merged
 //
 // Exit status: 0 when every class this invocation owned is decided (or,
 // with --launch, when every child succeeded), 1 otherwise.
@@ -60,7 +64,38 @@ struct shard_params {
   std::uint64_t max_classes = 0;
   std::uint64_t spill_budget_bytes = 0;
   std::string spill_dir;
+  /// One estimated cost per class (empty = count-balanced slices). Built
+  /// once in the parent, inherited by forked children, so every process
+  /// derives identical slice boundaries from the identical vector.
+  std::vector<std::uint64_t> class_costs;
 };
+
+/// Per-class costs for --balance=cost: journal-recorded state counts from a
+/// prior (possibly partial) run of the SAME sweep shape where available,
+/// the class weight as the fallback heuristic everywhere else. Weight
+/// correlates with orbit size — heavier classes stand for more raw tuples
+/// and tend to carry larger reachable spaces — which is a usable stand-in
+/// until a real run has recorded the truth. Classes a partial journal
+/// decided keep their measured cost; undecided ones fall back per class.
+std::vector<std::uint64_t> build_class_costs(
+    const std::vector<weighted_naming>& classes, int m, int n,
+    const std::string& cost_journal) {
+  std::vector<std::uint64_t> costs(classes.size());
+  for (std::size_t i = 0; i < classes.size(); ++i)
+    costs[i] = classes[i].weight;
+  if (cost_journal.empty()) return costs;
+  sweep_journal_header expected;
+  expected.registers = m;
+  expected.processes = n;
+  expected.classes = classes.size();
+  expected.orbit = true;
+  expected.quotient = true;
+  std::vector<sweep_class_record> recs(classes.size());
+  load_sweep_journal(cost_journal, expected, recs);
+  for (std::size_t i = 0; i < classes.size(); ++i)
+    if (recs[i].done) costs[i] = recs[i].states;
+  return costs;
+}
 
 /// Run one shard in this process; returns the exit status.
 int run_shard(const shard_params& p) {
@@ -76,6 +111,7 @@ int run_shard(const shard_params& p) {
   sched.max_classes = p.max_classes;
   sched.shard_index = p.shard_index;
   sched.shard_count = p.shard_count;
+  sched.class_costs = p.class_costs;
   const naming_sweep_report rep = verify_naming_sweep(
       p.m, procs, two_in_cs, /*orbit_representatives_only=*/true, opt,
       /*process_quotient=*/true, sched);
@@ -111,6 +147,15 @@ int main(int argc, char** argv) {
   args.define("spill-budget-mb", "0",
               "per-class arena resident budget in MiB (0 = in-memory)");
   args.define("spill-dir", "", "directory for arena spill files");
+  args.define("balance", "count",
+              "shard-slice sizing: 'count' (equal class counts) or 'cost' "
+              "(equal estimated cost via balanced_shard_bounds; cost = "
+              "per-class states from --cost-journal where recorded, class "
+              "weight otherwise)");
+  args.define("cost-journal", "",
+              "prior run's journal (same sweep shape) supplying measured "
+              "per-class state counts for --balance=cost; partial journals "
+              "are fine — undecided classes use the weight heuristic");
   args.define("count-only", "false",
               "print the orbit-class count and weighted total for --m, then "
               "exit (sizes a sweep without running it)");
@@ -151,6 +196,23 @@ int main(int argc, char** argv) {
   p.spill_budget_bytes =
       static_cast<std::uint64_t>(args.get_int("spill-budget-mb")) << 20;
   p.spill_dir = args.get("spill-dir");
+
+  const std::string balance = args.get("balance");
+  if (balance != "count" && balance != "cost") {
+    std::cerr << "sweep_shard: --balance must be 'count' or 'cost' (got '"
+              << balance << "')\n";
+    return 2;
+  }
+  if (balance == "cost") {
+    // Every shard process MUST compute the identical cost vector or the
+    // slices will not tile; that is why the costs come from the class list
+    // (deterministic) plus one shared journal file, not from local state.
+    p.class_costs = build_class_costs(naming_orbit_classes(p.n, p.m), p.m,
+                                      p.n, args.get("cost-journal"));
+  } else if (!args.get("cost-journal").empty()) {
+    std::cerr << "sweep_shard: --cost-journal requires --balance=cost\n";
+    return 2;
+  }
 
   const int launch = static_cast<int>(args.get_int("launch"));
   if (launch <= 0) return run_shard(p);
