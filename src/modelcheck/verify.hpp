@@ -77,6 +77,11 @@ struct verify_options {
   /// object-domain path for differentials; verdicts, state counts, and
   /// schedules are bit-identical either way.
   bool packed_canonicalization = true;
+  /// Staged batch expansion + group-probing seen tables for the BFS engines
+  /// (see explorer::options::batched_expansion). Off reproduces the previous
+  /// release's per-successor loop and linear-probe tables; verdicts, state
+  /// counts, stored bytes and schedules are bit-identical either way.
+  bool batched_expansion = true;
 };
 
 /// Uniform per-run statistics. For BFS engines `states` counts distinct
@@ -105,6 +110,18 @@ struct verify_report {
   std::uint64_t canon_full_applies = 0;
   std::uint64_t canon_first_word_pruned = 0;
   std::uint64_t canon_prefix_pruned = 0;
+  /// Hot-loop phase breakdown (BFS engines; zero for the systematic
+  /// engines). Sequential runs report wall time per stage; parallel runs sum
+  /// per-worker ticks, so the phase total is aggregate CPU time and can
+  /// exceed wall_seconds. probe_groups_scanned / probe_max_group_chain are
+  /// group-probe seen-table counters and stay zero with
+  /// batched_expansion=false (the legacy tables don't track them).
+  std::uint64_t expand_ns = 0;
+  std::uint64_t canonicalize_ns = 0;
+  std::uint64_t probe_ns = 0;
+  std::uint64_t encode_ns = 0;
+  std::uint64_t probe_groups_scanned = 0;
+  std::uint64_t probe_max_group_chain = 0;
   double wall_seconds = 0.0;
   std::vector<int> violating_schedule;
 
@@ -144,6 +161,7 @@ verify_report verify_config(const model_config<Machine>& cfg,
       eopt.spill_budget_bytes = opt.spill_budget_bytes;
       eopt.spill_dir = opt.spill_dir;
       eopt.packed_canonicalization = opt.packed_canonicalization;
+      eopt.batched_expansion = opt.batched_expansion;
       explorer<Machine> e(cfg.registers, cfg.naming, cfg.initial, eopt);
       const auto res = e.explore(as_state_pred);
       out.complete = res.complete;
@@ -159,6 +177,13 @@ verify_report verify_config(const model_config<Machine>& cfg,
       out.canon_full_applies = cs.full_applies;
       out.canon_first_word_pruned = cs.first_word_pruned;
       out.canon_prefix_pruned = cs.prefix_pruned;
+      const explore_phase_stats& ph = e.phase_counters();
+      out.expand_ns = ph.expand_ns;
+      out.canonicalize_ns = ph.canonicalize_ns;
+      out.probe_ns = ph.probe_ns;
+      out.encode_ns = ph.encode_ns;
+      out.probe_groups_scanned = ph.probe_groups_scanned;
+      out.probe_max_group_chain = ph.probe_max_group_chain;
       break;
     }
     case verify_engine::parallel_bfs: {
@@ -170,6 +195,7 @@ verify_report verify_config(const model_config<Machine>& cfg,
       popt.spill_budget_bytes = opt.spill_budget_bytes;
       popt.spill_dir = opt.spill_dir;
       popt.packed_canonicalization = opt.packed_canonicalization;
+      popt.batched_expansion = opt.batched_expansion;
       parallel_explorer<Machine> e(cfg.registers, cfg.naming, cfg.initial,
                                    popt);
       const auto res = e.explore(as_state_pred);
@@ -186,6 +212,13 @@ verify_report verify_config(const model_config<Machine>& cfg,
       out.canon_full_applies = cs.full_applies;
       out.canon_first_word_pruned = cs.first_word_pruned;
       out.canon_prefix_pruned = cs.prefix_pruned;
+      const explore_phase_stats& ph = e.phase_counters();
+      out.expand_ns = ph.expand_ns;
+      out.canonicalize_ns = ph.canonicalize_ns;
+      out.probe_ns = ph.probe_ns;
+      out.encode_ns = ph.encode_ns;
+      out.probe_groups_scanned = ph.probe_groups_scanned;
+      out.probe_max_group_chain = ph.probe_max_group_chain;
       break;
     }
     case verify_engine::systematic:
@@ -223,6 +256,11 @@ verify_report verify_config(const model_config<Machine>& cfg,
     reg.counter("canonicalize.first_word_pruned")
         .add(out.canon_first_word_pruned);
     reg.counter("canonicalize.prefix_pruned").add(out.canon_prefix_pruned);
+    reg.counter("explore.expand_ns").add(out.expand_ns);
+    reg.counter("explore.canonicalize_ns").add(out.canonicalize_ns);
+    reg.counter("explore.probe_ns").add(out.probe_ns);
+    reg.counter("explore.encode_ns").add(out.encode_ns);
+    reg.counter("explore.probe_groups_scanned").add(out.probe_groups_scanned);
     if (out.violated) reg.counter("verify.violations").add(1);
     if (!out.complete) reg.counter("verify.incomplete").add(1);
     reg.histogram("verify.wall_us")
@@ -249,6 +287,12 @@ inline obs::json_value to_json(const verify_report& report) {
   out.set("canon_full_applies", report.canon_full_applies);
   out.set("canon_first_word_pruned", report.canon_first_word_pruned);
   out.set("canon_prefix_pruned", report.canon_prefix_pruned);
+  out.set("expand_ns", report.expand_ns);
+  out.set("canonicalize_ns", report.canonicalize_ns);
+  out.set("probe_ns", report.probe_ns);
+  out.set("encode_ns", report.encode_ns);
+  out.set("probe_groups_scanned", report.probe_groups_scanned);
+  out.set("probe_max_group_chain", report.probe_max_group_chain);
   out.set("wall_seconds", report.wall_seconds);
   obs::json_value sched = obs::json_value::make_array();
   for (int p : report.violating_schedule) sched.push_back(p);

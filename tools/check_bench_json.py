@@ -29,6 +29,17 @@ present together and internally consistent: a symmetry run that pruned
 elements must also have applied at least one full element image (the
 identity-element win on every state's first comparison).
 
+Batched-expansion counters (bench_modelcheck_scaling part 10) gate when
+present: batched_identical must be 1 (the staged pipeline and the
+per-successor baseline produced bit-identical verdicts, state counts,
+stored bytes and schedules, sequentially and at every worker count) and
+batched_speedup_ok must be 1 (the pipeline held its >= 1.3x sequential
+explore speedup on the reference config and >= 1.2x on the fully
+anonymous one). The phase_*_ns / probe_* breakdown must be present
+together and internally consistent: a run that scanned probe groups has a
+nonzero probe phase and a maximal chain of at least one group, and no
+chain can exceed the total groups scanned.
+
 Contention-lab counters (bench_contention_lab) also get extra checks when
 present: contention.safety_violations_gated must be exactly zero (it sums
 mutual-exclusion violations and canary gaps under the model-faithful
@@ -133,6 +144,7 @@ def check_report(path: Path) -> list[str]:
     errors.extend(check_contention_counters(counters, str(path)))
     errors.extend(check_shard_counters(counters, str(path)))
     errors.extend(check_canonicalize_counters(counters, str(path)))
+    errors.extend(check_batched_counters(counters, str(path)))
     return errors
 
 
@@ -294,6 +306,59 @@ def check_canonicalize_counters(counters: object, where: str) -> list[str]:
             reason = ("packed and object-domain canonicalization diverged"
                       if name == "packed_canon_identical" else
                       "packed kernel lost its >= 1.5x speedup floor")
+            errors.append(f"{where}: {name} = {counters[name]!r} ({reason})")
+    return errors
+
+
+# Batched-expansion counters (bench_modelcheck_scaling part 10). Optional,
+# but when present they gate: the staged pipeline must be bit-identical to
+# the per-successor baseline and hold its speedup floors, and the hot-loop
+# phase breakdown must be a plausible profile. Exact phase times are
+# wall-clock (never compared); only presence, integrality and the
+# scanned-groups/chain/probe-time invariants are checked.
+BATCHED_COUNTERS = ("phase_expand_ns", "phase_canonicalize_ns",
+                    "phase_probe_ns", "phase_encode_ns",
+                    "probe_groups_scanned", "probe_max_group_chain")
+
+
+def check_batched_counters(counters: object, where: str) -> list[str]:
+    if not isinstance(counters, dict):
+        return []
+    errors = []
+    ok = {}
+    present = [n for n in BATCHED_COUNTERS if n in counters]
+    if present and len(present) != len(BATCHED_COUNTERS):
+        missing = sorted(set(BATCHED_COUNTERS) - set(present))
+        errors.append(f"{where}: batched-pipeline counters are partial "
+                      f"(missing {', '.join(missing)})")
+    for name in present:
+        value = counters[name]
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            errors.append(f"{where}: counter {name!r} = {value!r} is not a "
+                          "non-negative integer")
+        else:
+            ok[name] = value
+    scanned = ok.get("probe_groups_scanned", 0)
+    chain = ok.get("probe_max_group_chain", 0)
+    if scanned > 0:
+        if chain < 1:
+            errors.append(f"{where}: probe_groups_scanned={scanned} with "
+                          "probe_max_group_chain=0 (every probe walks at "
+                          "least one group)")
+        if ok.get("phase_probe_ns", 0) == 0 and "phase_probe_ns" in ok:
+            errors.append(f"{where}: probe_groups_scanned={scanned} but "
+                          "phase_probe_ns=0 (group probes take time)")
+    if chain > scanned:
+        errors.append(f"{where}: probe_max_group_chain={chain} > "
+                      f"probe_groups_scanned={scanned} (a single chain "
+                      "cannot exceed the total)")
+    for name in ("batched_identical", "batched_speedup_ok"):
+        if name in counters and counters[name] != 1:
+            reason = ("staged pipeline diverged from the per-successor "
+                      "baseline"
+                      if name == "batched_identical" else
+                      "batched pipeline lost its >= 1.3x / >= 1.2x speedup "
+                      "floors")
             errors.append(f"{where}: {name} = {counters[name]!r} ({reason})")
     return errors
 
